@@ -1,0 +1,83 @@
+//! Allocator microbenchmarks: malloc/free throughput per allocator layer,
+//! quantifying where Fig. 7's overhead comes from (randomized probing,
+//! canary filling/checking, correction table lookups).
+//!
+//! ```text
+//! cargo bench -p bench --bench alloc_micro
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xt_alloc::{Heap, SiteHash};
+use xt_baseline::BaselineHeap;
+use xt_correct::CorrectingHeap;
+use xt_diefast::{DieFastConfig, DieFastHeap};
+use xt_diehard::{DieHardConfig, DieHardHeap};
+use xt_patch::PatchTable;
+
+const SITE: SiteHash = SiteHash::from_raw(0xBE);
+
+fn churn(heap: &mut dyn Heap, n: usize) {
+    let mut live = Vec::with_capacity(64);
+    for i in 0..n {
+        if live.len() >= 64 {
+            let victim = live.swap_remove(i % live.len());
+            heap.free(victim, SITE);
+        }
+        live.push(heap.malloc(16 + (i % 4) * 24, SITE).unwrap());
+    }
+    for p in live {
+        heap.free(p, SITE);
+    }
+}
+
+fn layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_micro");
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut heap = BaselineHeap::with_seed(1);
+            churn(&mut heap, 2000);
+        });
+    });
+    group.bench_function("diehard", |b| {
+        b.iter(|| {
+            let mut heap = DieHardHeap::new(DieHardConfig::with_seed(1));
+            churn(&mut heap, 2000);
+        });
+    });
+    group.bench_function("diefast", |b| {
+        b.iter(|| {
+            let mut heap = DieFastHeap::new(DieFastConfig::with_seed(1));
+            churn(&mut heap, 2000);
+        });
+    });
+    group.bench_function("diefast_p_half", |b| {
+        b.iter(|| {
+            let mut heap =
+                DieFastHeap::new(DieFastConfig::with_seed(1).fill_probability(0.5));
+            churn(&mut heap, 2000);
+        });
+    });
+    group.bench_function("full_stack_unpatched", |b| {
+        b.iter(|| {
+            let inner = DieFastHeap::new(DieFastConfig::with_seed(1));
+            let mut heap = CorrectingHeap::new(inner, PatchTable::new());
+            churn(&mut heap, 2000);
+        });
+    });
+    group.bench_function("full_stack_patched", |b| {
+        let mut patches = PatchTable::new();
+        for s in 0..64u32 {
+            patches.add_pad(SiteHash::from_raw(s), 8);
+        }
+        b.iter(|| {
+            let inner = DieFastHeap::new(DieFastConfig::with_seed(1));
+            let mut heap = CorrectingHeap::new(inner, patches.clone());
+            churn(&mut heap, 2000);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, layers);
+criterion_main!(benches);

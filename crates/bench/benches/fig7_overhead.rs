@@ -1,0 +1,35 @@
+//! Criterion version of Fig. 7: Exterminator (DieFast + correcting
+//! allocator) vs the GNU-libc-style baseline across the benchmark suite.
+//!
+//! ```text
+//! cargo bench -p bench --bench fig7_overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{run_on_baseline, run_on_exterminator};
+use xt_workloads::{alloc_intensive_suite, spec_suite, WorkloadInput};
+
+fn fig7(c: &mut Criterion) {
+    let input = WorkloadInput::with_seed(4).intensity(2);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for suite in [alloc_intensive_suite(), spec_suite()] {
+        for w in suite {
+            group.bench_with_input(
+                BenchmarkId::new("baseline", w.name()),
+                &input,
+                |b, input| b.iter(|| run_on_baseline(w.as_ref(), input, 1)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("exterminator", w.name()),
+                &input,
+                |b, input| b.iter(|| run_on_exterminator(w.as_ref(), input, 2)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

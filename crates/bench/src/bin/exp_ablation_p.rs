@@ -1,0 +1,63 @@
+//! Ablation: the canary-fill probability `p` (§5.2).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_ablation_p
+//! ```
+//!
+//! The paper: "The choice of p reflects a tradeoff between the precision
+//! of the buffer overflow algorithm and dangling pointer isolation ...
+//! low values of p increase the number of runs (though not the number of
+//! failures) required to isolate overflows, while lower values of p
+//! increase the precision of dangling pointer isolation." We sweep `p`
+//! and measure cumulative-mode runs-to-isolation for an injected overflow
+//! and the per-run failure rate.
+
+use exterminator::cumulative::{CumulativeMode, CumulativeModeConfig};
+use exterminator::runner::find_manifesting_fault;
+use xt_faults::FaultKind;
+use xt_workloads::{EspressoLike, WorkloadInput};
+
+fn main() {
+    let input = WorkloadInput::with_seed(6).intensity(3);
+    let fault = find_manifesting_fault(
+        &EspressoLike::new(),
+        &input,
+        FaultKind::BufferOverflow {
+            delta: 20,
+            fill: 0xEE,
+        },
+        100,
+        300,
+        30,
+        6,
+        13,
+    )
+    .expect("no manifesting overflow");
+    println!("# Ablation: canary fill probability p (cumulative mode, injected 20B overflow)\n");
+    println!("| p | isolated (of 3 trials) | mean runs | mean failure rate |");
+    println!("| --- | --- | --- | --- |");
+    for p in [0.125, 0.25, 0.5, 0.75, 1.0] {
+        let mut isolated = 0;
+        let mut total_runs = 0usize;
+        let mut rate_sum = 0.0;
+        for trial in 0..3u64 {
+            let mut mode = CumulativeMode::new(CumulativeModeConfig {
+                fill_probability: p,
+                base_seed: 0xAB1A + (p * 1000.0) as u64 + trial * 7919,
+                ..CumulativeModeConfig::default()
+            });
+            let outcome = mode.run_until_isolated(&EspressoLike::new(), &input, Some(fault), 160);
+            if outcome.isolated {
+                isolated += 1;
+                total_runs += outcome.runs;
+            }
+            rate_sum += outcome.failures as f64 / outcome.runs.max(1) as f64;
+        }
+        println!(
+            "| {p} | {isolated}/3 | {} | {:.2} |",
+            total_runs.checked_div(isolated).map_or_else(|| "-".into(), |r| r.to_string()),
+            rate_sum / 3.0,
+        );
+    }
+    println!("\nexpected shape: larger p -> higher failure (detection) rate and fewer runs");
+}

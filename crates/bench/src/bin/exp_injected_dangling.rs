@@ -1,0 +1,116 @@
+//! §7.2 "Injected Faults — Dangling pointer errors": 10 dangling faults in
+//! espresso under iterative and cumulative modes.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_injected_dangling
+//! ```
+//!
+//! Paper result (iterative): isolated in 4 of 10 runs; in 4 more espresso
+//! reads a canary and crashes/aborts with no corruption to analyze; in 2
+//! the canary write cascades. Paper result (cumulative): all 10 isolated,
+//! needing 22–34 runs (≈15 failures) each.
+
+use exterminator::cumulative::{CumulativeMode, CumulativeModeConfig};
+use exterminator::iterative::{FailureKind, IterativeConfig, IterativeMode};
+use exterminator::runner::find_manifesting_fault;
+use xt_faults::{FaultKind, FaultSpec};
+use xt_workloads::{EspressoLike, WorkloadInput};
+
+fn gather_faults(input: &WorkloadInput, n: usize) -> Vec<FaultSpec> {
+    let mut faults = Vec::new();
+    let mut sel = 0u64;
+    while faults.len() < n && sel < 500 {
+        sel += 1;
+        if let Some(fault) = find_manifesting_fault(
+            &EspressoLike::new(),
+            input,
+            FaultKind::DanglingFree { lag: 12 },
+            100,
+            450,
+            6,
+            4,
+            sel,
+        ) {
+            if !faults.contains(&fault) {
+                faults.push(fault);
+            }
+        }
+    }
+    faults
+}
+
+fn main() {
+    let input = WorkloadInput::with_seed(21).intensity(3);
+    let faults = gather_faults(&input, 10);
+    println!(
+        "# §7.2 injected dangling pointers (espresso-like), {} faults\n",
+        faults.len()
+    );
+
+    // --- Iterative mode ---
+    let mut isolated = 0;
+    let mut read_abort = 0;
+    let mut cascade = 0;
+    for (i, &fault) in faults.iter().enumerate() {
+        let mut mode = IterativeMode::new(IterativeConfig {
+            base_seed: 0xDA | (i as u64) << 8,
+            ..IterativeConfig::default()
+        });
+        let outcome = mode.repair(&EspressoLike::new(), &input, Some(fault));
+        let got_deferral = outcome.patches.deferrals().count() > 0;
+        let seg_faulted = outcome
+            .rounds
+            .iter()
+            .any(|r| r.failure == FailureKind::SegFault);
+        if outcome.fixed && got_deferral {
+            isolated += 1;
+        } else if seg_faulted {
+            cascade += 1; // wild pointer chase through canary values
+        } else {
+            read_abort += 1; // canary read → abort, nothing to isolate
+        }
+    }
+    println!("## iterative mode");
+    println!("| outcome | this reproduction | paper |");
+    println!("| --- | --- | --- |");
+    println!("| isolated & corrected | {isolated}/{} | 4/10 |", faults.len());
+    println!("| canary read → abort (unisolatable) | {read_abort}/{} | 4/10 |", faults.len());
+    println!("| cascade / crash | {cascade}/{} | 2/10 |", faults.len());
+
+    // --- Cumulative mode ---
+    // Note: on this reproduction's small heap (hundreds of slots instead of
+    // real espresso's ~10^5), a dangled slot is often *reused* within the
+    // run; failures caused by writes through the stale pointer onto the new
+    // occupant are canary-independent, so some faults never develop the
+    // canary/failure correlation the classifier tests for. The paper saw
+    // the same effect in mild form ("execution continues long enough for
+    // the allocator to reuse the culprit object").
+    for (label, multiplier) in [("M = 2, paper setting", 2.0)] {
+        println!("\n## cumulative mode (p = 1/2, {label})");
+        println!("| fault | isolated | runs | failures |");
+        println!("| --- | --- | --- | --- |");
+        let mut runs_list = Vec::new();
+        for (i, &fault) in faults.iter().enumerate() {
+            let mut mode = CumulativeMode::new(CumulativeModeConfig {
+                base_seed: 0xCC00 + i as u64,
+                multiplier,
+                ..CumulativeModeConfig::default()
+            });
+            let outcome = mode.run_until_isolated(&EspressoLike::new(), &input, Some(fault), 150);
+            if outcome.isolated {
+                runs_list.push(outcome.runs);
+            }
+            println!(
+                "| #{i} (trigger {}) | {} | {} | {} |",
+                fault.trigger, outcome.isolated, outcome.runs, outcome.failures
+            );
+        }
+        runs_list.sort_unstable();
+        println!(
+            "isolated {}/{}; runs range {:?} (paper: 10/10, 22-34 runs)",
+            runs_list.len(),
+            faults.len(),
+            runs_list.first().zip(runs_list.last()),
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! §7.2 "Injected Faults — Buffer overflows": 10 overflows each of sizes
+//! 4, 20, and 36 bytes in espresso, repaired in iterative mode.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_injected_overflows
+//! ```
+//!
+//! Paper result: "The number of images required to isolate and correct
+//! these errors was 3 in every case" — substantially better than
+//! Theorem 2's worst case (42% miss probability at k = 3).
+
+use exterminator::iterative::{IterativeConfig, IterativeMode};
+use exterminator::runner::find_manifesting_fault;
+use xt_faults::FaultKind;
+use xt_workloads::{EspressoLike, WorkloadInput};
+
+fn main() {
+    let input = WorkloadInput::with_seed(6).intensity(3);
+    println!("# §7.2 injected buffer overflows (espresso-like, iterative mode)\n");
+    println!("| overflow size | faults repaired | median images | min..max images |");
+    println!("| --- | --- | --- | --- |");
+    for delta in [4u32, 20, 36] {
+        let mut images_used = Vec::new();
+        let mut repaired = 0;
+        let mut attempted = 0;
+        let mut sel = delta as u64 * 1000;
+        // Gather 10 manifesting faults per size, like the paper's 10 seeds.
+        while attempted < 10 && sel < delta as u64 * 1000 + 400 {
+            sel += 1;
+            let Some(fault) = find_manifesting_fault(
+                &EspressoLike::new(),
+                &input,
+                FaultKind::BufferOverflow { delta, fill: 0xEE },
+                100,
+                450,
+                6,
+                4,
+                sel,
+            ) else {
+                continue;
+            };
+            attempted += 1;
+            let mut mode = IterativeMode::new(IterativeConfig {
+                base_seed: sel ^ 0xABCD,
+                ..IterativeConfig::default()
+            });
+            let outcome = mode.repair(&EspressoLike::new(), &input, Some(fault));
+            if outcome.fixed && !outcome.rounds.is_empty() {
+                repaired += 1;
+                images_used.push(outcome.images_used);
+            }
+        }
+        images_used.sort_unstable();
+        let median = images_used.get(images_used.len() / 2).copied().unwrap_or(0);
+        println!(
+            "| {delta} bytes | {repaired}/{attempted} | {median} | {}..{} |",
+            images_used.first().copied().unwrap_or(0),
+            images_used.last().copied().unwrap_or(0),
+        );
+    }
+    println!("\npaper: 3 images in every case (30/30 repaired)");
+}

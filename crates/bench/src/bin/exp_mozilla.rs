@@ -1,0 +1,42 @@
+//! §7.2 "Real Faults — Mozilla web browser": the IDN overflow (bug
+//! 307259) under cumulative mode, in both of the paper's scenarios.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_mozilla
+//! ```
+//!
+//! Paper result: the overflow is correctly identified with no false
+//! positives; 23 runs when the attack page is loaded immediately, 34 runs
+//! after noisy navigation (the culprit site allocates more correct
+//! objects, diluting the evidence).
+
+use exterminator::cumulative::{CumulativeMode, CumulativeModeConfig};
+use xt_workloads::{attack_browsing_session, MozillaLike, WorkloadInput};
+
+fn main() {
+    println!("# §7.2 Mozilla IDN overflow (cumulative mode, p = 1/2)\n");
+    println!("| scenario | isolated | runs | failures | pad | paper runs |");
+    println!("| --- | --- | --- | --- | --- | --- |");
+    for (label, benign_pages, paper_runs) in
+        [("immediate repro", 0usize, 23), ("noisy navigation", 8, 34)]
+    {
+        let input =
+            WorkloadInput::with_seed(31).payload(attack_browsing_session(benign_pages));
+        let mut mode = CumulativeMode::new(CumulativeModeConfig {
+            vary_input_seed: true,
+            ..CumulativeModeConfig::default()
+        });
+        let outcome = mode.run_until_isolated(&MozillaLike::new(), &input, None, 200);
+        let max_pad = outcome.patches.pads().map(|(_, p)| p).max().unwrap_or(0);
+        println!(
+            "| {label} | {} | {} | {} | {max_pad} | {paper_runs} |",
+            outcome.isolated, outcome.runs, outcome.failures
+        );
+        // False positives: any flagged site whose patch does nothing for
+        // the IDN overflow would be one; the expectation is exactly one
+        // flagged overflow site.
+        for v in &outcome.flagged {
+            println!("  flagged {} ratio {:.1} over {} observations", v.site, v.ratio, v.observations);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 7: runtime overhead of Exterminator, normalized to the
+//! GNU-libc-style baseline allocator.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig7_table
+//! ```
+//!
+//! Paper result: overhead from ~0% (186.crafty) to 132% (cfrac), geometric
+//! mean 25.1%; allocation-intensive suite geomean 81.2%, SPECint2000
+//! geomean 7.2%. The absolute numbers here come from a simulated address
+//! space, but the *shape* — who pays, by roughly what factor — is the
+//! reproduction target.
+
+use std::time::Instant;
+
+use bench::{fmt_ratio, geomean, row, run_on_baseline, run_on_exterminator};
+use xt_workloads::{alloc_intensive_suite, spec_suite, Workload, WorkloadInput};
+
+/// One paired sample: baseline and Exterminator back to back, so
+/// machine-wide noise (frequency scaling, background work) hits both
+/// sides equally and cancels in the ratio.
+fn paired_ratio(w: &dyn Workload, input: &WorkloadInput, round: u64) -> (f64, f64, f64) {
+    let t = Instant::now();
+    run_on_baseline(w, input, 1 + round);
+    let base = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    run_on_exterminator(w, input, 2 + round);
+    let ext = t.elapsed().as_secs_f64();
+    (base, ext, ext / base)
+}
+
+fn main() {
+    let runs = 9;
+    let input = WorkloadInput::with_seed(4).intensity(8);
+    println!("# Fig. 7 — normalized execution time (baseline = 1.00x)\n");
+    row(&["suite".into(), "benchmark".into(), "baseline s".into(), "exterminator s".into(), "normalized".into()]);
+    row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()]);
+
+    let mut per_suite_ratios: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (suite_name, suite) in [
+        ("alloc-intensive", alloc_intensive_suite()),
+        ("SPECint2000-like", spec_suite()),
+    ] {
+        let mut ratios = Vec::new();
+        for w in &suite {
+            let mut samples: Vec<(f64, f64, f64)> = (0..runs)
+                .map(|round| paired_ratio(w.as_ref(), &input, round))
+                .collect();
+            samples.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN"));
+            let (base, ext, ratio) = samples[samples.len() / 2];
+            ratios.push(ratio);
+            row(&[
+                suite_name.into(),
+                w.name().into(),
+                format!("{base:.4}"),
+                format!("{ext:.4}"),
+                fmt_ratio(ratio),
+            ]);
+        }
+        per_suite_ratios.push((suite_name, ratios));
+    }
+
+    println!();
+    let mut all = Vec::new();
+    for (suite_name, ratios) in &per_suite_ratios {
+        let gm = geomean(ratios);
+        println!(
+            "geomean {suite_name}: {} (paper: {})",
+            fmt_ratio(gm),
+            if *suite_name == "alloc-intensive" {
+                "1.81x"
+            } else {
+                "1.07x"
+            }
+        );
+        all.extend_from_slice(ratios);
+    }
+    println!(
+        "geomean overall: {} (paper: 1.25x)",
+        fmt_ratio(geomean(&all))
+    );
+}

@@ -1,0 +1,40 @@
+//! `patch2report` — the paper's §9 future-work tool, implemented: turn a
+//! runtime patch file into a human-readable bug report.
+//!
+//! ```text
+//! cargo run -p bench --release --bin patch2report -- <patch-file>
+//! ```
+//!
+//! Without an argument, repairs the built-in Squid case study first and
+//! reports on the resulting patches.
+
+use exterminator::iterative::{IterativeConfig, IterativeMode};
+use xt_patch::{render_bug_report, PatchTable, SiteNames};
+use xt_workloads::{overflow_requests, SquidLike, WorkloadInput};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let (patches, names) = match arg {
+        Some(path) => {
+            let patches = PatchTable::load(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read patch file {path}: {e}");
+                std::process::exit(1);
+            });
+            (patches, SiteNames::new())
+        }
+        None => {
+            eprintln!("(no patch file given — repairing the Squid demo first)");
+            let input = WorkloadInput::with_seed(1)
+                .payload(overflow_requests(25))
+                .intensity(3);
+            let mut mode = IterativeMode::new(IterativeConfig::default());
+            let outcome = mode.repair(&SquidLike::new(), &input, None);
+            let mut names = SiteNames::new();
+            for (site, _) in outcome.patches.pads() {
+                names.insert(site, "squid-like: store_entry (escaped-URL path)");
+            }
+            (outcome.patches, names)
+        }
+    };
+    print!("{}", render_bug_report(&patches, &names));
+}

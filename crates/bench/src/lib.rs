@@ -1,0 +1,114 @@
+//! Shared support for the experiment harnesses and benchmarks that
+//! regenerate every table and figure of the paper's evaluation (§7).
+//!
+//! Each experiment is a binary (`cargo run -p bench --release --bin
+//! exp_*`) that prints the same rows/series the paper reports;
+//! `EXPERIMENTS.md` records paper-vs-measured for each. The Criterion
+//! benches (`cargo bench -p bench`) cover the timing measurements.
+
+use std::time::Instant;
+
+
+use xt_baseline::BaselineHeap;
+use xt_correct::CorrectingHeap;
+use xt_diefast::{DieFastConfig, DieFastHeap};
+use xt_patch::PatchTable;
+use xt_workloads::{RunResult, Workload, WorkloadInput};
+
+/// Median wall-clock seconds of `runs` executions of `f`.
+pub fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Runs `workload` once over the Fig. 7 *baseline*: the Lea-style libc
+/// stand-in.
+pub fn run_on_baseline(workload: &dyn Workload, input: &WorkloadInput, seed: u64) -> RunResult {
+    let mut heap = BaselineHeap::with_seed(seed);
+    let result = workload.run(&mut heap, input);
+    assert!(
+        result.completed(),
+        "{} crashed on baseline: {:?}",
+        workload.name(),
+        result.outcome
+    );
+    result
+}
+
+/// Runs `workload` once over the Fig. 7 *Exterminator* stack: DieFast plus
+/// the correcting allocator, in the non-replicated configuration the paper
+/// measures ("DieFast plus the correcting allocator", §7.1).
+pub fn run_on_exterminator(
+    workload: &dyn Workload,
+    input: &WorkloadInput,
+    seed: u64,
+) -> RunResult {
+    let diefast = DieFastHeap::new(DieFastConfig::with_seed(seed));
+    let mut heap = CorrectingHeap::new(diefast, PatchTable::new());
+    let result = workload.run(&mut heap, input);
+    assert!(
+        result.completed(),
+        "{} crashed on exterminator stack: {:?}",
+        workload.name(),
+        result.outcome
+    );
+    result
+}
+
+/// Prints a Markdown-ish table row.
+pub fn row(cols: &[String]) {
+    println!("| {} |", cols.join(" | "));
+}
+
+/// Formats a ratio like Fig. 7's normalized execution time.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_workloads::EspressoLike;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn both_stacks_run_the_suite() {
+        let input = WorkloadInput::with_seed(5);
+        let a = run_on_baseline(&EspressoLike::new(), &input, 1);
+        let b = run_on_exterminator(&EspressoLike::new(), &input, 2);
+        assert_eq!(a.output, b.output, "stacks disagree on output");
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut calls = 0;
+        let m = median_secs(5, || {
+            calls += 1;
+            if calls == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        assert!(m < 0.005, "median polluted by outlier: {m}");
+    }
+}

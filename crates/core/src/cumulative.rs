@@ -1,0 +1,329 @@
+//! Cumulative mode (§3.4, §5): correction across many deployed runs.
+//!
+//! "Exterminator uses its third mode of operation, cumulative mode, which
+//! isolates errors without replication or multiple identical executions."
+//! Each run is reduced to a [`RunSummary`](xt_isolate::cumulative::RunSummary)
+//! — a few hundred bytes of per-site statistics instead of a heap image —
+//! and the Bayesian classifier accumulates them until an allocation site
+//! crosses the `cN − 1` likelihood threshold, at which point patches are
+//! generated and applied to subsequent runs.
+
+use xt_diefast::DieFastConfig;
+use xt_faults::FaultSpec;
+use xt_isolate::cumulative::{summarize_run, CumulativeConfig, CumulativeIsolator, Verdict};
+use xt_patch::PatchTable;
+use xt_workloads::{Workload, WorkloadInput};
+
+use crate::runner::{execute, RunConfig};
+
+/// Configuration for the cumulative-mode driver.
+#[derive(Clone, Debug)]
+pub struct CumulativeModeConfig {
+    /// Base seed; every run gets a fresh heap seed derived from it.
+    pub base_seed: u64,
+    /// Canary fill probability `p` (§5.2 default: 1/2).
+    pub fill_probability: f64,
+    /// Classifier parameters (prior constant `c`, integration steps).
+    pub isolator: CumulativeConfig,
+    /// Give each run a different workload seed, modelling the
+    /// nondeterministic inputs of deployed use (the Mozilla scenario).
+    pub vary_input_seed: bool,
+    /// Heap multiplier `M` for the runs (paper default 2).
+    pub multiplier: f64,
+}
+
+impl Default for CumulativeModeConfig {
+    fn default() -> Self {
+        let isolator = CumulativeConfig::default();
+        CumulativeModeConfig {
+            base_seed: 0xC0_5EED,
+            fill_probability: isolator.fill_probability,
+            isolator,
+            vary_input_seed: false,
+            multiplier: 2.0,
+        }
+    }
+}
+
+/// What one deployed run contributed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunDigest {
+    /// 1-based run number.
+    pub run: usize,
+    /// Whether it failed (signal or crash).
+    pub failed: bool,
+    /// Whether any site is flagged after folding this run in.
+    pub isolated: bool,
+}
+
+/// The outcome of driving cumulative mode to isolation (or exhaustion).
+#[derive(Clone, Debug)]
+pub struct CumulativeOutcome {
+    /// Total runs performed.
+    pub runs: usize,
+    /// Failed runs among them.
+    pub failures: usize,
+    /// Whether some site was flagged.
+    pub isolated: bool,
+    /// The generated patches (empty unless isolated).
+    pub patches: PatchTable,
+    /// Verdicts for flagged sites.
+    pub flagged: Vec<Verdict>,
+}
+
+/// The cumulative-mode driver: owns the accumulated state across runs.
+#[derive(Clone, Debug)]
+pub struct CumulativeMode {
+    config: CumulativeModeConfig,
+    isolator: CumulativeIsolator,
+    run_counter: u64,
+}
+
+impl CumulativeMode {
+    /// Creates a driver with empty accumulated state.
+    #[must_use]
+    pub fn new(config: CumulativeModeConfig) -> Self {
+        let mut isolator_config = config.isolator;
+        isolator_config.fill_probability = config.fill_probability;
+        CumulativeMode {
+            isolator: CumulativeIsolator::new(isolator_config),
+            config,
+            run_counter: 0,
+        }
+    }
+
+    /// The accumulated per-site statistics.
+    #[must_use]
+    pub fn isolator(&self) -> &CumulativeIsolator {
+        &self.isolator
+    }
+
+    /// Patches for all currently flagged sites.
+    #[must_use]
+    pub fn patches(&self) -> PatchTable {
+        self.isolator.generate_patches()
+    }
+
+    /// All flagged verdicts (overflow and dangling families).
+    #[must_use]
+    pub fn flagged(&self) -> Vec<Verdict> {
+        self.isolator
+            .overflow_verdicts()
+            .into_iter()
+            .chain(self.isolator.dangling_verdicts())
+            .filter(|v| v.flagged)
+            .collect()
+    }
+
+    /// Executes one deployed run: fresh heap seed, current patches
+    /// applied, summary folded into the accumulated state.
+    pub fn run_once(
+        &mut self,
+        workload: &dyn Workload,
+        input: &WorkloadInput,
+        fault: Option<FaultSpec>,
+    ) -> RunDigest {
+        self.run_counter += 1;
+        let heap_seed = self
+            .config
+            .base_seed
+            .wrapping_add(self.run_counter.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let mut run_input = input.clone();
+        if self.config.vary_input_seed {
+            run_input.seed = input.seed.wrapping_add(self.run_counter);
+        }
+        let mut diefast = DieFastConfig::cumulative_with_seed(heap_seed);
+        diefast.fill_probability = self.config.fill_probability;
+        diefast.heap.multiplier = self.config.multiplier;
+        let run_config = RunConfig {
+            heap_seed,
+            diefast,
+            patches: self.patches(),
+            fault,
+            breakpoint: None,
+            halt_on_signal: true,
+        };
+        let rec = execute(workload, &run_input, run_config);
+        let failed = rec.failed();
+        let history = rec
+            .history
+            .as_ref()
+            .expect("cumulative mode requires history tracking");
+        let summary = summarize_run(&rec.image, history, failed, self.config.fill_probability);
+        self.isolator.record_run(&summary);
+        RunDigest {
+            run: self.run_counter as usize,
+            failed,
+            isolated: !self.flagged().is_empty(),
+        }
+    }
+
+    /// Persists the accumulated statistics next to the patch file, so a
+    /// later process can continue where this one stopped — §3.4:
+    /// "Exterminator computes relevant statistics about each run and
+    /// stores them in its patch file."
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_state(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.isolator.to_text())
+    }
+
+    /// Restores a driver from state written by [`CumulativeMode::save_state`].
+    /// The run counter resumes from the recorded run count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; parse failures surface as `InvalidData`.
+    pub fn load_state(
+        config: CumulativeModeConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let isolator = CumulativeIsolator::from_text(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let run_counter = isolator.runs() as u64;
+        Ok(CumulativeMode {
+            config,
+            isolator,
+            run_counter,
+        })
+    }
+
+    /// Runs until some site is flagged or `max_runs` is exhausted.
+    pub fn run_until_isolated(
+        &mut self,
+        workload: &dyn Workload,
+        input: &WorkloadInput,
+        fault: Option<FaultSpec>,
+        max_runs: usize,
+    ) -> CumulativeOutcome {
+        let mut isolated = false;
+        for _ in 0..max_runs {
+            let digest = self.run_once(workload, input, fault);
+            if digest.isolated {
+                isolated = true;
+                break;
+            }
+        }
+        CumulativeOutcome {
+            runs: self.isolator.runs(),
+            failures: self.isolator.failures(),
+            isolated,
+            patches: self.patches(),
+            flagged: self.flagged(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_faults::FaultKind;
+    use xt_workloads::{attack_browsing_session, EspressoLike, MozillaLike};
+
+    #[test]
+    fn state_survives_process_restart() {
+        // Deployment story: run a few times, "exit", restart from the
+        // saved state, and keep accumulating toward isolation.
+        let dir = std::env::temp_dir().join("xt_cumulative_state");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.txt");
+        let input = WorkloadInput::with_seed(4);
+        let mut first = CumulativeMode::new(CumulativeModeConfig::default());
+        for _ in 0..5 {
+            first.run_once(&EspressoLike::new(), &input, None);
+        }
+        first.save_state(&path).unwrap();
+        let mut resumed =
+            CumulativeMode::load_state(CumulativeModeConfig::default(), &path).unwrap();
+        assert_eq!(resumed.isolator().runs(), 5);
+        let digest = resumed.run_once(&EspressoLike::new(), &input, None);
+        assert_eq!(digest.run, 6, "run counter must resume");
+        assert_eq!(resumed.isolator().runs(), 6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clean_runs_never_flag_anything() {
+        let mut mode = CumulativeMode::new(CumulativeModeConfig::default());
+        for _ in 0..10 {
+            let digest = mode.run_once(&EspressoLike::new(), &WorkloadInput::with_seed(4), None);
+            assert!(!digest.failed, "clean run failed");
+            assert!(!digest.isolated, "false positive");
+        }
+        assert_eq!(mode.isolator().runs(), 10);
+        assert_eq!(mode.isolator().failures(), 0);
+        assert!(mode.patches().is_empty());
+    }
+
+    #[test]
+    fn injected_overflow_is_isolated_across_runs() {
+        // Cumulative isolation discriminates by how *unlikely* the culprit
+        // site's placement evidence is, so its strength depends on the
+        // site's allocation volume — the paper observes exactly this in
+        // the second Mozilla study ("the site that produces the overflowed
+        // object allocates more correct objects, making it harder to
+        // identify it as erroneous"). Select a fault whose culprit comes
+        // from a *cold* site, like Mozilla's rarely-executed IDN path.
+        let input = WorkloadInput::with_seed(6).intensity(3);
+        let reference = {
+            let mut config = crate::runner::RunConfig::with_seed(424242);
+            config.diefast = DieFastConfig::cumulative_with_seed(424242);
+            crate::runner::execute(&EspressoLike::new(), &input, config)
+        };
+        let history = reference.history.expect("history tracked");
+        let mut fault = None;
+        for t in (120..500u64).step_by(7) {
+            let Some(rec) = history.get(xt_alloc::ObjectId::from_raw(t)) else {
+                continue;
+            };
+            let site_objects = history.records_from_site(rec.alloc_site).count();
+            if site_objects > 3 {
+                continue; // hot site: weak per-run evidence
+            }
+            let candidate = crate::runner::find_manifesting_fault(
+                &EspressoLike::new(),
+                &input,
+                FaultKind::BufferOverflow {
+                    delta: 20,
+                    fill: 0xEE,
+                },
+                t,
+                t + 1,
+                1,
+                6,
+                11,
+            );
+            if candidate.is_some() {
+                fault = candidate;
+                break;
+            }
+        }
+        let fault = fault.expect("no manifesting cold-site overflow found");
+        let mut mode = CumulativeMode::new(CumulativeModeConfig::default());
+        let outcome = mode.run_until_isolated(&EspressoLike::new(), &input, Some(fault), 250);
+        assert!(outcome.isolated, "never isolated in {} runs", outcome.runs);
+        assert!(
+            !outcome.patches.is_empty(),
+            "flagged but no patch generated"
+        );
+        assert!(outcome.failures >= 2, "failures: {}", outcome.failures);
+    }
+
+    #[test]
+    fn mozilla_attack_is_isolated_despite_nondeterminism() {
+        let input = WorkloadInput::with_seed(50).payload(attack_browsing_session(4));
+        let mut mode = CumulativeMode::new(CumulativeModeConfig {
+            vary_input_seed: true,
+            ..CumulativeModeConfig::default()
+        });
+        let outcome = mode.run_until_isolated(&MozillaLike::new(), &input, None, 120);
+        assert!(outcome.isolated, "IDN overflow never isolated");
+        let pads: Vec<_> = outcome.patches.pads().collect();
+        assert!(!pads.is_empty(), "no pad generated: {:?}", outcome.flagged);
+        // The pad must cover the 8-byte overflow.
+        assert!(pads.iter().any(|&(_, p)| p >= 8), "pads too small: {pads:?}");
+    }
+}

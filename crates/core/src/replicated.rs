@@ -1,0 +1,287 @@
+//! Replicated mode (§3.4, Fig. 5): on-the-fly correction with voting.
+//!
+//! "Like DieHard, Exterminator can run a number of differently-randomized
+//! replicas simultaneously (as separate processes), broadcasting inputs to
+//! all and voting on their outputs. However, Exterminator uses
+//! DieFast-based heaps, each with a correcting allocator. This
+//! organization lets Exterminator discover and fix errors."
+//!
+//! Replicas here are threads, each owning a fully isolated allocator stack
+//! over its own simulated address space; outputs are compared by the
+//! plurality [voter](crate::voter). A DieFast signal, a crash, or output
+//! divergence triggers isolation over the replicas' heap images, and the
+//! resulting patches are returned for hot reload into running correcting
+//! allocators.
+
+use xt_diefast::DieFastConfig;
+use xt_faults::FaultSpec;
+use xt_image::HeapImage;
+use xt_isolate::iterative::{isolate_with, IsolateOptions};
+use xt_isolate::IsolationReport;
+use xt_patch::PatchTable;
+use xt_workloads::{Workload, WorkloadInput};
+
+use crate::runner::{execute, RunConfig};
+use crate::voter::{vote, VoteResult};
+
+/// Configuration for one replicated execution.
+#[derive(Clone, Debug)]
+pub struct ReplicatedConfig {
+    /// Number of replicas (the paper's experiments use 3).
+    pub replicas: usize,
+    /// Base seed; replica `i` randomizes its heap with a seed derived
+    /// from it.
+    pub base_seed: u64,
+    /// DieFast configuration shared by all replicas (`p = 1`).
+    pub diefast: DieFastConfig,
+    /// Isolation tuning.
+    pub options: IsolateOptions,
+}
+
+impl Default for ReplicatedConfig {
+    fn default() -> Self {
+        ReplicatedConfig {
+            replicas: 3,
+            base_seed: 0x2E11_11CA,
+            diefast: DieFastConfig::with_seed(0),
+            options: IsolateOptions::default(),
+        }
+    }
+}
+
+/// Per-replica digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaSummary {
+    /// The replica's heap seed.
+    pub seed: u64,
+    /// Whether its run completed.
+    pub completed: bool,
+    /// Whether it failed (signal or crash).
+    pub failed: bool,
+    /// Number of DieFast signals it raised.
+    pub signals: usize,
+    /// Length of its output stream.
+    pub output_len: usize,
+}
+
+/// The outcome of one replicated execution.
+#[derive(Clone, Debug)]
+pub struct ReplicatedOutcome {
+    /// The voter's verdict over replica outputs.
+    pub vote: VoteResult,
+    /// Patches generated from this execution's images (empty if all
+    /// replicas agreed and none failed).
+    pub patches: PatchTable,
+    /// The isolation report, when isolation ran.
+    pub report: Option<IsolationReport>,
+    /// Per-replica digests, in replica order.
+    pub replicas: Vec<ReplicaSummary>,
+}
+
+impl ReplicatedOutcome {
+    /// `true` if any replica failed or diverged.
+    #[must_use]
+    pub fn error_observed(&self) -> bool {
+        !self.vote.unanimous() || self.replicas.iter().any(|r| r.failed)
+    }
+}
+
+/// Runs `workload` over `config.replicas` differently-randomized replicas
+/// in parallel, votes on their outputs, and — on any failure or
+/// divergence — isolates errors from the replicas' heap images.
+///
+/// `patches` are the currently loaded runtime patches; each replica's
+/// correcting allocator applies them, and any newly generated patches are
+/// merged into the returned table (ready for a hot reload).
+pub fn run_replicated<W: Workload + Sync + ?Sized>(
+    workload: &W,
+    input: &WorkloadInput,
+    fault: Option<FaultSpec>,
+    patches: &PatchTable,
+    config: &ReplicatedConfig,
+) -> ReplicatedOutcome {
+    let n = config.replicas.max(1);
+    let seeds: Vec<u64> = (0..n)
+        .map(|i| {
+            config
+                .base_seed
+                .wrapping_add((i as u64 + 1).wrapping_mul(0xA5A5_1234_9E37_79B9))
+        })
+        .collect();
+
+    // One isolated allocator stack per replica, run in parallel threads —
+    // the stand-in for the paper's replica processes.
+    let records: Vec<_> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let run_config = RunConfig {
+                    heap_seed: seed,
+                    diefast: config.diefast.clone(),
+                    patches: patches.clone(),
+                    fault,
+                    breakpoint: None,
+                    halt_on_signal: false,
+                };
+                let input = input.clone();
+                scope.spawn(move |_| execute(&workload, &input, run_config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replica thread panicked"))
+            .collect()
+    })
+    .expect("replica scope panicked");
+
+    let outputs: Vec<Vec<u8>> = records.iter().map(|r| r.result.output.clone()).collect();
+    let vote = vote(&outputs);
+
+    let replicas: Vec<ReplicaSummary> = records
+        .iter()
+        .zip(&seeds)
+        .map(|(r, &seed)| ReplicaSummary {
+            seed,
+            completed: r.result.completed(),
+            failed: r.failed(),
+            signals: r.signals.len(),
+            output_len: r.result.output.len(),
+        })
+        .collect();
+
+    let any_failure = !vote.unanimous() || replicas.iter().any(|r| r.failed);
+    let mut merged = patches.clone();
+    let report = if any_failure {
+        let images: Vec<HeapImage> = records.into_iter().map(|r| r.image).collect();
+        let report = isolate_with(&images, config.options).unwrap_or_default();
+        // Escalate rather than max: deferrals isolated while patches were
+        // loaded are measured from the already-deferred free time (§6.2).
+        merged.escalate(&report.to_patches());
+        Some(report)
+    } else {
+        None
+    };
+
+    ReplicatedOutcome {
+        vote,
+        patches: merged,
+        report,
+        replicas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_alloc::AllocTime;
+    use xt_faults::{FaultKind, FaultSpec};
+    use xt_workloads::EspressoLike;
+
+    #[test]
+    fn clean_replicas_agree_unanimously() {
+        let outcome = run_replicated(
+            &EspressoLike::new(),
+            &WorkloadInput::with_seed(3),
+            None,
+            &PatchTable::new(),
+            &ReplicatedConfig::default(),
+        );
+        assert!(outcome.vote.unanimous(), "replicas diverged on clean run");
+        assert!(!outcome.error_observed());
+        assert!(outcome.report.is_none());
+        assert!(outcome.patches.is_empty());
+        assert_eq!(outcome.replicas.len(), 3);
+        assert!(outcome.replicas.iter().all(|r| r.completed && !r.failed));
+    }
+
+    #[test]
+    fn injected_overflow_is_observed_and_patched() {
+        // Not every manifesting fault leaves canary evidence in replica
+        // images (overflows onto live objects abort without corruption);
+        // search candidates like the paper searches injector seeds.
+        let input = WorkloadInput::with_seed(8).intensity(3);
+        let mut success = false;
+        'candidates: for sel in 0..8u64 {
+            let Some(fault) = crate::runner::find_manifesting_fault(
+                &EspressoLike::new(),
+                &input,
+                FaultKind::BufferOverflow {
+                    delta: 20,
+                    fill: 0xEE,
+                },
+                100,
+                300,
+                20,
+                4,
+                5 + sel,
+            ) else {
+                continue;
+            };
+            let outcome = run_replicated(
+                &EspressoLike::new(),
+                &input,
+                Some(fault),
+                &PatchTable::new(),
+                &ReplicatedConfig {
+                    replicas: 6,
+                    ..ReplicatedConfig::default()
+                },
+            );
+            if !outcome.error_observed() {
+                continue;
+            }
+            let report = outcome.report.as_ref().expect("isolation ran");
+            if report.overflows.is_empty() && report.dangling.is_empty() {
+                continue;
+            }
+            // Deployment story: patches accumulate across executions until
+            // the error stops manifesting.
+            let mut patches = outcome.patches.clone();
+            for round in 0..5u64 {
+                let next = run_replicated(
+                    &EspressoLike::new(),
+                    &input,
+                    Some(fault),
+                    &patches,
+                    &ReplicatedConfig {
+                        replicas: 6,
+                        base_seed: 0x5EED_0002 + round,
+                        ..ReplicatedConfig::default()
+                    },
+                );
+                if !next.error_observed() {
+                    success = true;
+                    break 'candidates;
+                }
+                patches = next.patches;
+            }
+        }
+        assert!(success, "no candidate fault was isolated and repaired");
+    }
+
+    #[test]
+    fn voter_reports_majority_on_divergence() {
+        // Even when a fault only corrupts data (no crash), the voter's
+        // plurality output is the clean majority's.
+        let fault = FaultSpec {
+            kind: FaultKind::BufferOverflow {
+                delta: 8,
+                fill: 0x44,
+            },
+            trigger: AllocTime::from_raw(90),
+        };
+        let outcome = run_replicated(
+            &EspressoLike::new(),
+            &WorkloadInput::with_seed(14),
+            Some(fault),
+            &PatchTable::new(),
+            &ReplicatedConfig {
+                replicas: 5,
+                ..ReplicatedConfig::default()
+            },
+        );
+        assert_eq!(outcome.replicas.len(), 5);
+        // Regardless of which replicas got hit, a plurality winner exists.
+        assert!(!outcome.vote.winner.is_empty() || outcome.vote.agreeing.len() >= 3);
+    }
+}

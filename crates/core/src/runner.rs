@@ -1,0 +1,240 @@
+//! Shared run machinery: builds the allocator stack, executes one
+//! workload run, and captures everything the modes need afterwards.
+
+use xt_alloc::{AllocTime, Heap as _};
+use xt_correct::CorrectingHeap;
+use xt_diefast::{DieFastConfig, DieFastHeap, ErrorSignal};
+use xt_diehard::ObjectLog;
+use xt_faults::{FaultSpec, FaultyHeap, InjectedEvent};
+use xt_image::HeapImage;
+use xt_patch::PatchTable;
+use xt_workloads::{CrashKind, RunOutcome, RunResult, Workload, WorkloadInput};
+
+/// Configuration for one execution.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Heap randomization seed for this run/replica.
+    pub heap_seed: u64,
+    /// DieFast configuration (fill probability, zero-fill, history).
+    pub diefast: DieFastConfig,
+    /// Runtime patches to apply.
+    pub patches: PatchTable,
+    /// Fault to inject, if any.
+    pub fault: Option<FaultSpec>,
+    /// Malloc breakpoint: stop when the allocation clock reaches this
+    /// value (iterative replays, §3.4).
+    pub breakpoint: Option<AllocTime>,
+    /// Stop at the first DieFast signal (iterative discovery runs).
+    pub halt_on_signal: bool,
+}
+
+impl RunConfig {
+    /// A plain run: given seed, no patches, no faults, no stops.
+    #[must_use]
+    pub fn with_seed(heap_seed: u64) -> Self {
+        RunConfig {
+            heap_seed,
+            diefast: DieFastConfig::with_seed(heap_seed),
+            patches: PatchTable::new(),
+            fault: None,
+            breakpoint: None,
+            halt_on_signal: false,
+        }
+    }
+}
+
+/// Everything captured from one execution.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// The workload's outcome and output.
+    pub result: RunResult,
+    /// DieFast error signals raised during the run.
+    pub signals: Vec<ErrorSignal>,
+    /// Heap image captured at the end (completion, crash, or breakpoint) —
+    /// the dump a real Exterminator writes from its signal handler.
+    pub image: HeapImage,
+    /// Full allocation history, when the configuration tracked it.
+    pub history: Option<ObjectLog>,
+    /// What the fault injector did.
+    pub injected: Vec<InjectedEvent>,
+    /// Final allocation clock.
+    pub clock: AllocTime,
+}
+
+impl RunRecord {
+    /// Whether this run counts as a *failure* for the runtime: a DieFast
+    /// signal, or any crash other than the malloc breakpoint (which is the
+    /// runtime's own stop mechanism).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        if !self.signals.is_empty() {
+            return true;
+        }
+        match &self.result.outcome {
+            RunOutcome::Completed => false,
+            RunOutcome::Crashed(CrashKind::Breakpoint) => false,
+            RunOutcome::Crashed(_) => true,
+        }
+    }
+
+    /// Whether the run was cut short by the malloc breakpoint.
+    #[must_use]
+    pub fn hit_breakpoint(&self) -> bool {
+        matches!(
+            self.result.outcome,
+            RunOutcome::Crashed(CrashKind::Breakpoint)
+        )
+    }
+}
+
+/// Executes one run of `workload` over a freshly built allocator stack:
+/// fault injector → correcting allocator → DieFast → DieHard → arena.
+#[must_use]
+pub fn execute(workload: &dyn Workload, input: &WorkloadInput, config: RunConfig) -> RunRecord {
+    let mut diefast_config = config.diefast.clone();
+    diefast_config.heap.seed = config.heap_seed;
+    let mut diefast = DieFastHeap::new(diefast_config);
+    diefast.set_breakpoint(config.breakpoint);
+    diefast.set_halt_on_signal(config.halt_on_signal);
+    let correcting = CorrectingHeap::new(diefast, config.patches);
+    let mut stack = FaultyHeap::new(correcting, config.fault);
+
+    let result = workload.run(&mut stack, input);
+
+    let injected = stack.events().to_vec();
+    let diefast = stack.into_inner().into_inner();
+    let image = HeapImage::capture(&diefast);
+    let clock = diefast.inner().clock();
+    let history = diefast.inner().history().cloned();
+    let mut diefast = diefast;
+    let signals = diefast.take_signals();
+    RunRecord {
+        result,
+        signals,
+        image,
+        history,
+        injected,
+        clock,
+    }
+}
+
+/// Reproduces the paper's fault-selection methodology (§7.2): "we run the
+/// injector using a random seed until it triggers an error or divergent
+/// output. We next use this seed to deterministically trigger a single
+/// error in Exterminator."
+///
+/// Candidate triggers are sampled from `[trigger_lo, trigger_hi)`; each is
+/// probed over `probe_runs` differently-randomized heaps. The first fault
+/// that manifests (signal or crash) in some probe run is returned.
+/// Injected faults that stay benign — e.g. an overflow absorbed by size-class
+/// rounding — are discarded, exactly as the paper discards injector seeds
+/// that trigger no error.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn find_manifesting_fault(
+    workload: &dyn Workload,
+    input: &WorkloadInput,
+    kind: xt_faults::FaultKind,
+    trigger_lo: u64,
+    trigger_hi: u64,
+    attempts: usize,
+    probe_runs: usize,
+    selection_seed: u64,
+) -> Option<FaultSpec> {
+    let mut rng = xt_arena::Rng::new(selection_seed ^ 0xF1AD_5EED);
+    for attempt in 0..attempts {
+        let spec = FaultSpec {
+            kind,
+            trigger: AllocTime::from_raw(trigger_lo + rng.below(trigger_hi - trigger_lo)),
+        };
+        for probe in 0..probe_runs {
+            let mut config =
+                RunConfig::with_seed(selection_seed ^ (attempt as u64 * 131 + probe as u64 + 1));
+            config.fault = Some(spec);
+            config.halt_on_signal = true;
+            let rec = execute(workload, input, config);
+            if rec.failed() {
+                return Some(spec);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_alloc::AllocTime;
+    use xt_faults::FaultKind;
+    use xt_workloads::EspressoLike;
+
+    #[test]
+    fn clean_run_is_not_a_failure() {
+        let rec = execute(
+            &EspressoLike::new(),
+            &WorkloadInput::with_seed(1),
+            RunConfig::with_seed(7),
+        );
+        assert!(rec.result.completed());
+        assert!(!rec.failed());
+        assert!(rec.signals.is_empty());
+        assert!(rec.clock.raw() > 100);
+        assert_eq!(rec.image.clock, rec.clock);
+    }
+
+    #[test]
+    fn breakpoint_stops_run_without_failing_it() {
+        let mut config = RunConfig::with_seed(8);
+        config.breakpoint = Some(AllocTime::from_raw(50));
+        let rec = execute(&EspressoLike::new(), &WorkloadInput::with_seed(1), config);
+        assert!(rec.hit_breakpoint());
+        assert!(!rec.failed());
+        assert_eq!(rec.clock, AllocTime::from_raw(50));
+    }
+
+    #[test]
+    fn injected_overflow_eventually_signals() {
+        // Select a manifesting fault (overflows absorbed by size-class
+        // rounding are benign, §7.2 methodology), then check that a good
+        // share of randomized runs observe it.
+        let input = WorkloadInput::with_seed(3).intensity(3);
+        let fault = find_manifesting_fault(
+            &EspressoLike::new(),
+            &input,
+            FaultKind::BufferOverflow {
+                delta: 20,
+                fill: 0xEE,
+            },
+            100,
+            300,
+            20,
+            4,
+            99,
+        )
+        .expect("no manifesting fault");
+        let mut failures = 0;
+        for seed in 0..8 {
+            let mut config = RunConfig::with_seed(1000 + seed);
+            config.fault = Some(fault);
+            config.halt_on_signal = true;
+            let rec = execute(&EspressoLike::new(), &input, config);
+            if rec.failed() {
+                failures += 1;
+                assert!(
+                    !rec.signals.is_empty() || !rec.result.completed(),
+                    "failure without evidence"
+                );
+            }
+        }
+        assert!(failures >= 3, "only {failures}/8 runs observed the fault");
+    }
+
+    #[test]
+    fn history_is_captured_when_tracked() {
+        let mut config = RunConfig::with_seed(9);
+        config.diefast = DieFastConfig::cumulative_with_seed(9);
+        let rec = execute(&EspressoLike::new(), &WorkloadInput::with_seed(2), config);
+        let history = rec.history.expect("history enabled");
+        assert_eq!(history.len() as u64, rec.clock.raw());
+    }
+}

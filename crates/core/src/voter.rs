@@ -1,0 +1,115 @@
+//! The replicated mode's output voter (§3.1, §3.4).
+//!
+//! "A voter intercepts and compares outputs across the replicas, and only
+//! actually generates output agreed on by a plurality of the replicas."
+
+use std::collections::HashMap;
+
+/// The result of voting over replica outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VoteResult {
+    /// The plurality output.
+    pub winner: Vec<u8>,
+    /// Indices of replicas that produced the winner.
+    pub agreeing: Vec<usize>,
+    /// Indices of replicas that diverged.
+    pub dissenting: Vec<usize>,
+}
+
+impl VoteResult {
+    /// `true` if every replica agreed.
+    #[must_use]
+    pub fn unanimous(&self) -> bool {
+        self.dissenting.is_empty()
+    }
+
+    /// `true` if a strict majority agreed on the winner.
+    #[must_use]
+    pub fn majority(&self) -> bool {
+        2 * self.agreeing.len() > self.agreeing.len() + self.dissenting.len()
+    }
+}
+
+/// Computes the plurality output across replicas. Ties are broken toward
+/// the lowest replica index, deterministically.
+///
+/// # Panics
+///
+/// Panics if `outputs` is empty — a voter needs at least one replica.
+#[must_use]
+pub fn vote(outputs: &[Vec<u8>]) -> VoteResult {
+    assert!(!outputs.is_empty(), "voting requires at least one replica");
+    let mut counts: HashMap<&[u8], (usize, usize)> = HashMap::new();
+    for (i, out) in outputs.iter().enumerate() {
+        let entry = counts.entry(out.as_slice()).or_insert((0, i));
+        entry.0 += 1;
+    }
+    let (&winner, _) = counts
+        .iter()
+        .max_by(|(_, (ca, ia)), (_, (cb, ib))| ca.cmp(cb).then(ib.cmp(ia)))
+        .expect("non-empty outputs");
+    let mut agreeing = Vec::new();
+    let mut dissenting = Vec::new();
+    for (i, out) in outputs.iter().enumerate() {
+        if out.as_slice() == winner {
+            agreeing.push(i);
+        } else {
+            dissenting.push(i);
+        }
+    }
+    VoteResult {
+        winner: winner.to_vec(),
+        agreeing,
+        dissenting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_vote() {
+        let outputs = vec![b"abc".to_vec(), b"abc".to_vec(), b"abc".to_vec()];
+        let v = vote(&outputs);
+        assert!(v.unanimous());
+        assert!(v.majority());
+        assert_eq!(v.winner, b"abc");
+        assert_eq!(v.agreeing, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn plurality_beats_dissent() {
+        let outputs = vec![b"good".to_vec(), b"BAD!".to_vec(), b"good".to_vec()];
+        let v = vote(&outputs);
+        assert!(!v.unanimous());
+        assert!(v.majority());
+        assert_eq!(v.winner, b"good");
+        assert_eq!(v.dissenting, vec![1]);
+    }
+
+    #[test]
+    fn tie_breaks_to_lowest_index_deterministically() {
+        let outputs = vec![b"a".to_vec(), b"b".to_vec()];
+        let v = vote(&outputs);
+        assert_eq!(v.winner, b"a");
+        assert!(!v.majority());
+        // Deterministic under repetition.
+        for _ in 0..10 {
+            assert_eq!(vote(&outputs).winner, b"a");
+        }
+    }
+
+    #[test]
+    fn single_replica_wins_trivially() {
+        let v = vote(&[b"solo".to_vec()]);
+        assert!(v.unanimous());
+        assert_eq!(v.winner, b"solo");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_vote_panics() {
+        let _ = vote(&[]);
+    }
+}

@@ -1,0 +1,177 @@
+//! The `Heap` trait implemented by every allocator in the reproduction.
+
+use std::error::Error;
+use std::fmt;
+
+use xt_arena::{Addr, Arena};
+
+use crate::{AllocTime, SiteHash};
+
+/// Why an allocation request could not be satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HeapError {
+    /// The heap could not grow to satisfy the request.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+    },
+    /// The request exceeds the largest supported size class.
+    RequestTooLarge {
+        /// Bytes requested.
+        requested: usize,
+        /// Largest supported request.
+        max: usize,
+    },
+    /// A zero-byte request, which the reproduced allocators reject.
+    ZeroSize,
+    /// The allocation clock reached an armed *malloc breakpoint* (§3.4).
+    ///
+    /// In iterative mode, Exterminator replays the program and aborts
+    /// execution at the allocation time recorded in the first heap image;
+    /// this error is how the replayed workload gets stopped.
+    Breakpoint {
+        /// The clock value at which the breakpoint fired.
+        at: AllocTime,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} bytes")
+            }
+            HeapError::RequestTooLarge { requested, max } => {
+                write!(f, "request of {requested} bytes exceeds maximum {max}")
+            }
+            HeapError::ZeroSize => write!(f, "zero-byte allocation request"),
+            HeapError::Breakpoint { at } => write!(f, "malloc breakpoint reached at {at}"),
+        }
+    }
+}
+
+impl Error for HeapError {}
+
+/// What a call to [`Heap::free`] did.
+///
+/// DieHard-family allocators never treat a bad `free` as fatal: double and
+/// invalid frees are tolerated by construction (Table 1), so they are
+/// reported as benign outcomes rather than errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FreeOutcome {
+    /// The object was released.
+    Freed,
+    /// The pointer addressed an already-free slot; the request was ignored.
+    DoubleFreeIgnored,
+    /// The pointer was not one the allocator handed out; ignored.
+    InvalidFreeIgnored,
+    /// The correcting allocator deferred the release (dangling-pointer
+    /// patch, §6.3). The object remains readable until the deferral expires.
+    Deferred {
+        /// Clock tick at which the object will actually be released.
+        until: AllocTime,
+    },
+}
+
+impl FreeOutcome {
+    /// `true` if the request released or scheduled a release of the object.
+    #[must_use]
+    pub fn accepted(self) -> bool {
+        matches!(self, FreeOutcome::Freed | FreeOutcome::Deferred { .. })
+    }
+}
+
+/// A dynamic memory allocator over the simulated address space.
+///
+/// All of the reproduction's allocators implement this object-safe trait so
+/// workloads can run unmodified over any of them:
+///
+/// * `xt-baseline`'s Lea-style freelist allocator (the GNU libc stand-in),
+/// * `xt-diehard`'s randomized allocator,
+/// * `xt-diefast`'s probabilistic debugging allocator,
+/// * `xt-correct`'s correcting allocator,
+/// * `xt-faults`' error-injecting wrappers.
+///
+/// Loads and stores go through [`Heap::arena`]/[`Heap::arena_mut`]; the
+/// allocator only hands out [`Addr`]s and tracks metadata.
+pub trait Heap {
+    /// Allocates `size` bytes, recording `site` as the allocation site.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HeapError`] when the request cannot be satisfied or a
+    /// malloc breakpoint fired; workloads are expected to propagate it and
+    /// abort, as a crashing process would.
+    fn malloc(&mut self, size: usize, site: SiteHash) -> Result<Addr, HeapError>;
+
+    /// Frees the object at `ptr`, recording `site` as the deallocation site.
+    ///
+    /// Never fails: invalid and double frees are tolerated and reported via
+    /// the returned [`FreeOutcome`].
+    fn free(&mut self, ptr: Addr, site: SiteHash) -> FreeOutcome;
+
+    /// Read access to the simulated address space.
+    fn arena(&self) -> &Arena;
+
+    /// Write access to the simulated address space.
+    fn arena_mut(&mut self) -> &mut Arena;
+
+    /// Current allocation clock (number of `malloc` calls so far).
+    fn clock(&self) -> AllocTime;
+
+    /// The usable size of the live object at `ptr`, if `ptr` is the base of
+    /// a live allocation. Mirrors `malloc_usable_size`.
+    fn usable_size(&self, ptr: Addr) -> Option<usize>;
+
+    /// The allocation site recorded for the live object at `ptr`.
+    ///
+    /// This is Fig. 6's `getAllocSite`: the correcting allocator keys its
+    /// deferral table by (allocation site, deallocation site) pairs, so it
+    /// must recover the allocation site at `free` time. Allocators that do
+    /// not track sites (e.g. the baseline) return `None`, which disables
+    /// deferral matching.
+    fn alloc_site_of(&self, ptr: Addr) -> Option<SiteHash> {
+        let _ = ptr;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(HeapError::OutOfMemory { requested: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(HeapError::RequestTooLarge {
+            requested: 10,
+            max: 5
+        }
+        .to_string()
+        .contains("exceeds"));
+        assert!(HeapError::Breakpoint {
+            at: AllocTime::from_raw(9)
+        }
+        .to_string()
+        .contains("t9"));
+        assert!(!HeapError::ZeroSize.to_string().is_empty());
+    }
+
+    #[test]
+    fn outcome_acceptance() {
+        assert!(FreeOutcome::Freed.accepted());
+        assert!(FreeOutcome::Deferred {
+            until: AllocTime::from_raw(5)
+        }
+        .accepted());
+        assert!(!FreeOutcome::DoubleFreeIgnored.accepted());
+        assert!(!FreeOutcome::InvalidFreeIgnored.accepted());
+    }
+
+    #[test]
+    fn heap_is_object_safe() {
+        fn _takes_dyn(_h: &mut dyn Heap) {}
+    }
+}

@@ -1,0 +1,33 @@
+//! Allocator-facing API shared by every heap in the Exterminator
+//! reproduction: the [`Heap`] trait, allocation/deallocation call-site
+//! hashing (paper Fig. 3), the allocation clock, and object identities.
+//!
+//! Applications ("workloads") are written against [`Heap`] so the same code
+//! runs over the GNU-libc-style baseline allocator, plain DieHard, DieFast,
+//! the correcting allocator, and any fault-injecting wrapper.
+//!
+//! # Example
+//!
+//! ```
+//! use xt_alloc::{SiteStack, djb2_site_hash};
+//!
+//! let mut stack = SiteStack::new();
+//! stack.push(0x400100);
+//! stack.push(0x400200);
+//! let site = stack.hash();
+//! assert_eq!(site, stack.hash(), "hashing is pure");
+//! stack.pop();
+//! assert_ne!(site, stack.hash(), "different calling context, different site");
+//! # let _ = djb2_site_hash(&[1, 2, 3, 4, 5]);
+//! ```
+
+mod heap;
+mod site;
+mod time;
+
+pub use heap::{FreeOutcome, Heap, HeapError};
+pub use site::{djb2_site_hash, SiteHash, SitePair, SiteStack};
+pub use time::{AllocTime, ObjectId};
+
+// Re-export the substrate so dependents need only one import path.
+pub use xt_arena::{Addr, Arena, MemFault, Rng, PAGE_SIZE};

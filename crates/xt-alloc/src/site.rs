@@ -1,0 +1,255 @@
+//! Allocation/deallocation call-site identification.
+//!
+//! The paper captures the calling context of each `malloc`/`free` by hashing
+//! "the least significant bytes of the five most-recent return addresses"
+//! with the DJB2 hash (Fig. 3). Runtime patches are keyed by these 32-bit
+//! hashes.
+//!
+//! Rust workloads have no C call stack to walk, so they maintain an explicit
+//! [`SiteStack`] of synthetic program counters — one token per simulated
+//! function — which is hashed with the paper's exact function.
+
+use std::fmt;
+
+/// Number of return addresses mixed into a site hash (paper Fig. 3).
+pub const SITE_HASH_DEPTH: usize = 5;
+
+/// A 32-bit hash identifying an allocation or deallocation call site.
+///
+/// # Example
+///
+/// ```
+/// use xt_alloc::SiteHash;
+///
+/// let site = SiteHash::from_raw(0xdead_beef);
+/// assert_eq!(site.raw(), 0xdead_beef);
+/// assert_eq!(format!("{site}"), "site:deadbeef");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteHash(u32);
+
+impl SiteHash {
+    /// Site hash used when no context is available (empty stack).
+    pub const UNKNOWN: SiteHash = SiteHash(0);
+
+    /// Wraps a raw 32-bit hash.
+    #[must_use]
+    pub const fn from_raw(raw: u32) -> Self {
+        SiteHash(raw)
+    }
+
+    /// Returns the raw 32-bit hash.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for SiteHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SiteHash({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for SiteHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site:{:08x}", self.0)
+    }
+}
+
+/// An (allocation site, deallocation site) pair — the key of the paper's
+/// deferral table (§6.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SitePair {
+    /// Where the object was allocated.
+    pub alloc: SiteHash,
+    /// Where the object was freed.
+    pub free: SiteHash,
+}
+
+impl SitePair {
+    /// Creates a pair from its two sites.
+    #[must_use]
+    pub const fn new(alloc: SiteHash, free: SiteHash) -> Self {
+        SitePair { alloc, free }
+    }
+}
+
+impl fmt::Display for SitePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.alloc, self.free)
+    }
+}
+
+/// The paper's site-information hash (Fig. 3): DJB2 over five program
+/// counters.
+///
+/// ```text
+/// int computeHash (int * pc)
+///     int hash = 5381;
+///     for (int i = 0; i < 5; i++)
+///         hash = ((hash << 5) + hash) + pc[i];
+///     return hash;
+/// ```
+#[must_use]
+pub fn djb2_site_hash(pcs: &[u32; SITE_HASH_DEPTH]) -> u32 {
+    let mut hash: u32 = 5381;
+    for &pc in pcs {
+        hash = hash.wrapping_mul(33).wrapping_add(pc);
+    }
+    hash
+}
+
+/// An explicit stack of synthetic return addresses.
+///
+/// Workloads push a token when "entering a function" and pop on exit; the
+/// allocators call [`SiteStack::hash`] at each `malloc`/`free` to obtain the
+/// paper's calling-context hash. When fewer than five frames are live the
+/// missing slots hash as zero, mirroring a shallow C stack.
+///
+/// # Example
+///
+/// ```
+/// use xt_alloc::SiteStack;
+///
+/// let mut stack = SiteStack::new();
+/// stack.push(10);
+/// stack.push(20);
+/// assert_eq!(stack.depth(), 2);
+/// let deep = stack.hash();
+/// stack.pop();
+/// assert_ne!(deep, stack.hash());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteStack {
+    frames: Vec<u32>,
+}
+
+impl SiteStack {
+    /// Creates an empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        SiteStack::default()
+    }
+
+    /// Creates a stack pre-populated with `frames`, oldest first.
+    #[must_use]
+    pub fn from_frames(frames: &[u32]) -> Self {
+        SiteStack {
+            frames: frames.to_vec(),
+        }
+    }
+
+    /// Pushes a synthetic return address.
+    pub fn push(&mut self, pc: u32) {
+        self.frames.push(pc);
+    }
+
+    /// Pops the most recent return address.
+    ///
+    /// Returns the popped frame, or `None` if the stack was empty.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.frames.pop()
+    }
+
+    /// Number of live frames.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Hashes the five most-recent frames with [`djb2_site_hash`], the most
+    /// recent frame first.
+    #[must_use]
+    pub fn hash(&self) -> SiteHash {
+        let mut pcs = [0u32; SITE_HASH_DEPTH];
+        for (i, slot) in pcs.iter_mut().enumerate() {
+            if i < self.frames.len() {
+                *slot = self.frames[self.frames.len() - 1 - i];
+            }
+        }
+        SiteHash(djb2_site_hash(&pcs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn djb2_matches_reference_values() {
+        // hash = 5381; five rounds of hash*33 + pc, computed by hand for the
+        // all-zero stack: 5381 * 33^5 mod 2^32.
+        let expected = 5381u32
+            .wrapping_mul(33)
+            .wrapping_mul(33)
+            .wrapping_mul(33)
+            .wrapping_mul(33)
+            .wrapping_mul(33);
+        assert_eq!(djb2_site_hash(&[0; 5]), expected);
+    }
+
+    #[test]
+    fn djb2_depends_on_every_position() {
+        let base = djb2_site_hash(&[1, 2, 3, 4, 5]);
+        for i in 0..5 {
+            let mut pcs = [1, 2, 3, 4, 5];
+            pcs[i] += 1;
+            assert_ne!(djb2_site_hash(&pcs), base, "position {i} ignored");
+        }
+    }
+
+    #[test]
+    fn djb2_is_order_sensitive() {
+        assert_ne!(
+            djb2_site_hash(&[1, 2, 3, 4, 5]),
+            djb2_site_hash(&[5, 4, 3, 2, 1])
+        );
+    }
+
+    #[test]
+    fn stack_hash_uses_five_most_recent() {
+        let mut stack = SiteStack::from_frames(&[9, 9, 9, 1, 2, 3, 4, 5]);
+        // Only the last five frames matter: pushing more than five frames and
+        // changing a deep one must not affect the hash.
+        let h = stack.hash();
+        assert_eq!(h, SiteStack::from_frames(&[7, 7, 1, 2, 3, 4, 5]).hash());
+        stack.push(6);
+        assert_ne!(stack.hash(), h);
+    }
+
+    #[test]
+    fn empty_stack_hashes_like_all_zero() {
+        assert_eq!(
+            SiteStack::new().hash(),
+            SiteHash::from_raw(djb2_site_hash(&[0; 5]))
+        );
+    }
+
+    #[test]
+    fn shallow_stack_pads_with_zero() {
+        let stack = SiteStack::from_frames(&[42]);
+        assert_eq!(
+            stack.hash(),
+            SiteHash::from_raw(djb2_site_hash(&[42, 0, 0, 0, 0]))
+        );
+    }
+
+    #[test]
+    fn push_pop_round_trips() {
+        let mut stack = SiteStack::new();
+        let before = stack.hash();
+        stack.push(1);
+        stack.push(2);
+        assert_eq!(stack.pop(), Some(2));
+        assert_eq!(stack.pop(), Some(1));
+        assert_eq!(stack.pop(), None);
+        assert_eq!(stack.hash(), before);
+    }
+
+    #[test]
+    fn site_pair_display() {
+        let p = SitePair::new(SiteHash::from_raw(1), SiteHash::from_raw(2));
+        assert_eq!(p.to_string(), "site:00000001/site:00000002");
+    }
+}

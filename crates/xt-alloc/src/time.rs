@@ -1,0 +1,149 @@
+//! The allocation clock and object identities.
+//!
+//! The paper measures time "by the number of allocations to date" (§3.4) and
+//! identifies the nth allocated object by the object id n (§3.2). Object ids
+//! are what let the error isolator match the same logical object across
+//! independently randomized heaps, where addresses are meaningless.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the allocation clock: the number of `malloc` calls so far.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AllocTime(u64);
+
+impl AllocTime {
+    /// The clock before any allocation.
+    pub const ZERO: AllocTime = AllocTime(0);
+
+    /// Wraps a raw tick count.
+    #[must_use]
+    pub const fn from_raw(ticks: u64) -> Self {
+        AllocTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next tick.
+    #[must_use]
+    pub const fn next(self) -> AllocTime {
+        AllocTime(self.0 + 1)
+    }
+
+    /// Ticks elapsed since `earlier`, saturating at zero.
+    #[must_use]
+    pub const fn since(self, earlier: AllocTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for AllocTime {
+    type Output = AllocTime;
+
+    fn add(self, rhs: u64) -> AllocTime {
+        AllocTime(self.0 + rhs)
+    }
+}
+
+impl Sub<AllocTime> for AllocTime {
+    type Output = u64;
+
+    fn sub(self, rhs: AllocTime) -> u64 {
+        self.0.checked_sub(rhs.0).expect("allocation clock underflow")
+    }
+}
+
+impl fmt::Debug for AllocTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AllocTime({})", self.0)
+    }
+}
+
+impl fmt::Display for AllocTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identity of a heap object: `ObjectId(n)` is the nth object allocated.
+///
+/// Ids are assigned from the allocation clock, so in deterministic
+/// (iterative/replicated) runs the same logical object receives the same id
+/// in every differently-seeded heap — the property §3.2 relies on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectId(u64);
+
+impl ObjectId {
+    /// Wraps a raw ordinal.
+    #[must_use]
+    pub const fn from_raw(n: u64) -> Self {
+        ObjectId(n)
+    }
+
+    /// Returns the raw ordinal.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The allocation time at which this object was created.
+    #[must_use]
+    pub const fn alloc_time(self) -> AllocTime {
+        AllocTime(self.0)
+    }
+}
+
+impl From<AllocTime> for ObjectId {
+    fn from(t: AllocTime) -> ObjectId {
+        ObjectId(t.raw())
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectId({})", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let t = AllocTime::ZERO;
+        assert_eq!(t.next().raw(), 1);
+        assert_eq!((t + 10).raw(), 10);
+        assert_eq!((t + 10) - (t + 4), 6);
+        assert_eq!((t + 4).since(t + 10), 0, "since saturates");
+    }
+
+    #[test]
+    fn object_id_tracks_alloc_time() {
+        let id = ObjectId::from(AllocTime::from_raw(17));
+        assert_eq!(id.raw(), 17);
+        assert_eq!(id.alloc_time(), AllocTime::from_raw(17));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AllocTime::from_raw(3).to_string(), "t3");
+        assert_eq!(ObjectId::from_raw(3).to_string(), "obj#3");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn clock_subtraction_underflow_panics() {
+        let _ = AllocTime::ZERO - AllocTime::from_raw(1);
+    }
+}

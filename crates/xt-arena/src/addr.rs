@@ -1,0 +1,172 @@
+//! Simulated heap addresses.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An address in the simulated address space.
+///
+/// `Addr` plays the role of a raw pointer in the reproduced system: the
+/// allocators hand them out, applications store them (including *inside*
+/// heap objects, which is what the error isolator's pointer-equivalence
+/// analysis looks for), and the [`Arena`](crate::Arena) bounds-checks every
+/// dereference.
+///
+/// # Example
+///
+/// ```
+/// use xt_arena::Addr;
+///
+/// let base = Addr::new(0x1000);
+/// let field = base + 8;
+/// assert_eq!(field.get(), 0x1008);
+/// assert_eq!(field - base, 8);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Never mapped; dereferencing it always faults.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw offset.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw offset.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    #[must_use]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Byte offset of this address from `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is above `self`.
+    #[must_use]
+    pub fn offset_from(self, base: Addr) -> u64 {
+        self.0
+            .checked_sub(base.0)
+            .expect("offset_from: base above address")
+    }
+
+    /// Saturating addition, for speculative pointer arithmetic in tests.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: u64) -> Addr {
+        Addr(self.0.saturating_add(rhs))
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0.checked_add(rhs).expect("address overflow"))
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0.checked_sub(rhs.0).expect("address underflow")
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0.checked_sub(rhs).expect("address underflow"))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> u64 {
+        addr.0
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Addr {
+        Addr(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Addr::new(0x4000);
+        assert_eq!((a + 16) - a, 16);
+        assert_eq!((a + 16) - 16, a);
+        assert_eq!(a.offset_from(Addr::new(0x3000)), 0x1000);
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(1).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "address underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Addr::new(4) - Addr::new(8);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Addr::new(1) < Addr::new(2));
+        assert_eq!(Addr::new(7).get(), 7);
+    }
+
+    #[test]
+    fn formatting_is_hex() {
+        assert_eq!(format!("{}", Addr::new(0xff)), "0xff");
+        assert_eq!(format!("{:?}", Addr::new(0xff)), "Addr(0xff)");
+        assert_eq!(format!("{:x}", Addr::new(0xff)), "ff");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Addr = 0x123u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 0x123);
+    }
+}

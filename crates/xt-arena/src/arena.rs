@@ -1,0 +1,501 @@
+//! The simulated sparse address space.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+use crate::{Addr, MemFault, Rng};
+
+/// Granularity of mappings, mirroring the paper's 4 KiB platform pages.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Lowest address at which regions are placed (keeps null pointers and small
+/// offsets from them unmapped, so `NULL + k` dereferences fault).
+const LOW_ADDR: u64 = 0x0000_1000_0000;
+
+/// Exclusive upper bound of the simulated 47-bit address space.
+const HIGH_ADDR: u64 = 0x7fff_ffff_0000;
+
+/// Attempts at random placement before giving up.
+const PLACEMENT_ATTEMPTS: usize = 4096;
+
+#[derive(Debug)]
+struct Region {
+    data: Vec<u8>,
+}
+
+/// A sparse, bounds-checked simulated address space.
+///
+/// Regions (miniheaps, baseline heap segments) are mapped at random
+/// page-aligned addresses with at least one unmapped guard page between any
+/// two regions. Every access must fall entirely inside one region; anything
+/// else returns a [`MemFault`], the reproduction's SIGSEGV.
+///
+/// # Example
+///
+/// ```
+/// use xt_arena::{Arena, Rng};
+///
+/// # fn main() -> Result<(), xt_arena::MemFault> {
+/// let mut arena = Arena::new();
+/// let mut rng = Rng::new(1);
+/// let r = arena.map(8192, &mut rng);
+/// arena.write_bytes(r + 100, b"hello")?;
+/// assert_eq!(arena.read_bytes(r + 100, 5)?, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Arena {
+    regions: BTreeMap<u64, Region>,
+    /// One-entry translation cache `(base, end)` for the most recently
+    /// accessed region — the simulation's TLB. Without it, every access
+    /// pays a tree lookup whose depth grows with the region count, which
+    /// would tax many-miniheap allocators for a cost real hardware does
+    /// not charge.
+    last_region: Cell<(u64, u64)>,
+}
+
+impl Arena {
+    /// Creates an empty address space.
+    #[must_use]
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Maps a zero-filled region of at least `len` bytes at a random
+    /// page-aligned address and returns its base.
+    ///
+    /// The length is rounded up to a whole number of pages. Placement leaves
+    /// a guard page on either side so overflows that escape a region fault
+    /// instead of corrupting a neighbouring one — the same assumption the
+    /// paper makes for overflows that cross miniheap boundaries (§5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no free slot can be found, which only happens if the
+    /// simulated 47-bit space has been exhausted.
+    pub fn map(&mut self, len: usize, rng: &mut Rng) -> Addr {
+        self.try_map(len, rng)
+            .expect("simulated address space exhausted")
+    }
+
+    /// Fallible variant of [`Arena::map`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::ExhaustedAddressSpace`] if no non-overlapping
+    /// placement is found.
+    pub fn try_map(&mut self, len: usize, rng: &mut Rng) -> Result<Addr, MemFault> {
+        let len = round_up_pages(len);
+        let span = len as u64;
+        let slots = (HIGH_ADDR - LOW_ADDR - span) / PAGE_SIZE as u64;
+        for _ in 0..PLACEMENT_ATTEMPTS {
+            let base = LOW_ADDR + rng.below(slots) * PAGE_SIZE as u64;
+            if self.is_range_free(base, span) {
+                self.regions.insert(
+                    base,
+                    Region {
+                        data: vec![0u8; len],
+                    },
+                );
+                return Ok(Addr::new(base));
+            }
+        }
+        Err(MemFault::ExhaustedAddressSpace { len })
+    }
+
+    /// Maps a zero-filled region at a caller-chosen page-aligned address.
+    ///
+    /// Used by the deterministic baseline allocator and by tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::ExhaustedAddressSpace`] if the range overlaps an
+    /// existing region (including guard pages) or is not page-aligned.
+    pub fn map_at(&mut self, base: Addr, len: usize) -> Result<(), MemFault> {
+        let len = round_up_pages(len);
+        if !base.get().is_multiple_of(PAGE_SIZE as u64)
+            || base.get() < LOW_ADDR
+            || base.get().saturating_add(len as u64) > HIGH_ADDR
+            || !self.is_range_free(base.get(), len as u64)
+        {
+            return Err(MemFault::ExhaustedAddressSpace { len });
+        }
+        self.regions.insert(
+            base.get(),
+            Region {
+                data: vec![0u8; len],
+            },
+        );
+        Ok(())
+    }
+
+    /// Unmaps the region based at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unmapped`] if `base` is not the base of a mapping.
+    pub fn unmap(&mut self, base: Addr) -> Result<(), MemFault> {
+        self.last_region.set((0, 0));
+        self.regions
+            .remove(&base.get())
+            .map(|_| ())
+            .ok_or(MemFault::Unmapped { addr: base })
+    }
+
+    fn is_range_free(&self, base: u64, span: u64) -> bool {
+        // Expand by one guard page on each side.
+        let lo = base.saturating_sub(PAGE_SIZE as u64);
+        let hi = base + span + PAGE_SIZE as u64;
+        // Any region starting before `hi` whose end is after `lo` overlaps.
+        if let Some((&start, region)) = self.regions.range(..hi).next_back() {
+            if start + region.data.len() as u64 > lo {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn locate(&self, addr: Addr, len: usize) -> Result<(u64, usize), MemFault> {
+        let raw = addr.get();
+        let (cached_base, cached_end) = self.last_region.get();
+        if raw >= cached_base && raw < cached_end {
+            if raw + len as u64 > cached_end {
+                return Err(MemFault::OutOfBounds { addr, len });
+            }
+            return Ok((cached_base, (raw - cached_base) as usize));
+        }
+        let (&start, region) = self
+            .regions
+            .range(..=raw)
+            .next_back()
+            .ok_or(MemFault::Unmapped { addr })?;
+        let off = (raw - start) as usize;
+        if off >= region.data.len() {
+            return Err(MemFault::Unmapped { addr });
+        }
+        self.last_region.set((start, start + region.data.len() as u64));
+        if off + len > region.data.len() {
+            return Err(MemFault::OutOfBounds { addr, len });
+        }
+        Ok((start, off))
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is not entirely inside one mapped region.
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> Result<&[u8], MemFault> {
+        let (start, off) = self.locate(addr, len)?;
+        Ok(&self.regions[&start].data[off..off + len])
+    }
+
+    /// Writes `bytes` starting at `addr`. All-or-nothing: a faulting write
+    /// modifies no memory.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is not entirely inside one mapped region.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), MemFault> {
+        let (start, off) = self.locate(addr, bytes.len())?;
+        let region = self.regions.get_mut(&start).expect("located region");
+        region.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if `addr` is unmapped.
+    pub fn read_u8(&self, addr: Addr) -> Result<u8, MemFault> {
+        Ok(self.read_bytes(addr, 1)?[0])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if `addr` is unmapped.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) -> Result<(), MemFault> {
+        self.write_bytes(addr, &[value])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the 4-byte range is not mapped.
+    pub fn read_u32(&self, addr: Addr) -> Result<u32, MemFault> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the 4-byte range is not mapped.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) -> Result<(), MemFault> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the 8-byte range is not mapped.
+    pub fn read_u64(&self, addr: Addr) -> Result<u64, MemFault> {
+        let b = self.read_bytes(addr, 8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the 8-byte range is not mapped.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) -> Result<(), MemFault> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Reads an [`Addr`]-sized pointer value.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the 8-byte range is not mapped.
+    pub fn read_addr(&self, addr: Addr) -> Result<Addr, MemFault> {
+        Ok(Addr::new(self.read_u64(addr)?))
+    }
+
+    /// Stores an [`Addr`]-sized pointer value.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the 8-byte range is not mapped.
+    pub fn write_addr(&mut self, addr: Addr, value: Addr) -> Result<(), MemFault> {
+        self.write_u64(addr, value.get())
+    }
+
+    /// Fills `len` bytes starting at `addr` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is not entirely inside one mapped region.
+    pub fn fill(&mut self, addr: Addr, len: usize, value: u8) -> Result<(), MemFault> {
+        let (start, off) = self.locate(addr, len)?;
+        let region = self.regions.get_mut(&start).expect("located region");
+        region.data[off..off + len].fill(value);
+        Ok(())
+    }
+
+    /// Fills `len` bytes with a repeating little-endian `u32` pattern,
+    /// truncating the final word if `len` is not a multiple of four. This is
+    /// how DieFast writes canaries into freed objects.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is not entirely inside one mapped region.
+    pub fn fill_pattern_u32(
+        &mut self,
+        addr: Addr,
+        len: usize,
+        pattern: u32,
+    ) -> Result<(), MemFault> {
+        let (start, off) = self.locate(addr, len)?;
+        let region = self.regions.get_mut(&start).expect("located region");
+        let bytes = pattern.to_le_bytes();
+        for (i, slot) in region.data[off..off + len].iter_mut().enumerate() {
+            *slot = bytes[i % 4];
+        }
+        Ok(())
+    }
+
+    /// Returns the base and length of the region containing `addr`.
+    #[must_use]
+    pub fn region_of(&self, addr: Addr) -> Option<(Addr, usize)> {
+        let raw = addr.get();
+        let (&start, region) = self.regions.range(..=raw).next_back()?;
+        if raw - start < region.data.len() as u64 {
+            Some((Addr::new(start), region.data.len()))
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if every byte of `[addr, addr + len)` is mapped.
+    #[must_use]
+    pub fn is_mapped(&self, addr: Addr, len: usize) -> bool {
+        self.locate(addr, len.max(1)).is_ok()
+    }
+
+    /// Iterates over `(base, len)` for every mapped region, in address order.
+    pub fn regions(&self) -> impl Iterator<Item = (Addr, usize)> + '_ {
+        self.regions
+            .iter()
+            .map(|(&start, region)| (Addr::new(start), region.data.len()))
+    }
+
+    /// Total mapped bytes.
+    #[must_use]
+    pub fn mapped_bytes(&self) -> usize {
+        self.regions.values().map(|r| r.data.len()).sum()
+    }
+}
+
+fn round_up_pages(len: usize) -> usize {
+    let len = len.max(1);
+    len.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_with_region(len: usize) -> (Arena, Addr) {
+        let mut arena = Arena::new();
+        let mut rng = Rng::new(1234);
+        let base = arena.map(len, &mut rng);
+        (arena, base)
+    }
+
+    #[test]
+    fn map_rounds_to_pages_and_zero_fills() {
+        let (arena, base) = arena_with_region(100);
+        assert_eq!(arena.region_of(base), Some((base, PAGE_SIZE)));
+        assert_eq!(arena.read_bytes(base, PAGE_SIZE).unwrap(), &[0u8; 4096][..]);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let (mut arena, base) = arena_with_region(4096);
+        arena.write_u64(base + 8, 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(arena.read_u64(base + 8).unwrap(), 0x0123_4567_89ab_cdef);
+        arena.write_u32(base + 16, 0xdead_beef).unwrap();
+        assert_eq!(arena.read_u32(base + 16).unwrap(), 0xdead_beef);
+        arena.write_u8(base + 20, 7).unwrap();
+        assert_eq!(arena.read_u8(base + 20).unwrap(), 7);
+        arena.write_addr(base + 24, base).unwrap();
+        assert_eq!(arena.read_addr(base + 24).unwrap(), base);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let arena = Arena::new();
+        let err = arena.read_u8(Addr::new(0x5000_0000)).unwrap_err();
+        assert!(matches!(err, MemFault::Unmapped { .. }));
+    }
+
+    #[test]
+    fn null_dereference_faults() {
+        let arena = Arena::new();
+        assert!(arena.read_u8(Addr::NULL).is_err());
+        assert!(arena.read_u8(Addr::NULL + 16).is_err());
+    }
+
+    #[test]
+    fn access_past_region_end_faults() {
+        let (arena, base) = arena_with_region(4096);
+        let err = arena.read_bytes(base + 4090, 16).unwrap_err();
+        assert!(matches!(err, MemFault::OutOfBounds { .. }));
+        assert!(arena.read_u8(base + 4096).is_err());
+    }
+
+    #[test]
+    fn faulting_write_is_all_or_nothing() {
+        let (mut arena, base) = arena_with_region(4096);
+        arena.fill(base, 4096, 0xaa).unwrap();
+        let err = arena.write_bytes(base + 4092, &[1, 2, 3, 4, 5, 6]).unwrap_err();
+        assert!(matches!(err, MemFault::OutOfBounds { .. }));
+        // Nothing was modified.
+        assert_eq!(arena.read_bytes(base + 4092, 4).unwrap(), &[0xaa; 4]);
+    }
+
+    #[test]
+    fn regions_have_guard_gaps() {
+        let mut arena = Arena::new();
+        let mut rng = Rng::new(7);
+        let bases: Vec<Addr> = (0..64).map(|_| arena.map(PAGE_SIZE, &mut rng)).collect();
+        for (i, &a) in bases.iter().enumerate() {
+            for &b in &bases[i + 1..] {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                assert!(
+                    hi - lo >= 2 * PAGE_SIZE as u64,
+                    "regions at {lo} and {hi} lack a guard gap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmap_then_access_faults() {
+        let (mut arena, base) = arena_with_region(4096);
+        arena.unmap(base).unwrap();
+        assert!(arena.read_u8(base).is_err());
+        assert!(matches!(
+            arena.unmap(base),
+            Err(MemFault::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn map_at_rejects_overlap() {
+        let mut arena = Arena::new();
+        arena.map_at(Addr::new(0x1000_0000), 4096).unwrap();
+        // Same page.
+        assert!(arena.map_at(Addr::new(0x1000_0000), 4096).is_err());
+        // Guard page adjacency is also rejected.
+        assert!(arena.map_at(Addr::new(0x1000_1000), 4096).is_err());
+        // Two pages away is fine.
+        arena.map_at(Addr::new(0x1000_2000), 4096).unwrap();
+    }
+
+    #[test]
+    fn map_at_rejects_unaligned() {
+        let mut arena = Arena::new();
+        assert!(arena.map_at(Addr::new(0x1000_0010), 4096).is_err());
+    }
+
+    #[test]
+    fn fill_pattern_repeats_and_truncates() {
+        let (mut arena, base) = arena_with_region(4096);
+        arena.fill_pattern_u32(base, 10, 0x0403_0201).unwrap();
+        assert_eq!(
+            arena.read_bytes(base, 10).unwrap(),
+            &[1, 2, 3, 4, 1, 2, 3, 4, 1, 2]
+        );
+    }
+
+    #[test]
+    fn region_iteration_and_accounting() {
+        let mut arena = Arena::new();
+        let mut rng = Rng::new(2);
+        arena.map(PAGE_SIZE, &mut rng);
+        arena.map(3 * PAGE_SIZE, &mut rng);
+        assert_eq!(arena.mapped_bytes(), 4 * PAGE_SIZE);
+        assert_eq!(arena.regions().count(), 2);
+        let bases: Vec<u64> = arena.regions().map(|(a, _)| a.get()).collect();
+        assert!(bases.windows(2).all(|w| w[0] < w[1]), "regions not sorted");
+    }
+
+    #[test]
+    fn is_mapped_checks_whole_range() {
+        let (arena, base) = arena_with_region(4096);
+        assert!(arena.is_mapped(base, 4096));
+        assert!(!arena.is_mapped(base, 4097));
+        assert!(!arena.is_mapped(base + 4095, 2));
+        assert!(arena.is_mapped(base + 4095, 1));
+    }
+
+    #[test]
+    fn placement_is_randomized_across_seeds() {
+        let mut a1 = Arena::new();
+        let mut a2 = Arena::new();
+        let b1 = a1.map(4096, &mut Rng::new(1));
+        let b2 = a2.map(4096, &mut Rng::new(2));
+        assert_ne!(b1, b2, "two seeds produced identical placement");
+    }
+}

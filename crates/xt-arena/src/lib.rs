@@ -1,0 +1,43 @@
+//! Simulated sparse address space used by every allocator in the
+//! Exterminator reproduction.
+//!
+//! The paper instruments the real process heap of C programs. Reproducing
+//! that directly in Rust would make every injected memory error undefined
+//! behaviour, so this crate provides the substitute substrate described in
+//! `DESIGN.md`: a 48-bit *simulated* address space ([`Arena`]) made of
+//! sparsely mapped pages. Heap pointers are [`Addr`] values (plain offsets),
+//! and all loads/stores are bounds-checked: an access to unmapped memory
+//! returns a [`MemFault`], which the runtime treats exactly like a SIGSEGV.
+//!
+//! Because miniheaps are mapped at *random* page-aligned addresses (just as
+//! DieHard mmaps its miniheaps), buffer overflows that run off the end of a
+//! mapped region fault, while overflows within a miniheap silently corrupt
+//! whatever the randomized layout placed there — the behaviour Exterminator's
+//! probabilistic isolation depends on.
+//!
+//! # Example
+//!
+//! ```
+//! use xt_arena::{Arena, Rng};
+//!
+//! # fn main() -> Result<(), xt_arena::MemFault> {
+//! let mut arena = Arena::new();
+//! let mut rng = Rng::new(42);
+//! let region = arena.map(4096, &mut rng);
+//! arena.write_u64(region, 0xdead_beef)?;
+//! assert_eq!(arena.read_u64(region)?, 0xdead_beef);
+//! // One byte past the region faults, like a segfault would.
+//! assert!(arena.read_u8(region + 4096).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+mod addr;
+mod arena;
+mod fault;
+mod rng;
+
+pub use addr::Addr;
+pub use arena::{Arena, PAGE_SIZE};
+pub use fault::MemFault;
+pub use rng::Rng;

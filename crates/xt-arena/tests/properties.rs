@@ -1,0 +1,85 @@
+//! Property tests for the simulated address space.
+
+use proptest::prelude::*;
+
+use xt_arena::{Arena, MemFault, Rng, PAGE_SIZE};
+
+proptest! {
+    /// Whatever bytes go in come back out, at any in-bounds offset.
+    #[test]
+    fn write_read_round_trip(
+        seed in 0u64..1000,
+        offset in 0usize..4000,
+        data in proptest::collection::vec(any::<u8>(), 1..96),
+    ) {
+        let mut arena = Arena::new();
+        let base = arena.map(PAGE_SIZE, &mut Rng::new(seed));
+        prop_assume!(offset + data.len() <= PAGE_SIZE);
+        arena.write_bytes(base + offset as u64, &data).unwrap();
+        prop_assert_eq!(arena.read_bytes(base + offset as u64, data.len()).unwrap(), &data[..]);
+    }
+
+    /// Any access crossing the end of a mapping faults and leaves memory
+    /// untouched.
+    #[test]
+    fn out_of_bounds_faults_cleanly(
+        seed in 0u64..1000,
+        overshoot in 1usize..64,
+        len in 1usize..64,
+    ) {
+        let mut arena = Arena::new();
+        let base = arena.map(PAGE_SIZE, &mut Rng::new(seed));
+        let start = base + (PAGE_SIZE + overshoot - len.min(overshoot)) as u64;
+        let result = arena.write_bytes(start, &vec![0xAB; len]);
+        prop_assert!(result.is_err());
+        // The mapped prefix (if any) must be unmodified (all-or-nothing).
+        let mapped_prefix = PAGE_SIZE.saturating_sub((start - base) as usize);
+        if mapped_prefix > 0 && mapped_prefix < len {
+            let tail = arena.read_bytes(start, mapped_prefix).unwrap();
+            prop_assert!(tail.iter().all(|&b| b == 0), "partial write leaked");
+        }
+    }
+
+    /// Randomly placed regions never overlap, pairwise, including guard
+    /// pages.
+    #[test]
+    fn mappings_never_overlap(seed in 0u64..500, sizes in proptest::collection::vec(1usize..40_000, 2..12)) {
+        let mut arena = Arena::new();
+        let mut rng = Rng::new(seed);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for len in sizes {
+            let base = arena.map(len, &mut rng);
+            let (actual_base, actual_len) = arena.region_of(base).unwrap();
+            prop_assert_eq!(actual_base, base);
+            spans.push((base.get(), base.get() + actual_len as u64));
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 + PAGE_SIZE as u64 <= w[1].0, "overlap or missing guard");
+        }
+    }
+
+    /// `fill_pattern_u32` writes exactly the repeating pattern.
+    #[test]
+    fn fill_pattern_is_exact(seed in 0u64..500, pattern in any::<u32>(), len in 1usize..256) {
+        let mut arena = Arena::new();
+        let base = arena.map(PAGE_SIZE, &mut Rng::new(seed));
+        arena.fill_pattern_u32(base, len, pattern).unwrap();
+        let bytes = arena.read_bytes(base, len).unwrap();
+        let expect = pattern.to_le_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            prop_assert_eq!(b, expect[i % 4]);
+        }
+    }
+
+    /// Unmapped addresses always fault with `Unmapped`.
+    #[test]
+    fn unmapped_reads_fault(addr in 0u64..0x0000_1000_0000) {
+        let arena = Arena::new();
+        let faulted = matches!(
+            arena.read_u8(xt_arena::Addr::new(addr)),
+            Err(MemFault::Unmapped { .. })
+        );
+        prop_assert!(faulted);
+    }
+}

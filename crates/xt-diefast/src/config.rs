@@ -1,0 +1,110 @@
+//! DieFast configuration.
+
+use xt_diehard::DieHardConfig;
+
+/// Configuration for a [`DieFastHeap`](crate::DieFastHeap).
+///
+/// # Example
+///
+/// ```
+/// use xt_diefast::DieFastConfig;
+///
+/// // Cumulative-mode setup: canary freed objects half the time.
+/// let config = DieFastConfig::with_seed(1).fill_probability(0.5);
+/// assert_eq!(config.fill_probability, 0.5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DieFastConfig {
+    /// The underlying DieHard heap configuration.
+    pub heap: DieHardConfig,
+    /// Probability `p` of filling a freed object with canaries. The paper
+    /// uses `p = 1` outside cumulative mode and `p = 1/2` inside it (§5.2).
+    pub fill_probability: f64,
+    /// Zero-fill allocated objects. Exterminator always does this: it
+    /// cannot repair uninitialized reads, so it makes them deterministic
+    /// (§2.1).
+    pub zero_fill: bool,
+}
+
+impl DieFastConfig {
+    /// Paper-default configuration (iterative/replicated modes): always
+    /// canary freed objects, zero allocations, `M = 2`.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        DieFastConfig {
+            heap: DieHardConfig::with_seed(seed),
+            fill_probability: 1.0,
+            zero_fill: true,
+        }
+    }
+
+    /// Cumulative-mode configuration: `p = 1/2` and allocation-history
+    /// tracking enabled (the per-run summaries need it).
+    #[must_use]
+    pub fn cumulative_with_seed(seed: u64) -> Self {
+        DieFastConfig {
+            heap: DieHardConfig::with_seed(seed).track_history(true),
+            fill_probability: 0.5,
+            zero_fill: true,
+        }
+    }
+
+    /// Sets the canary fill probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[must_use]
+    pub fn fill_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.fill_probability = p;
+        self
+    }
+
+    /// Sets the underlying heap configuration.
+    #[must_use]
+    pub fn heap(mut self, heap: DieHardConfig) -> Self {
+        self.heap = heap;
+        self
+    }
+
+    /// Enables or disables zero-filling of allocations.
+    #[must_use]
+    pub fn zero_fill(mut self, on: bool) -> Self {
+        self.zero_fill = on;
+        self
+    }
+}
+
+impl Default for DieFastConfig {
+    fn default() -> Self {
+        DieFastConfig::with_seed(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_always_canary() {
+        let c = DieFastConfig::default();
+        assert_eq!(c.fill_probability, 1.0);
+        assert!(c.zero_fill);
+        assert!(!c.heap.track_history);
+    }
+
+    #[test]
+    fn cumulative_preset() {
+        let c = DieFastConfig::cumulative_with_seed(3);
+        assert_eq!(c.fill_probability, 0.5);
+        assert!(c.heap.track_history);
+        assert_eq!(c.heap.seed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let _ = DieFastConfig::default().fill_probability(1.5);
+    }
+}

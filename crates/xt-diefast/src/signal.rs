@@ -1,0 +1,72 @@
+//! Error signals raised by DieFast's canary checks.
+
+use std::fmt;
+
+use xt_arena::Addr;
+use xt_alloc::{AllocTime, ObjectId};
+
+/// Which check discovered the corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// `malloc` found the canary of the slot it was about to return
+    /// corrupted; the slot has been retired (bad object isolation).
+    CanaryCorruptedOnAlloc,
+    /// `free` found the canary of a physically adjacent freed slot
+    /// corrupted — the signature of a buffer overflow from a neighbour.
+    CanaryCorruptedOnFree,
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalKind::CanaryCorruptedOnAlloc => write!(f, "canary corrupted (alloc check)"),
+            SignalKind::CanaryCorruptedOnFree => write!(f, "canary corrupted (free check)"),
+        }
+    }
+}
+
+/// One detected-corruption event.
+///
+/// A signal is DieFast's output to the wider Exterminator runtime: on
+/// receipt, the runtime dumps a heap image and starts error isolation
+/// (paper §3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ErrorSignal {
+    /// Which check fired.
+    pub kind: SignalKind,
+    /// Base address of the corrupted slot.
+    pub addr: Addr,
+    /// Identity of the slot's most recent occupant.
+    pub object_id: ObjectId,
+    /// Allocation clock when the corruption was discovered.
+    pub clock: AllocTime,
+}
+
+impl fmt::Display for ErrorSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {} ({}, {})",
+            self.kind, self.addr, self.object_id, self.clock
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let s = ErrorSignal {
+            kind: SignalKind::CanaryCorruptedOnAlloc,
+            addr: Addr::new(0x1234),
+            object_id: ObjectId::from_raw(7),
+            clock: AllocTime::from_raw(99),
+        };
+        let text = s.to_string();
+        assert!(text.contains("0x1234"));
+        assert!(text.contains("obj#7"));
+        assert!(text.contains("t99"));
+    }
+}

@@ -1,0 +1,121 @@
+//! DieHard heap configuration.
+
+/// Configuration for a [`DieHardHeap`](crate::DieHardHeap).
+///
+/// The defaults mirror the paper's evaluation setup: heap multiplier
+/// `M = 2` (§7.1), 32-slot initial miniheaps, and a 64 KiB largest size
+/// class.
+///
+/// # Example
+///
+/// ```
+/// use xt_diehard::DieHardConfig;
+///
+/// let config = DieHardConfig::with_seed(42).multiplier(4.0).track_history(true);
+/// assert_eq!(config.seed, 42);
+/// assert_eq!(config.multiplier, 4.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DieHardConfig {
+    /// Heap multiplier `M`: each size class is kept at most `1/M` full.
+    pub multiplier: f64,
+    /// Seed for all of the heap's randomized decisions (placement, probing).
+    pub seed: u64,
+    /// Slots in the first miniheap of each class; growth doubles from there.
+    pub initial_slots: usize,
+    /// Largest supported request, as a power of two exponent.
+    pub max_size_log2: u32,
+    /// Record a full [`ObjectLog`](crate::ObjectLog) of every allocation and
+    /// free. Required by cumulative-mode isolation; off by default because
+    /// Fig. 7's overhead measurements do not include it.
+    pub track_history: bool,
+}
+
+impl DieHardConfig {
+    /// Paper-default configuration with the given random seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        DieHardConfig {
+            multiplier: 2.0,
+            seed,
+            initial_slots: 32,
+            max_size_log2: 16,
+            track_history: false,
+        }
+    }
+
+    /// Sets the heap multiplier `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 1.0`; DieHard requires over-provisioning.
+    #[must_use]
+    pub fn multiplier(mut self, m: f64) -> Self {
+        assert!(m >= 1.0, "heap multiplier must be at least 1");
+        self.multiplier = m;
+        self
+    }
+
+    /// Sets the initial miniheap size in slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    #[must_use]
+    pub fn initial_slots(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "initial miniheap needs at least one slot");
+        self.initial_slots = slots;
+        self
+    }
+
+    /// Enables or disables full allocation-history tracking.
+    #[must_use]
+    pub fn track_history(mut self, on: bool) -> Self {
+        self.track_history = on;
+        self
+    }
+
+    /// Largest request size in bytes.
+    #[must_use]
+    pub fn max_request(&self) -> usize {
+        1usize << self.max_size_log2
+    }
+}
+
+impl Default for DieHardConfig {
+    fn default() -> Self {
+        DieHardConfig::with_seed(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DieHardConfig::default();
+        assert_eq!(c.multiplier, 2.0);
+        assert_eq!(c.initial_slots, 32);
+        assert_eq!(c.max_request(), 65536);
+        assert!(!c.track_history);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = DieHardConfig::with_seed(9)
+            .multiplier(3.0)
+            .initial_slots(8)
+            .track_history(true);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.multiplier, 3.0);
+        assert_eq!(c.initial_slots, 8);
+        assert!(c.track_history);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_under_provisioning() {
+        let _ = DieHardConfig::default().multiplier(0.5);
+    }
+}

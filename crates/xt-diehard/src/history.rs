@@ -1,0 +1,209 @@
+//! Full allocation history, the raw material of cumulative-mode isolation.
+//!
+//! In cumulative mode (paper §5) Exterminator cannot rely on object ids
+//! matching across runs, so it reasons per allocation *site* over every
+//! object a run ever created. The `ObjectLog` records exactly the facts the
+//! §5.1 formulas consume: for each object, its allocation site and time, and
+//! which miniheap/slot the randomized placement chose; for each free, the
+//! time, site, and whether DieFast canaried the slot.
+
+use std::collections::HashMap;
+
+use xt_alloc::{AllocTime, ObjectId, SiteHash};
+
+use crate::MiniHeapId;
+
+/// The deallocation half of an object's history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreeRecord {
+    /// Call site of the free.
+    pub free_site: SiteHash,
+    /// Clock at the free.
+    pub free_time: AllocTime,
+    /// Whether DieFast filled the slot with canaries afterwards.
+    pub canaried: bool,
+}
+
+/// One object's complete allocation history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// Identity (allocation ordinal).
+    pub id: ObjectId,
+    /// Allocation call site.
+    pub alloc_site: SiteHash,
+    /// Clock at allocation.
+    pub alloc_time: AllocTime,
+    /// Size class.
+    pub size_class: u32,
+    /// Bytes requested.
+    pub requested: u32,
+    /// Miniheap the object landed in.
+    pub miniheap: MiniHeapId,
+    /// Slot index within the miniheap.
+    pub slot: u32,
+    /// Deallocation record, if freed.
+    pub free: Option<FreeRecord>,
+}
+
+/// Append-only log of every allocation and free in one run.
+///
+/// # Example
+///
+/// ```
+/// use xt_alloc::{Heap, SiteHash};
+/// use xt_diehard::{DieHardConfig, DieHardHeap};
+///
+/// # fn main() -> Result<(), xt_alloc::HeapError> {
+/// let mut heap = DieHardHeap::new(DieHardConfig::with_seed(3).track_history(true));
+/// let p = heap.malloc(24, SiteHash::from_raw(7))?;
+/// heap.free(p, SiteHash::from_raw(8));
+/// let log = heap.history().expect("history enabled");
+/// let rec = log.records().next().unwrap();
+/// assert_eq!(rec.alloc_site, SiteHash::from_raw(7));
+/// assert_eq!(rec.free.unwrap().free_site, SiteHash::from_raw(8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ObjectLog {
+    records: Vec<ObjectRecord>,
+    by_id: HashMap<ObjectId, usize>,
+}
+
+impl ObjectLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjectLog::default()
+    }
+
+    /// Appends an allocation record.
+    pub fn record_alloc(&mut self, record: ObjectRecord) {
+        self.by_id.insert(record.id, self.records.len());
+        self.records.push(record);
+    }
+
+    /// Marks the object as freed.
+    pub fn record_free(&mut self, id: ObjectId, free: FreeRecord) {
+        if let Some(&idx) = self.by_id.get(&id) {
+            self.records[idx].free = Some(free);
+        }
+    }
+
+    /// Marks the freed object's slot as canary-filled.
+    pub fn record_canaried(&mut self, id: ObjectId) {
+        if let Some(&idx) = self.by_id.get(&id) {
+            if let Some(free) = self.records[idx].free.as_mut() {
+                free.canaried = true;
+            }
+        }
+    }
+
+    /// Looks up one object's record.
+    #[must_use]
+    pub fn get(&self, id: ObjectId) -> Option<&ObjectRecord> {
+        self.by_id.get(&id).map(|&idx| &self.records[idx])
+    }
+
+    /// Iterates over all records in allocation order.
+    pub fn records(&self) -> impl Iterator<Item = &ObjectRecord> {
+        self.records.iter()
+    }
+
+    /// Number of recorded allocations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records of objects allocated at `site`.
+    pub fn records_from_site(&self, site: SiteHash) -> impl Iterator<Item = &ObjectRecord> {
+        self.records.iter().filter(move |r| r.alloc_site == site)
+    }
+
+    /// The distinct allocation sites seen, in first-seen order. The
+    /// cumulative classifier's prior is `1/(cN)` where `N` is this count.
+    #[must_use]
+    pub fn distinct_alloc_sites(&self) -> Vec<SiteHash> {
+        let mut seen = std::collections::HashSet::new();
+        let mut sites = Vec::new();
+        for r in &self.records {
+            if seen.insert(r.alloc_site) {
+                sites.push(r.alloc_site);
+            }
+        }
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, site: u32) -> ObjectRecord {
+        ObjectRecord {
+            id: ObjectId::from_raw(id),
+            alloc_site: SiteHash::from_raw(site),
+            alloc_time: AllocTime::from_raw(id),
+            size_class: 0,
+            requested: 16,
+            miniheap: MiniHeapId::new(0, 0),
+            slot: 0,
+            free: None,
+        }
+    }
+
+    #[test]
+    fn alloc_then_free_round_trip() {
+        let mut log = ObjectLog::new();
+        log.record_alloc(record(1, 100));
+        log.record_free(
+            ObjectId::from_raw(1),
+            FreeRecord {
+                free_site: SiteHash::from_raw(200),
+                free_time: AllocTime::from_raw(5),
+                canaried: false,
+            },
+        );
+        log.record_canaried(ObjectId::from_raw(1));
+        let rec = log.get(ObjectId::from_raw(1)).unwrap();
+        let free = rec.free.unwrap();
+        assert_eq!(free.free_site, SiteHash::from_raw(200));
+        assert!(free.canaried);
+    }
+
+    #[test]
+    fn unknown_ids_are_ignored() {
+        let mut log = ObjectLog::new();
+        log.record_free(
+            ObjectId::from_raw(9),
+            FreeRecord {
+                free_site: SiteHash::UNKNOWN,
+                free_time: AllocTime::ZERO,
+                canaried: false,
+            },
+        );
+        log.record_canaried(ObjectId::from_raw(9));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn site_queries() {
+        let mut log = ObjectLog::new();
+        log.record_alloc(record(1, 100));
+        log.record_alloc(record(2, 200));
+        log.record_alloc(record(3, 100));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.records_from_site(SiteHash::from_raw(100)).count(), 2);
+        assert_eq!(
+            log.distinct_alloc_sites(),
+            vec![SiteHash::from_raw(100), SiteHash::from_raw(200)]
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Out-of-band per-slot metadata (paper Fig. 1).
+//!
+//! Exterminator records five fields per object beyond DieHard's allocation
+//! bit: the object id, allocation and deallocation sites, the deallocation
+//! time, and whether the freed slot was filled with canaries. We add the
+//! requested size (DieHard rounds to a power of two) and a tombstone for
+//! *bad object isolation* (§3.3).
+
+use xt_alloc::{AllocTime, ObjectId, SiteHash};
+
+/// Life-cycle state of one slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SlotState {
+    /// Never allocated, or freed. If [`SlotMeta::ever_used`] is set the
+    /// remaining metadata describes the most recent occupant.
+    #[default]
+    Free,
+    /// Currently allocated.
+    Live,
+    /// Permanently retired by DieFast's bad-object isolation: a canary
+    /// corruption was discovered here and the contents are preserved as
+    /// evidence; the slot is never reused.
+    Bad,
+}
+
+/// Metadata for one object slot, stored outside the heap data itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct SlotMeta {
+    /// Current state.
+    pub state: SlotState,
+    /// Identity of the current (or most recent) occupant.
+    pub object_id: ObjectId,
+    /// Call site of the allocation.
+    pub alloc_site: SiteHash,
+    /// Call site of the deallocation (meaningful once freed).
+    pub free_site: SiteHash,
+    /// Clock at allocation.
+    pub alloc_time: AllocTime,
+    /// Clock at deallocation (meaningful once freed).
+    pub free_time: AllocTime,
+    /// Whether DieFast filled this freed slot with canary words. This is the
+    /// per-object "canary bitset" bit of Fig. 1.
+    pub canaried: bool,
+    /// Bytes actually requested (≤ slot size).
+    pub requested: u32,
+    /// Whether the slot has ever held an object.
+    pub ever_used: bool,
+}
+
+impl SlotMeta {
+    /// `true` if the slot currently holds a live object.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.state == SlotState::Live
+    }
+
+    /// `true` if the slot is free *and* previously held an object, i.e. its
+    /// metadata (sites, times) describes a real former occupant.
+    #[must_use]
+    pub fn is_freed_object(&self) -> bool {
+        self.state == SlotState::Free && self.ever_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_untouched_free_slot() {
+        let meta = SlotMeta::default();
+        assert_eq!(meta.state, SlotState::Free);
+        assert!(!meta.ever_used);
+        assert!(!meta.is_live());
+        assert!(!meta.is_freed_object());
+    }
+
+    #[test]
+    fn state_predicates() {
+        let mut meta = SlotMeta {
+            state: SlotState::Live,
+            ever_used: true,
+            ..SlotMeta::default()
+        };
+        assert!(meta.is_live());
+        assert!(!meta.is_freed_object());
+        meta.state = SlotState::Free;
+        assert!(meta.is_freed_object());
+        meta.state = SlotState::Bad;
+        assert!(!meta.is_live());
+        assert!(!meta.is_freed_object());
+    }
+}

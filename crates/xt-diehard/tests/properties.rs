@@ -1,0 +1,145 @@
+//! Property tests for the DieHard allocator's invariants.
+
+use proptest::prelude::*;
+
+use xt_arena::Addr;
+use xt_alloc::{FreeOutcome, Heap, Rng, SiteHash};
+use xt_diehard::{class_object_size, size_class_of, DieHardConfig, DieHardHeap};
+
+/// A randomized malloc/free script.
+#[derive(Clone, Debug)]
+enum Op {
+    Malloc(usize),
+    FreeNth(usize),
+    DoubleFreeNth(usize),
+    WildFree(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..512).prop_map(Op::Malloc),
+        (0usize..64).prop_map(Op::FreeNth),
+        (0usize..64).prop_map(Op::DoubleFreeNth),
+        (0u64..u64::MAX / 2).prop_map(Op::WildFree),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary scripts: live objects never alias, data written to
+    /// one object is never visible in another, occupancy respects the 1/M
+    /// bound, and invalid/double frees are always benign.
+    #[test]
+    fn allocator_invariants_hold(seed in 0u64..10_000, ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut heap = DieHardHeap::new(DieHardConfig::with_seed(seed));
+        let site = SiteHash::from_raw(1);
+        let mut live: Vec<(Addr, usize, u64)> = Vec::new();
+        let mut freed: Vec<Addr> = Vec::new();
+        let mut stamp = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Malloc(size) => {
+                    let ptr = heap.malloc(size, site).unwrap();
+                    // No overlap with any live object.
+                    for &(other, other_size, _) in &live {
+                        let sep = ptr >= other + class_object_size(size_class_of(other_size)) as u64
+                            || other >= ptr + class_object_size(size_class_of(size)) as u64;
+                        prop_assert!(sep, "objects alias: {ptr} vs {other}");
+                    }
+                    stamp += 1;
+                    heap.arena_mut().write_u64(ptr, stamp).unwrap();
+                    if size >= 16 {
+                        heap.arena_mut().write_u64(ptr + (size - 8) as u64, stamp).unwrap();
+                    }
+                    live.push((ptr, size, stamp));
+                }
+                Op::FreeNth(n) => {
+                    if live.is_empty() { continue; }
+                    let (ptr, _, _) = live.swap_remove(n % live.len());
+                    prop_assert_eq!(heap.free(ptr, site), FreeOutcome::Freed);
+                    freed.push(ptr);
+                }
+                Op::DoubleFreeNth(n) => {
+                    if freed.is_empty() { continue; }
+                    let ptr = freed[n % freed.len()];
+                    // Slot may have been reused; either way the heap
+                    // survives and live data stays intact (checked below).
+                    let _ = heap.free(ptr, site);
+                    live.retain(|&(p, _, _)| p != ptr);
+                }
+                Op::WildFree(raw) => {
+                    // Wild frees never free a live object out from under us
+                    // unless they happen to hit an exact live base (the
+                    // allocator cannot distinguish that from a real free).
+                    let addr = Addr::new(raw);
+                    if live.iter().all(|&(p, _, _)| p != addr) {
+                        let out = heap.free(addr, site);
+                        prop_assert!(
+                            out == FreeOutcome::InvalidFreeIgnored
+                                || out == FreeOutcome::DoubleFreeIgnored,
+                            "wild free was honoured: {out:?}"
+                        );
+                    }
+                }
+            }
+            // Occupancy bound: every class stays within 1/M (+1 slot).
+            prop_assert!(
+                heap.total_occupied() as f64 * 2.0 <= heap.total_capacity() as f64 + 2.0,
+                "over-occupied: {}/{}", heap.total_occupied(), heap.total_capacity()
+            );
+        }
+        // All live data still intact at the end.
+        for &(ptr, size, stamp) in &live {
+            prop_assert_eq!(heap.arena().read_u64(ptr).unwrap(), stamp);
+            if size >= 16 {
+                prop_assert_eq!(heap.arena().read_u64(ptr + (size - 8) as u64).unwrap(), stamp);
+            }
+        }
+        prop_assert_eq!(heap.live_objects(), live.len());
+    }
+
+    /// The same seed and script always produce the same addresses
+    /// (replay determinism — the foundation of iterative mode).
+    #[test]
+    fn identical_seeds_replay_identically(seed in 0u64..10_000, sizes in proptest::collection::vec(1usize..256, 1..60)) {
+        let mut a = DieHardHeap::new(DieHardConfig::with_seed(seed));
+        let mut b = DieHardHeap::new(DieHardConfig::with_seed(seed));
+        let site = SiteHash::from_raw(2);
+        for &size in &sizes {
+            prop_assert_eq!(a.malloc(size, site).unwrap(), b.malloc(size, site).unwrap());
+        }
+    }
+
+    /// Two different seeds rarely agree on placement (full randomization).
+    #[test]
+    fn different_seeds_place_differently(seed in 0u64..10_000) {
+        let mut a = DieHardHeap::new(DieHardConfig::with_seed(seed));
+        let mut b = DieHardHeap::new(DieHardConfig::with_seed(seed ^ 0xFFFF_FFFF));
+        let site = SiteHash::from_raw(3);
+        let same = (0..32)
+            .filter(|_| a.malloc(16, site).unwrap() == b.malloc(16, site).unwrap())
+            .count();
+        prop_assert!(same < 4, "{same}/32 identical placements across seeds");
+    }
+
+    /// Object ids equal the allocation ordinal regardless of script.
+    #[test]
+    fn object_ids_are_ordinals(seed in 0u64..10_000, n in 1usize..80) {
+        let mut heap = DieHardHeap::new(DieHardConfig::with_seed(seed));
+        let site = SiteHash::from_raw(4);
+        let mut rng = Rng::new(seed);
+        let mut ptrs = Vec::new();
+        for i in 1..=n as u64 {
+            let ptr = heap.malloc(16 + rng.below_usize(64), site).unwrap();
+            let loc = heap.location_of(ptr).unwrap();
+            prop_assert_eq!(heap.meta(loc).object_id.raw(), i);
+            ptrs.push(ptr);
+            if rng.chance(0.3) {
+                let victim = ptrs.swap_remove(rng.below_usize(ptrs.len()));
+                heap.free(victim, site);
+            }
+        }
+    }
+}

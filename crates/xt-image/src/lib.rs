@@ -1,0 +1,27 @@
+//! Heap images (paper §3.4): the snapshot files Exterminator's error
+//! isolator consumes.
+//!
+//! "If Exterminator discovers an error when executing a program, or if
+//! DieFast signals an error, Exterminator forces the process to emit a heap
+//! image file. This file is akin to a core dump, but contains less data
+//! (e.g., no code), and is organized to simplify processing."
+//!
+//! A [`HeapImage`] captures, for every slot of every miniheap: its contents,
+//! its life-cycle state, and the out-of-band metadata of Fig. 1 (object id,
+//! allocation/deallocation sites, deallocation time, canary bit), plus the
+//! global allocation clock and the execution's canary value. Images support:
+//!
+//! * object lookup by id — how the isolator matches "the same logical
+//!   object" across independently randomized heaps;
+//! * address resolution — how values stored in heap memory are classified
+//!   as pointers to the same logical target across heaps;
+//! * canary-corruption scanning — the first phase of both isolation
+//!   algorithm families;
+//! * a compact binary serialization (images replace core dumps, so they
+//!   must be writable to disk and shippable).
+
+mod format;
+mod image;
+
+pub use format::{ByteReader, ByteWriter, ImageDecodeError};
+pub use image::{CanaryCorruption, HeapImage, MiniHeapImage, ObjectRef, ResolvedAddr, SlotImage};

@@ -1,0 +1,234 @@
+//! Isolation results and their conversion to runtime patches.
+
+use std::error::Error;
+use std::fmt;
+
+use xt_alloc::{AllocTime, ObjectId, SiteHash, SitePair};
+use xt_patch::PatchTable;
+
+/// An isolated buffer overflow: culprit object, extent, and the pad that
+/// contains it (§4.1, §6.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverflowReport {
+    /// The overflowing object.
+    pub culprit_id: ObjectId,
+    /// Allocation site of the culprit — the key of the pad-table entry.
+    pub alloc_site: SiteHash,
+    /// Bytes the culprit requested.
+    pub requested: u32,
+    /// Maximum observed distance from the culprit's base to the end of the
+    /// corruption, across all images.
+    pub max_extent: u64,
+    /// Pad bytes needed to contain the overflow:
+    /// `max_extent − requested`.
+    pub pad: u32,
+    /// Confidence score `1 − (1/256)^S` over the total detected
+    /// overflow-string length `S`.
+    pub score: f64,
+    /// Total corrupted bytes supporting this culprit across all images.
+    pub evidence_bytes: u64,
+}
+
+/// An isolated dangling-pointer error (§4.2, §6.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DanglingReport {
+    /// The prematurely freed object.
+    pub object_id: ObjectId,
+    /// Where it was allocated.
+    pub alloc_site: SiteHash,
+    /// Where it was (prematurely) freed.
+    pub free_site: SiteHash,
+    /// When it was freed (`τ`).
+    pub free_time: AllocTime,
+    /// The last allocation time observed (`T`).
+    pub last_alloc_time: AllocTime,
+    /// Lifetime extension: `2 × (T − τ) + 1` ticks (§6.2).
+    pub deferral: u64,
+}
+
+impl DanglingReport {
+    /// Computes the paper's deferral for a free at `free_time` observed to
+    /// be premature at `last_alloc_time`: `2 × (T − τ) + 1`.
+    #[must_use]
+    pub fn paper_deferral(free_time: AllocTime, last_alloc_time: AllocTime) -> u64 {
+        2 * last_alloc_time.since(free_time) + 1
+    }
+}
+
+/// The combined result of one isolation pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IsolationReport {
+    /// Overflow culprits, highest score first.
+    pub overflows: Vec<OverflowReport>,
+    /// Dangling-pointer overwrites.
+    pub dangling: Vec<DanglingReport>,
+}
+
+impl IsolationReport {
+    /// `true` if nothing was isolated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.overflows.is_empty() && self.dangling.is_empty()
+    }
+
+    /// Generates the runtime patches (§6.1–6.2): a pad for the
+    /// *highest-ranked* overflow culprit with a non-zero score, plus a
+    /// deferral for every isolated dangling error.
+    #[must_use]
+    pub fn to_patches(&self) -> PatchTable {
+        let mut patches = PatchTable::new();
+        if let Some(top) = self
+            .overflows
+            .iter()
+            .filter(|o| o.score > 0.0 && o.pad > 0)
+            .max_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.evidence_bytes.cmp(&b.evidence_bytes))
+            })
+        {
+            patches.add_pad(top.alloc_site, top.pad);
+        }
+        for d in &self.dangling {
+            patches.add_deferral(SitePair::new(d.alloc_site, d.free_site), d.deferral);
+        }
+        patches
+    }
+}
+
+impl fmt::Display for IsolationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no errors isolated");
+        }
+        for o in &self.overflows {
+            writeln!(
+                f,
+                "overflow: {} from {} (requested {}, extent {}, pad {}, score {:.6})",
+                o.culprit_id, o.alloc_site, o.requested, o.max_extent, o.pad, o.score
+            )?;
+        }
+        for d in &self.dangling {
+            writeln!(
+                f,
+                "dangling: {} {} freed at {} ({}), deferral {}",
+                d.object_id, d.alloc_site, d.free_time, d.free_site, d.deferral
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Why isolation could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IsolationError {
+    /// Fewer than two heap images were supplied.
+    NotEnoughImages {
+        /// Number of images supplied.
+        got: usize,
+    },
+    /// The images disagree on configuration (multiplier, fill probability)
+    /// and cannot come from replicas/replays of one execution.
+    MismatchedImages,
+}
+
+impl fmt::Display for IsolationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsolationError::NotEnoughImages { got } => {
+                write!(f, "iterative isolation needs at least 2 heap images, got {got}")
+            }
+            IsolationError::MismatchedImages => {
+                write!(f, "heap images come from differently-configured heaps")
+            }
+        }
+    }
+}
+
+impl Error for IsolationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overflow(site: u32, pad: u32, score: f64) -> OverflowReport {
+        OverflowReport {
+            culprit_id: ObjectId::from_raw(1),
+            alloc_site: SiteHash::from_raw(site),
+            requested: 16,
+            max_extent: 16 + u64::from(pad),
+            pad,
+            score,
+            evidence_bytes: u64::from(pad),
+        }
+    }
+
+    #[test]
+    fn paper_deferral_formula() {
+        // §6.2's example: freed 10 allocations too soon before a crash at
+        // T: extension = 2×(T−τ)+1 = 21.
+        let tau = AllocTime::from_raw(1010);
+        let t = AllocTime::from_raw(1020);
+        assert_eq!(DanglingReport::paper_deferral(tau, t), 21);
+    }
+
+    #[test]
+    fn to_patches_takes_top_ranked_overflow_only() {
+        let report = IsolationReport {
+            overflows: vec![overflow(1, 6, 0.5), overflow(2, 8, 0.9)],
+            dangling: vec![],
+        };
+        let patches = report.to_patches();
+        assert_eq!(patches.pad_for(SiteHash::from_raw(2)), 8);
+        assert_eq!(patches.pad_for(SiteHash::from_raw(1)), 0, "only the top");
+    }
+
+    #[test]
+    fn to_patches_skips_zero_scores() {
+        let report = IsolationReport {
+            overflows: vec![overflow(1, 6, 0.0)],
+            dangling: vec![],
+        };
+        assert!(report.to_patches().is_empty());
+    }
+
+    #[test]
+    fn to_patches_defers_all_dangling() {
+        let report = IsolationReport {
+            overflows: vec![],
+            dangling: vec![DanglingReport {
+                object_id: ObjectId::from_raw(3),
+                alloc_site: SiteHash::from_raw(0xA),
+                free_site: SiteHash::from_raw(0xF),
+                free_time: AllocTime::from_raw(10),
+                last_alloc_time: AllocTime::from_raw(20),
+                deferral: 21,
+            }],
+        };
+        let patches = report.to_patches();
+        assert_eq!(
+            patches.deferral_for(SitePair::new(
+                SiteHash::from_raw(0xA),
+                SiteHash::from_raw(0xF)
+            )),
+            21
+        );
+    }
+
+    #[test]
+    fn display_covers_both_kinds() {
+        let mut report = IsolationReport::default();
+        assert_eq!(report.to_string(), "no errors isolated");
+        report.overflows.push(overflow(1, 6, 0.99));
+        assert!(report.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(IsolationError::NotEnoughImages { got: 1 }
+            .to_string()
+            .contains("got 1"));
+        assert!(!IsolationError::MismatchedImages.to_string().is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! Runtime patches (paper §6): the output of error isolation and the input
+//! of the correcting allocator.
+//!
+//! A patch is not code — it is a pair of tables keyed by the 32-bit
+//! call-site hashes of §3.2:
+//!
+//! * the **pad table** maps an allocation site to the number of extra bytes
+//!   the correcting allocator must add to requests from that site, which
+//!   contains any (finite, forward) overflow the site produces;
+//! * the **deferral table** maps an (allocation site, deallocation site)
+//!   pair to a number of allocation-clock ticks by which frees of such
+//!   objects are delayed, which prevents premature reuse through dangling
+//!   pointers.
+//!
+//! Patches *compose*: taking the per-key maximum of two patch tables yields
+//! a table that corrects every error either one corrects (§6.4,
+//! "collaborative correction"). [`PatchTable::merge`] implements exactly
+//! that join, making patch tables a lattice; the property tests verify the
+//! lattice laws.
+//!
+//! # Example
+//!
+//! ```
+//! use xt_alloc::{SiteHash, SitePair};
+//! use xt_patch::PatchTable;
+//!
+//! let mut mine = PatchTable::new();
+//! mine.add_pad(SiteHash::from_raw(0xAA), 6);
+//! let mut yours = PatchTable::new();
+//! yours.add_pad(SiteHash::from_raw(0xAA), 4);
+//! yours.add_deferral(
+//!     SitePair::new(SiteHash::from_raw(1), SiteHash::from_raw(2)),
+//!     21,
+//! );
+//! mine.merge(&yours);
+//! assert_eq!(mine.pad_for(SiteHash::from_raw(0xAA)), 6); // max wins
+//! assert_eq!(mine.len(), 2);
+//!
+//! // Round-trips through the on-disk format.
+//! let text = mine.to_text();
+//! assert_eq!(PatchTable::from_text(&text).unwrap(), mine);
+//! ```
+
+mod report;
+
+pub use report::{render_bug_report, SiteNames};
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use xt_alloc::{SiteHash, SitePair};
+
+/// Magic first line of the patch file format.
+const HEADER: &str = "# exterminator runtime patches v1";
+
+/// A set of runtime patches: pad table plus deferral table.
+///
+/// See the [crate docs](self) for the semantics. Entries only ever grow
+/// (max-merge), mirroring §6.1: "If a runtime patch has already been
+/// generated for a given allocation site, Exterminator uses the maximum
+/// padding value encountered so far."
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PatchTable {
+    pads: BTreeMap<SiteHash, u32>,
+    deferrals: BTreeMap<SitePair, u64>,
+}
+
+impl PatchTable {
+    /// Creates an empty patch table.
+    #[must_use]
+    pub fn new() -> Self {
+        PatchTable::default()
+    }
+
+    /// Total number of patch entries (pads + deferrals).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pads.len() + self.deferrals.len()
+    }
+
+    /// `true` if no patches are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pads.is_empty() && self.deferrals.is_empty()
+    }
+
+    /// Records that allocations from `site` need at least `pad` extra
+    /// bytes. Keeps the maximum of all recorded values.
+    ///
+    /// Returns `true` if the table changed.
+    pub fn add_pad(&mut self, site: SiteHash, pad: u32) -> bool {
+        if pad == 0 {
+            return false;
+        }
+        let entry = self.pads.entry(site).or_insert(0);
+        if pad > *entry {
+            *entry = pad;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records that frees of objects allocated at `pair.alloc` and freed at
+    /// `pair.free` must be deferred by at least `ticks` allocations. Keeps
+    /// the maximum.
+    ///
+    /// Returns `true` if the table changed.
+    pub fn add_deferral(&mut self, pair: SitePair, ticks: u64) -> bool {
+        if ticks == 0 {
+            return false;
+        }
+        let entry = self.deferrals.entry(pair).or_insert(0);
+        if ticks > *entry {
+            *entry = ticks;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pad (extra bytes) for allocations from `site`; zero if unpatched.
+    #[must_use]
+    pub fn pad_for(&self, site: SiteHash) -> u32 {
+        self.pads.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Deferral (clock ticks) for frees matching `pair`; zero if unpatched.
+    #[must_use]
+    pub fn deferral_for(&self, pair: SitePair) -> u64 {
+        self.deferrals.get(&pair).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(site, pad)` entries in site order.
+    pub fn pads(&self) -> impl Iterator<Item = (SiteHash, u32)> + '_ {
+        self.pads.iter().map(|(&s, &p)| (s, p))
+    }
+
+    /// Iterates over `(pair, ticks)` entries in pair order.
+    pub fn deferrals(&self) -> impl Iterator<Item = (SitePair, u64)> + '_ {
+        self.deferrals.iter().map(|(&p, &d)| (p, d))
+    }
+
+    /// Collaborative correction (§6.4): folds `other` into `self` by taking
+    /// the per-key maximum. The result corrects every error either input
+    /// corrects.
+    pub fn merge(&mut self, other: &PatchTable) {
+        for (&site, &pad) in &other.pads {
+            self.add_pad(site, pad);
+        }
+        for (&pair, &ticks) in &other.deferrals {
+            self.add_deferral(pair, ticks);
+        }
+    }
+
+    /// Merges any number of patch tables — the collaborative-correction
+    /// utility the paper describes for combining patches "generated by
+    /// multiple users".
+    #[must_use]
+    pub fn merged<'a>(tables: impl IntoIterator<Item = &'a PatchTable>) -> PatchTable {
+        let mut out = PatchTable::new();
+        for t in tables {
+            out.merge(t);
+        }
+        out
+    }
+
+    /// Folds a *newly isolated* patch set into the currently applied one,
+    /// **escalating** deferrals instead of maxing them.
+    ///
+    /// This implements the iteration of §6.2: once a deferral is applied,
+    /// the dangled object's *recorded* deallocation time moves to the
+    /// deferred point, so a re-isolated deferral is measured from there.
+    /// Summing (`applied + new`) makes the total extension grow
+    /// geometrically across rounds — "Exterminator will compute a correct
+    /// patch in a logarithmic number of executions" — whereas taking the
+    /// maximum (right for combining *independent* users' patches, §6.4)
+    /// would plateau. Pads still merge by maximum: they are measured from
+    /// the object base, which patching does not shift.
+    pub fn escalate(&mut self, newly_isolated: &PatchTable) {
+        for (site, pad) in newly_isolated.pads() {
+            self.add_pad(site, pad);
+        }
+        for (pair, ticks) in newly_isolated.deferrals() {
+            let total = self.deferral_for(pair).saturating_add(ticks);
+            self.add_deferral(pair, total);
+        }
+    }
+
+    /// Serializes to the textual patch-file format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (site, pad) in &self.pads {
+            out.push_str(&format!("pad {:08x} {pad}\n", site.raw()));
+        }
+        for (pair, ticks) in &self.deferrals {
+            out.push_str(&format!(
+                "defer {:08x} {:08x} {ticks}\n",
+                pair.alloc.raw(),
+                pair.free.raw()
+            ));
+        }
+        out
+    }
+
+    /// Parses the textual patch-file format produced by
+    /// [`PatchTable::to_text`]. Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatchParseError`] naming the offending line.
+    pub fn from_text(text: &str) -> Result<Self, PatchParseError> {
+        let mut table = PatchTable::new();
+        for (lineno, raw_line) in text.lines().enumerate() {
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let fail = |reason: &str| PatchParseError {
+                line: lineno + 1,
+                reason: reason.to_string(),
+            };
+            match fields.as_slice() {
+                ["pad", site, pad] => {
+                    let site =
+                        u32::from_str_radix(site, 16).map_err(|_| fail("bad site hash"))?;
+                    let pad: u32 = pad.parse().map_err(|_| fail("bad pad value"))?;
+                    table.add_pad(SiteHash::from_raw(site), pad);
+                }
+                ["defer", alloc, free, ticks] => {
+                    let alloc = u32::from_str_radix(alloc, 16)
+                        .map_err(|_| fail("bad alloc site hash"))?;
+                    let free = u32::from_str_radix(free, 16)
+                        .map_err(|_| fail("bad free site hash"))?;
+                    let ticks: u64 = ticks.parse().map_err(|_| fail("bad deferral value"))?;
+                    table.add_deferral(
+                        SitePair::new(SiteHash::from_raw(alloc), SiteHash::from_raw(free)),
+                        ticks,
+                    );
+                }
+                _ => return Err(fail("unrecognized directive")),
+            }
+        }
+        Ok(table)
+    }
+
+    /// Writes the patch file at `path` (§3.4: patches are stored so
+    /// subsequent executions start corrected).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_text())
+    }
+
+    /// Loads a patch file previously written by [`PatchTable::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; parse failures surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Self::from_text(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// A malformed patch file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatchParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for PatchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "patch file line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for PatchParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n: u32) -> SiteHash {
+        SiteHash::from_raw(n)
+    }
+
+    fn pair(a: u32, f: u32) -> SitePair {
+        SitePair::new(site(a), site(f))
+    }
+
+    #[test]
+    fn pads_keep_maximum() {
+        let mut t = PatchTable::new();
+        assert!(t.add_pad(site(1), 6));
+        assert!(!t.add_pad(site(1), 4), "smaller pad is a no-op");
+        assert!(t.add_pad(site(1), 9));
+        assert_eq!(t.pad_for(site(1)), 9);
+        assert_eq!(t.pad_for(site(2)), 0);
+    }
+
+    #[test]
+    fn zero_entries_are_ignored() {
+        let mut t = PatchTable::new();
+        assert!(!t.add_pad(site(1), 0));
+        assert!(!t.add_deferral(pair(1, 2), 0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn deferrals_keyed_by_site_pair() {
+        let mut t = PatchTable::new();
+        t.add_deferral(pair(1, 2), 21);
+        assert_eq!(t.deferral_for(pair(1, 2)), 21);
+        assert_eq!(t.deferral_for(pair(2, 1)), 0, "order matters");
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a = PatchTable::new();
+        a.add_pad(site(1), 6);
+        a.add_deferral(pair(1, 2), 10);
+        let mut b = PatchTable::new();
+        b.add_pad(site(1), 3);
+        b.add_pad(site(2), 8);
+        b.add_deferral(pair(1, 2), 40);
+        a.merge(&b);
+        assert_eq!(a.pad_for(site(1)), 6);
+        assert_eq!(a.pad_for(site(2)), 8);
+        assert_eq!(a.deferral_for(pair(1, 2)), 40);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn merged_combines_many_users() {
+        let tables: Vec<PatchTable> = (1..=5u32)
+            .map(|i| {
+                let mut t = PatchTable::new();
+                t.add_pad(site(i % 2), i);
+                t
+            })
+            .collect();
+        let all = PatchTable::merged(&tables);
+        assert_eq!(all.pad_for(site(0)), 4);
+        assert_eq!(all.pad_for(site(1)), 5);
+    }
+
+    #[test]
+    fn escalate_sums_deferrals_but_maxes_pads() {
+        let mut applied = PatchTable::new();
+        applied.add_pad(site(1), 6);
+        applied.add_deferral(pair(1, 2), 100);
+        let mut isolated = PatchTable::new();
+        isolated.add_pad(site(1), 4);
+        isolated.add_deferral(pair(1, 2), 45);
+        isolated.add_deferral(pair(3, 4), 7);
+        applied.escalate(&isolated);
+        assert_eq!(applied.pad_for(site(1)), 6, "pads stay maxed");
+        assert_eq!(applied.deferral_for(pair(1, 2)), 145, "deferrals compound");
+        assert_eq!(applied.deferral_for(pair(3, 4)), 7, "new pairs start fresh");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut t = PatchTable::new();
+        t.add_pad(site(0xdeadbeef), 6);
+        t.add_pad(site(7), 36);
+        t.add_deferral(pair(0xaa, 0xbb), 21);
+        let parsed = PatchTable::from_text(&t.to_text()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parser_tolerates_comments_and_blanks() {
+        let text = "# comment\n\n  pad 0000000a 5\n# more\ndefer 1 2 3\n";
+        let t = PatchTable::from_text(text).unwrap();
+        assert_eq!(t.pad_for(site(10)), 5);
+        assert_eq!(t.deferral_for(pair(1, 2)), 3);
+    }
+
+    #[test]
+    fn parser_reports_line_numbers() {
+        let err = PatchTable::from_text("pad 1 2\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn parser_rejects_bad_fields() {
+        assert!(PatchTable::from_text("pad zz 5").is_err());
+        assert!(PatchTable::from_text("pad 1 -2").is_err());
+        assert!(PatchTable::from_text("defer 1 2").is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("xt_patch_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("patches.txt");
+        let mut t = PatchTable::new();
+        t.add_pad(site(3), 12);
+        t.save(&path).unwrap();
+        assert_eq!(PatchTable::load(&path).unwrap(), t);
+        fs::remove_file(&path).unwrap();
+    }
+}

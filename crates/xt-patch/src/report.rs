@@ -1,0 +1,179 @@
+//! Bug reports from runtime patches — the paper's §9 future work:
+//! "we plan to develop a tool to process runtime patches into bug reports
+//! with suggested fixes."
+//!
+//! A pad entry encodes *where* (the allocation site's calling-context
+//! hash) and *how much* (the overflow extent); a deferral entry encodes
+//! the (allocation, deallocation) pair and the measured prematurity. That
+//! is enough to draft an actionable report, especially when a symbol map
+//! from site hashes to human names is available.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use xt_alloc::SiteHash;
+
+use crate::PatchTable;
+
+/// Optional symbolication: maps site hashes to human-readable names
+/// (function names, file:line, workload labels).
+#[derive(Clone, Debug, Default)]
+pub struct SiteNames {
+    names: HashMap<SiteHash, String>,
+}
+
+impl SiteNames {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        SiteNames::default()
+    }
+
+    /// Registers a name for a site.
+    pub fn insert(&mut self, site: SiteHash, name: impl Into<String>) {
+        self.names.insert(site, name.into());
+    }
+
+    /// Renders a site: its name if known, the raw hash otherwise.
+    #[must_use]
+    pub fn render(&self, site: SiteHash) -> String {
+        match self.names.get(&site) {
+            Some(name) => format!("{name} ({site})"),
+            None => site.to_string(),
+        }
+    }
+}
+
+/// Renders a patch table as a bug report with suggested fixes.
+///
+/// # Example
+///
+/// ```
+/// use xt_alloc::SiteHash;
+/// use xt_patch::{render_bug_report, PatchTable, SiteNames};
+///
+/// let mut patches = PatchTable::new();
+/// patches.add_pad(SiteHash::from_raw(0xAB), 6);
+/// let mut names = SiteNames::new();
+/// names.insert(SiteHash::from_raw(0xAB), "store_entry (cache.c:217)");
+/// let report = render_bug_report(&patches, &names);
+/// assert!(report.contains("buffer overflow"));
+/// assert!(report.contains("cache.c:217"));
+/// assert!(report.contains("6 byte"));
+/// ```
+#[must_use]
+pub fn render_bug_report(patches: &PatchTable, names: &SiteNames) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "BUG REPORT — generated from Exterminator runtime patches");
+    let _ = writeln!(
+        out,
+        "{} error(s): {} buffer overflow(s), {} dangling pointer(s)\n",
+        patches.len(),
+        patches.pads().count(),
+        patches.deferrals().count()
+    );
+    for (i, (site, pad)) in patches.pads().enumerate() {
+        let _ = writeln!(out, "[O{i}] HEAP BUFFER OVERFLOW");
+        let _ = writeln!(out, "  allocation site: {}", names.render(site));
+        let _ = writeln!(
+            out,
+            "  evidence: objects from this site overflow their allocation by up to {pad} byte(s)."
+        );
+        let _ = writeln!(
+            out,
+            "  suggested fix: the size computed at this allocation site is at least {pad} \
+             byte(s) short of what the code writes. Either grow the request by {pad} byte(s) \
+             or fix the write loop / length computation that runs past the end."
+        );
+        let _ = writeln!(
+            out,
+            "  applied mitigation: the correcting allocator pads every allocation from this \
+             site by {pad} byte(s), which contains the overflow.\n"
+        );
+    }
+    for (i, (pair, ticks)) in patches.deferrals().enumerate() {
+        // The iterative patch is 2×(T−τ)+1, so the measured prematurity is
+        // at least (ticks − 1) / 2 allocations.
+        let prematurity = ticks.saturating_sub(1) / 2;
+        let _ = writeln!(out, "[D{i}] DANGLING POINTER (premature free)");
+        let _ = writeln!(out, "  allocation site:   {}", names.render(pair.alloc));
+        let _ = writeln!(out, "  deallocation site: {}", names.render(pair.free));
+        let _ = writeln!(
+            out,
+            "  evidence: objects with this allocation/deallocation pair are still used at \
+             least {prematurity} allocation(s) after being freed."
+        );
+        let _ = writeln!(
+            out,
+            "  suggested fix: move the free at the deallocation site after the last use of \
+             the object, or clear the remaining references before freeing."
+        );
+        let _ = writeln!(
+            out,
+            "  applied mitigation: the correcting allocator defers frees from this pair by \
+             {ticks} allocation(s).\n"
+        );
+    }
+    if patches.is_empty() {
+        let _ = writeln!(out, "no errors recorded — nothing to report.");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_alloc::SitePair;
+
+    fn site(n: u32) -> SiteHash {
+        SiteHash::from_raw(n)
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        let report = render_bug_report(&PatchTable::new(), &SiteNames::new());
+        assert!(report.contains("nothing to report"));
+        assert!(report.contains("0 error(s)"));
+    }
+
+    #[test]
+    fn overflow_report_contains_pad_and_fix() {
+        let mut patches = PatchTable::new();
+        patches.add_pad(site(0xAA), 36);
+        let report = render_bug_report(&patches, &SiteNames::new());
+        assert!(report.contains("HEAP BUFFER OVERFLOW"));
+        assert!(report.contains("36 byte(s)"));
+        assert!(report.contains("suggested fix"));
+        assert!(report.contains("site:000000aa"));
+    }
+
+    #[test]
+    fn dangling_report_recovers_prematurity() {
+        let mut patches = PatchTable::new();
+        patches.add_deferral(SitePair::new(site(1), site(2)), 21); // 2×10+1
+        let report = render_bug_report(&patches, &SiteNames::new());
+        assert!(report.contains("DANGLING POINTER"));
+        assert!(report.contains("at least 10 allocation(s)"));
+        assert!(report.contains("defers frees from this pair by 21"));
+    }
+
+    #[test]
+    fn symbolication_is_used_when_available() {
+        let mut patches = PatchTable::new();
+        patches.add_pad(site(7), 6);
+        let mut names = SiteNames::new();
+        names.insert(site(7), "storeEntry (store.c:421)");
+        let report = render_bug_report(&patches, &names);
+        assert!(report.contains("storeEntry (store.c:421)"));
+    }
+
+    #[test]
+    fn report_counts_both_kinds() {
+        let mut patches = PatchTable::new();
+        patches.add_pad(site(1), 4);
+        patches.add_pad(site(2), 8);
+        patches.add_deferral(SitePair::new(site(3), site(4)), 9);
+        let report = render_bug_report(&patches, &SiteNames::new());
+        assert!(report.contains("3 error(s): 2 buffer overflow(s), 1 dangling pointer(s)"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: the patch-table merge is a join-semilattice, and the
+//! text format round-trips — the guarantees collaborative correction
+//! (§6.4) rests on.
+
+use proptest::prelude::*;
+
+use xt_alloc::{SiteHash, SitePair};
+use xt_patch::PatchTable;
+
+fn table_strategy() -> impl Strategy<Value = PatchTable> {
+    let pads = proptest::collection::vec((0u32..64, 1u32..5000), 0..12);
+    let defers = proptest::collection::vec(((0u32..64, 0u32..64), 1u64..100_000), 0..12);
+    (pads, defers).prop_map(|(pads, defers)| {
+        let mut t = PatchTable::new();
+        for (site, pad) in pads {
+            t.add_pad(SiteHash::from_raw(site), pad);
+        }
+        for ((a, f), ticks) in defers {
+            t.add_deferral(
+                SitePair::new(SiteHash::from_raw(a), SiteHash::from_raw(f)),
+                ticks,
+            );
+        }
+        t
+    })
+}
+
+fn merged(a: &PatchTable, b: &PatchTable) -> PatchTable {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    /// Merge is commutative: users can exchange patches in any order.
+    #[test]
+    fn merge_commutes(a in table_strategy(), b in table_strategy()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// Merge is associative: any gossip topology converges.
+    #[test]
+    fn merge_associates(a in table_strategy(), b in table_strategy(), c in table_strategy()) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// Merge is idempotent: re-applying a patch file changes nothing.
+    #[test]
+    fn merge_idempotent(a in table_strategy()) {
+        prop_assert_eq!(merged(&a, &a), a);
+    }
+
+    /// Merge only grows protection: every pad/deferral in either input is
+    /// covered (≥) in the output — "the result ... covers all observed
+    /// errors".
+    #[test]
+    fn merge_is_monotone(a in table_strategy(), b in table_strategy()) {
+        let m = merged(&a, &b);
+        for (site, pad) in a.pads().chain(b.pads()) {
+            prop_assert!(m.pad_for(site) >= pad);
+        }
+        for (pair, ticks) in a.deferrals().chain(b.deferrals()) {
+            prop_assert!(m.deferral_for(pair) >= ticks);
+        }
+    }
+
+    /// The empty table is the identity.
+    #[test]
+    fn empty_is_identity(a in table_strategy()) {
+        prop_assert_eq!(merged(&a, &PatchTable::new()), a.clone());
+        prop_assert_eq!(merged(&PatchTable::new(), &a), a);
+    }
+
+    /// Text serialization round-trips exactly.
+    #[test]
+    fn text_round_trips(a in table_strategy()) {
+        prop_assert_eq!(PatchTable::from_text(&a.to_text()).unwrap(), a);
+    }
+
+    /// Escalation dominates merge: the compounded deferral is always at
+    /// least what a plain merge would give, and pads are identical.
+    #[test]
+    fn escalate_dominates_merge(a in table_strategy(), b in table_strategy()) {
+        let plain = merged(&a, &b);
+        let mut esc = a.clone();
+        esc.escalate(&b);
+        for (site, pad) in plain.pads() {
+            prop_assert_eq!(esc.pad_for(site), pad);
+        }
+        for (pair, ticks) in plain.deferrals() {
+            prop_assert!(esc.deferral_for(pair) >= ticks);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! A cfrac-like workload: continued-fraction factorization flavour.
+//!
+//! cfrac is the most allocation-intensive benchmark in the paper's suite
+//! (Exterminator's worst case in Fig. 7 at ~2.3× — the cost of computing
+//! allocation contexts dominates when almost every operation allocates).
+//! This stand-in reproduces that profile: multi-precision "bignum" limb
+//! arrays created and destroyed at a rate of several allocations per
+//! arithmetic step, with almost no computation in between.
+
+use xt_arena::Addr;
+use xt_alloc::Heap;
+
+use crate::ctx::{fnv1a, Abort, Ctx};
+use crate::{RunResult, Workload, WorkloadInput};
+
+const NUM_MAGIC: u32 = 0xB16_0001;
+const HEADER: usize = 8;
+
+/// Steps per unit of intensity.
+const STEPS_PER_INTENSITY: u32 = 400;
+
+/// The cfrac stand-in. See the module docs above.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CfracLike;
+
+impl CfracLike {
+    /// Creates the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        CfracLike
+    }
+
+    /// Allocates a bignum with `limbs` limbs seeded from the RNG.
+    fn bignum(&self, ctx: &mut Ctx<'_>, caller: u32, limbs: usize) -> Result<Addr, Abort> {
+        ctx.scoped(caller, |ctx| {
+            let p = ctx.malloc(HEADER + 8 * limbs)?;
+            ctx.write_u32(p, NUM_MAGIC)?;
+            ctx.write_u32(p + 4, limbs as u32)?;
+            for i in 0..limbs {
+                let limb = ctx.rng().next_u64() | 1;
+                ctx.write_u64(p + (HEADER + 8 * i) as u64, limb)?;
+            }
+            Ok(p)
+        })
+    }
+
+    fn limbs_of(&self, ctx: &Ctx<'_>, p: Addr) -> Result<usize, Abort> {
+        if ctx.read_u32(p)? != NUM_MAGIC {
+            return Err(Abort::SelfAbort("cfrac: corrupt bignum"));
+        }
+        Ok(ctx.read_u32(p + 4)? as usize)
+    }
+
+    /// `out = (a * b) mod 2^64` per limb pair, allocated fresh — the
+    /// transient that makes cfrac allocation-bound.
+    fn mulmod(&self, ctx: &mut Ctx<'_>, a: Addr, b: Addr) -> Result<Addr, Abort> {
+        let la = self.limbs_of(ctx, a)?;
+        let lb = self.limbs_of(ctx, b)?;
+        let lo = la.min(lb);
+        ctx.scoped(0x3F2A_C001, |ctx| {
+            let out = ctx.malloc(HEADER + 8 * lo)?;
+            ctx.write_u32(out, NUM_MAGIC)?;
+            ctx.write_u32(out + 4, lo as u32)?;
+            for i in 0..lo {
+                let off = (HEADER + 8 * i) as u64;
+                let va = ctx.read_u64(a + off)?;
+                let vb = ctx.read_u64(b + off)?;
+                ctx.write_u64(out + off, va.wrapping_mul(vb) ^ va.rotate_left(13))?;
+            }
+            Ok(out)
+        })
+    }
+
+    fn exec(&self, ctx: &mut Ctx<'_>, input: &WorkloadInput) -> Result<(), Abort> {
+        let steps = STEPS_PER_INTENSITY * input.intensity.max(1);
+        ctx.enter(0xCF2A);
+        // The continued-fraction state: numerator/denominator chains.
+        let mut num = self.bignum(ctx, 0x10, 4)?;
+        let mut den = self.bignum(ctx, 0x11, 4)?;
+        let mut residue = 0u64;
+        for step in 0..steps {
+            // Transient quotient digit — allocated and freed immediately.
+            let limbs = 2 + ctx.rng().below_usize(5);
+            let q = self.bignum(ctx, 0x20 + (step % 7), limbs)?;
+            let t = self.mulmod(ctx, num, q)?;
+            ctx.scoped(0x30, |ctx| {
+                ctx.free(q);
+                Ok(())
+            })?;
+            // Rotate the chain: den ← num, num ← t.
+            ctx.scoped(0x31, |ctx| {
+                ctx.free(den);
+                Ok(())
+            })?;
+            den = num;
+            num = t;
+            let l0 = ctx.read_u64(num + HEADER as u64)?;
+            residue = fnv1a(residue, &l0.to_le_bytes());
+            if step % 32 == 31 {
+                ctx.emit_u64(residue);
+            }
+        }
+        ctx.emit_u64(residue);
+        ctx.free(num);
+        ctx.free(den);
+        ctx.leave();
+        Ok(())
+    }
+}
+
+impl Workload for CfracLike {
+    fn name(&self) -> &'static str {
+        "cfrac-like"
+    }
+
+    fn run(&self, heap: &mut dyn Heap, input: &WorkloadInput) -> RunResult {
+        let mut ctx = Ctx::new(heap, input.seed);
+        let result = self.exec(&mut ctx, input);
+        ctx.finish(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_baseline::BaselineHeap;
+    use xt_diehard::{DieHardConfig, DieHardHeap};
+
+    #[test]
+    fn completes_with_output() {
+        let mut heap = DieHardHeap::new(DieHardConfig::with_seed(1));
+        let r = CfracLike::new().run(&mut heap, &WorkloadInput::with_seed(5));
+        assert!(r.completed(), "{:?}", r.outcome);
+        assert!(!r.output.is_empty());
+    }
+
+    #[test]
+    fn output_is_layout_independent() {
+        let input = WorkloadInput::with_seed(9);
+        let mut h1 = DieHardHeap::new(DieHardConfig::with_seed(1));
+        let mut h2 = DieHardHeap::new(DieHardConfig::with_seed(999));
+        let mut hb = BaselineHeap::with_seed(3);
+        let w = CfracLike::new();
+        let a = w.run(&mut h1, &input);
+        let b = w.run(&mut h2, &input);
+        let c = w.run(&mut hb, &input);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.output, c.output);
+    }
+
+    #[test]
+    fn is_allocation_intensive() {
+        // cfrac's defining property: ~3 allocations per step with trivial
+        // compute. 400 steps ⇒ well over 1000 allocations.
+        let mut heap = DieHardHeap::new(DieHardConfig::with_seed(2));
+        CfracLike::new().run(&mut heap, &WorkloadInput::with_seed(1));
+        assert!(heap.clock().raw() > 800, "clock {:?}", heap.clock());
+        // And the live set stays tiny: transients die immediately.
+        assert!(heap.live_objects() < 10);
+    }
+
+    #[test]
+    fn corrupt_bignum_tag_aborts() {
+        let mut heap = DieHardHeap::new(DieHardConfig::with_seed(3));
+        let w = CfracLike::new();
+        let mut ctx = Ctx::new(&mut heap, 1);
+        let n = w.bignum(&mut ctx, 0x10, 2).unwrap();
+        ctx.write_u32(n, 0x1111_1111).unwrap();
+        assert_eq!(
+            w.limbs_of(&ctx, n).unwrap_err(),
+            Abort::SelfAbort("cfrac: corrupt bignum")
+        );
+    }
+}

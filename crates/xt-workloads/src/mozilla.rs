@@ -1,0 +1,313 @@
+//! A Mozilla-like workload carrying the paper's IDN overflow.
+//!
+//! §7.2: Mozilla bug 307259 is a heap overflow "because of an error in
+//! Mozilla's processing of Unicode characters in domain names". Crucially
+//! for the evaluation, Mozilla is multi-threaded and input-timing
+//! sensitive: "even slight differences in moving the mouse cause
+//! allocation sequences to diverge. Thus, neither replicated nor iterative
+//! modes can identify equivalent objects across multiple runs" — it is
+//! the showcase for *cumulative* mode.
+//!
+//! This stand-in browses a list of pages. Each page load allocates a
+//! nondeterministic amount of DOM noise (driven by the per-run seed, the
+//! analogue of mouse/timer jitter), then processes every link hostname.
+//! Hostnames containing non-ASCII bytes take the IDN path, whose buffer is
+//! sized by *character* count but filled by *byte* count — a heap overflow
+//! of `bytes − chars` bytes, triggered only by the attack page.
+
+use xt_alloc::Heap;
+
+use crate::ctx::{fnv1a, Abort, Ctx};
+use crate::{RunResult, Workload, WorkloadInput};
+
+const NODE_MAGIC: u32 = 0xD0_0D1E5;
+const IDN_MAGIC: u32 = 0x1D4_CAFE;
+const HEADER: usize = 8;
+
+/// The Mozilla stand-in. See the module docs above.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MozillaLike;
+
+impl MozillaLike {
+    /// Creates the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        MozillaLike
+    }
+
+    /// Counts "characters" the way the buggy size computation does: ASCII
+    /// bytes and multibyte *lead* bytes count, continuation bytes
+    /// (`0x80..0xC0`) do not.
+    fn char_count(host: &[u8]) -> usize {
+        host.iter().filter(|&&b| !(0x80..0xC0).contains(&b)).count()
+    }
+
+    /// The IDN conversion with the seeded bug.
+    fn idn_convert(&self, ctx: &mut Ctx<'_>, host: &[u8]) -> Result<u64, Abort> {
+        let chars = Self::char_count(host);
+        ctx.scoped(0x1D4_0B06, |ctx| {
+            // BUG: sized by chars, filled by bytes.
+            let buf = ctx.malloc(HEADER + chars)?;
+            ctx.write_u32(buf, IDN_MAGIC)?;
+            ctx.write_u32(buf + 4, chars as u32)?;
+            ctx.write_bytes(buf + HEADER as u64, host)?; // writes `bytes`
+            let echo = ctx.read_bytes(buf + HEADER as u64, chars)?;
+            let digest = fnv1a(0, &echo);
+            ctx.free(buf);
+            Ok(digest)
+        })
+    }
+
+    /// Browser startup: chrome/XUL-style allocation churn across all size
+    /// classes. By the time any page loads, freed (and thus canaried)
+    /// slots pervade every miniheap — the fence-post population DieFast's
+    /// detection probability (Theorem 2) assumes, and what a real
+    /// browser's heap looks like after initialization.
+    fn startup(&self, ctx: &mut Ctx<'_>) -> Result<(), Abort> {
+        let mut scratch: Vec<xt_arena::Addr> = Vec::new();
+        for i in 0..300u32 {
+            let caller = 0x3000 + (ctx.rng().next_u32() % 32);
+            let size = 16 + ctx.rng().below_usize(140);
+            let p = ctx.scoped(caller, |ctx| {
+                let p = ctx.malloc(size)?;
+                ctx.write_u32(p, NODE_MAGIC)?;
+                ctx.write_u32(p + 4, i)?;
+                Ok(p)
+            })?;
+            scratch.push(p);
+            // Free roughly two thirds, oldest first, as initialization
+            // data structures are torn down.
+            if scratch.len() > 100 && ctx.rng().chance(0.85) {
+                let victim = scratch.remove(0);
+                if ctx.read_u32(victim)? != NODE_MAGIC {
+                    return Err(Abort::SelfAbort("mozilla: corrupt startup object"));
+                }
+                ctx.scoped(0x3FFF, |ctx| {
+                    ctx.free(victim);
+                    Ok(())
+                })?;
+            }
+        }
+        for victim in scratch {
+            ctx.scoped(0x3FFE, |ctx| {
+                ctx.free(victim);
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Fast path for pure-ASCII hostnames — correctly sized.
+    fn ascii_host(&self, ctx: &mut Ctx<'_>, host: &[u8]) -> Result<u64, Abort> {
+        ctx.scoped(0x1D4_A5C1, |ctx| {
+            let buf = ctx.malloc(HEADER + host.len())?;
+            ctx.write_u32(buf, IDN_MAGIC)?;
+            ctx.write_u32(buf + 4, host.len() as u32)?;
+            ctx.write_bytes(buf + HEADER as u64, host)?;
+            let digest = fnv1a(1, &ctx.read_bytes(buf + HEADER as u64, host.len())?);
+            ctx.free(buf);
+            Ok(digest)
+        })
+    }
+
+    fn exec(&self, ctx: &mut Ctx<'_>, input: &WorkloadInput) -> Result<(), Abort> {
+        ctx.enter(0xD0D0);
+        self.startup(ctx)?;
+        let payload = input.payload.clone();
+        for page in payload.split(|&b| b == b';') {
+            if page.is_empty() {
+                continue;
+            }
+            // Nondeterministic DOM noise: counts and sizes differ per run
+            // seed, so object ids never line up across runs.
+            let n_nodes = 5 + ctx.rng().below_usize(24);
+            let mut nodes = Vec::with_capacity(n_nodes);
+            for i in 0..n_nodes {
+                let caller = 0x2000 + (ctx.rng().next_u32() % 48);
+                let size = 16 + ctx.rng().below_usize(120);
+                let node = ctx.scoped(caller, |ctx| {
+                    let node = ctx.malloc(size)?;
+                    ctx.write_u32(node, NODE_MAGIC)?;
+                    ctx.write_u32(node + 4, i as u32)?;
+                    Ok(node)
+                })?;
+                nodes.push(node);
+            }
+            // Process the page's link hostnames.
+            let mut page_digest = 0u64;
+            for host in page.split(|&b| b == b',') {
+                if host.is_empty() {
+                    continue;
+                }
+                let digest = if host.iter().any(|&b| b >= 0x80) {
+                    self.idn_convert(ctx, host)?
+                } else {
+                    self.ascii_host(ctx, host)?
+                };
+                page_digest = fnv1a(page_digest, &digest.to_le_bytes());
+            }
+            ctx.emit_u64(page_digest);
+            // Tear down a random subset of the DOM (the rest "leaks" to a
+            // later GC, i.e. stays live).
+            for node in nodes {
+                if ctx.read_u32(node)? != NODE_MAGIC {
+                    return Err(Abort::SelfAbort("mozilla: corrupt DOM node"));
+                }
+                if ctx.rng().chance(0.7) {
+                    ctx.scoped(0x2FFF, |ctx| {
+                        ctx.free(node);
+                        Ok(())
+                    })?;
+                }
+            }
+        }
+        ctx.leave();
+        Ok(())
+    }
+}
+
+impl Workload for MozillaLike {
+    fn name(&self) -> &'static str {
+        "mozilla-like"
+    }
+
+    fn run(&self, heap: &mut dyn Heap, input: &WorkloadInput) -> RunResult {
+        let mut ctx = Ctx::new(heap, input.seed);
+        let result = self.exec(&mut ctx, input);
+        ctx.finish(result)
+    }
+}
+
+/// A benign browsing session of `n_pages` ASCII-only pages.
+#[must_use]
+pub fn benign_browsing_session(n_pages: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..n_pages {
+        if i > 0 {
+            out.push(b';');
+        }
+        out.extend_from_slice(
+            format!("www.page{i}.example,cdn{i}.example,img.page{i}.example").as_bytes(),
+        );
+    }
+    out
+}
+
+/// A browsing session ending on the attack page: its link hostname has
+/// eight two-byte characters, so the IDN buffer (sized 8 + 56 = 64, a
+/// DieHard size class) takes an 8-byte overflow — the bug-307259 analogue.
+#[must_use]
+pub fn attack_browsing_session(benign_pages: usize) -> Vec<u8> {
+    let mut out = benign_browsing_session(benign_pages);
+    if !out.is_empty() {
+        out.push(b';');
+    }
+    // 48 ASCII bytes + 8 × (0xC3 0xA9): chars = 56, bytes = 64.
+    let mut evil: Vec<u8> = Vec::new();
+    evil.extend_from_slice(&[b'x'; 43]);
+    evil.extend_from_slice(b".evil");
+    for _ in 0..8 {
+        evil.extend_from_slice(&[0xC3, 0xA9]);
+    }
+    debug_assert_eq!(MozillaLike::char_count(&evil), 56);
+    debug_assert_eq!(evil.len(), 64);
+    out.extend_from_slice(&evil);
+    // The browser keeps running after the malicious page: a few more page
+    // loads follow, whose allocation churn is what gives DieFast's probes
+    // the chance to discover the corruption (§3.3: detection within E(H)
+    // allocations).
+    for i in 0..3 {
+        out.push(b';');
+        out.extend_from_slice(
+            format!("after{i}.example,cdn-after{i}.example,img-after{i}.example").as_bytes(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_diefast::{DieFastConfig, DieFastHeap};
+    use xt_diehard::DieHardConfig;
+
+    #[test]
+    fn char_count_skips_continuations() {
+        assert_eq!(MozillaLike::char_count(b"abc"), 3);
+        assert_eq!(MozillaLike::char_count(&[0xC3, 0xA9, b'x']), 2);
+    }
+
+    #[test]
+    fn attack_geometry_is_an_eight_byte_overflow() {
+        let session = attack_browsing_session(0);
+        let host = session
+            .split(|&b| b == b';' || b == b',')
+            .find(|h| h.iter().any(|&b| b >= 0x80))
+            .expect("attack host present");
+        let chars = MozillaLike::char_count(host);
+        assert_eq!(HEADER + chars, 64, "buggy allocation request");
+        assert_eq!(host.len() - chars, 8, "overflow delta");
+    }
+
+    #[test]
+    fn benign_session_is_clean() {
+        let input = WorkloadInput::with_seed(5).payload(benign_browsing_session(12));
+        let mut heap = DieFastHeap::new(DieFastConfig::with_seed(1));
+        let r = MozillaLike::new().run(&mut heap, &input);
+        assert!(r.completed(), "{:?}", r.outcome);
+        assert!(!heap.has_signals());
+    }
+
+    #[test]
+    fn allocation_sequences_diverge_across_run_seeds() {
+        // The property that rules out iterative/replicated modes: two runs
+        // with different per-run seeds allocate different counts.
+        let w = MozillaLike::new();
+        let payload = benign_browsing_session(8);
+        let mut h1 = DieFastHeap::new(DieFastConfig::with_seed(1));
+        let mut h2 = DieFastHeap::new(DieFastConfig::with_seed(1));
+        w.run(&mut h1, &WorkloadInput::with_seed(100).payload(payload.clone()));
+        w.run(&mut h2, &WorkloadInput::with_seed(200).payload(payload));
+        assert_ne!(
+            h1.clock(),
+            h2.clock(),
+            "per-run nondeterminism missing — object ids would line up"
+        );
+    }
+
+    #[test]
+    fn page_digests_are_seed_independent() {
+        // Output covers hostname digests only, not the DOM noise, so the
+        // deterministic part of the output matches across run seeds.
+        let w = MozillaLike::new();
+        let payload = benign_browsing_session(5);
+        let mut h1 = DieFastHeap::new(DieFastConfig::with_seed(1));
+        let mut h2 = DieFastHeap::new(DieFastConfig::with_seed(2));
+        let a = w.run(&mut h1, &WorkloadInput::with_seed(11).payload(payload.clone()));
+        let b = w.run(&mut h2, &WorkloadInput::with_seed(22).payload(payload));
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn attack_page_corrupts_the_heap() {
+        // Run the attack across several randomized heaps: DieFast must
+        // signal in a solid majority (the overflow lands on canaried free
+        // space with probability ≥ (M−1)/2M per §4.1 — in practice much
+        // higher after DOM churn).
+        let input = WorkloadInput::with_seed(3).payload(attack_browsing_session(6));
+        let mut detected = 0;
+        for seed in 0..8 {
+            let mut heap = DieFastHeap::new(
+                DieFastConfig::with_seed(seed).heap(DieHardConfig::with_seed(seed).track_history(true)),
+            );
+            let r = MozillaLike::new().run(&mut heap, &input);
+            // Either DieFast signals corruption, or (when the IDN buffer
+            // lands at the very edge of its miniheap) the overflow runs off
+            // the mapping and segfaults outright — both are detections.
+            if heap.has_signals() || !r.completed() {
+                detected += 1;
+            }
+        }
+        assert!(detected >= 4, "detected only {detected}/8");
+    }
+}

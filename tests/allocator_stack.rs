@@ -1,0 +1,195 @@
+//! Integration tests of the full allocator stack — fault injector over
+//! correcting allocator over DieFast over DieHard over the arena —
+//! exercising interactions no single crate's unit tests can reach.
+
+use xt_alloc::{AllocTime, FreeOutcome, Heap, SiteHash, SitePair};
+use xt_correct::CorrectingHeap;
+use xt_diefast::{DieFastConfig, DieFastHeap};
+use xt_faults::{FaultKind, FaultSpec, FaultyHeap, INJECTED_FREE_SITE};
+use xt_patch::PatchTable;
+
+const SITE: SiteHash = SiteHash::from_raw(0x57AC);
+
+type FullStack = FaultyHeap<CorrectingHeap<DieFastHeap>>;
+
+fn stack(seed: u64, patches: PatchTable, fault: Option<FaultSpec>) -> FullStack {
+    let diefast = DieFastHeap::new(DieFastConfig::with_seed(seed));
+    FaultyHeap::new(CorrectingHeap::new(diefast, patches), fault)
+}
+
+#[test]
+fn padded_site_contains_injected_overflow_through_the_whole_stack() {
+    // An overflow injected *above* the correcting allocator lands inside
+    // the pad the correcting allocator added *below* — the full mitigation
+    // path, end to end.
+    let fault = FaultSpec {
+        kind: FaultKind::BufferOverflow {
+            delta: 16,
+            fill: 0xAB,
+        },
+        trigger: AllocTime::from_raw(1),
+    };
+    let mut patches = PatchTable::new();
+    patches.add_pad(SITE, 16);
+    let mut s = stack(1, patches, Some(fault));
+    let p = s.malloc(16, SITE).unwrap(); // 16 + 16 pad → 32-byte slot
+    // The injector wrote [16, 32): inside the padded slot.
+    assert_eq!(s.arena().read_bytes(p + 16, 16).unwrap(), &[0xAB; 16]);
+    // No canary corruption anywhere: allocate a lot and expect no signals.
+    for _ in 0..200 {
+        let q = s.malloc(16, SITE).unwrap();
+        s.free(q, SITE);
+    }
+    assert!(
+        !s.inner_mut().inner_mut().has_signals(),
+        "padded overflow still corrupted the heap"
+    );
+}
+
+#[test]
+fn unpadded_overflow_is_detected_through_the_whole_stack() {
+    let fault = FaultSpec {
+        kind: FaultKind::BufferOverflow {
+            delta: 16,
+            fill: 0xAB,
+        },
+        // Fire once the class has churned: Theorem 2's detection term
+        // assumes freed (canaried) fence-posts exist, which takes ~100
+        // allocations of alloc/free traffic to establish.
+        trigger: AllocTime::from_raw(150),
+    };
+    // Across several seeds, the same stack WITHOUT the pad must detect the
+    // corruption in a near-majority of runs.
+    let mut detected = 0;
+    for seed in 0..8 {
+        let mut s = stack(seed, PatchTable::new(), Some(fault));
+        // Three frees per surviving object: most free slots end up
+        // canaried, giving the per-run detection probability the theorem
+        // promises.
+        let mut live = Vec::new();
+        for i in 0..300u64 {
+            let q = s.malloc(16, SITE).unwrap();
+            if i % 4 == 0 {
+                live.push(q);
+            } else {
+                s.free(q, SITE);
+            }
+        }
+        for q in live {
+            s.free(q, SITE);
+        }
+        if s.inner_mut().inner_mut().has_signals() {
+            detected += 1;
+        }
+    }
+    assert!(detected >= 4, "only {detected}/8 stacks detected the overflow");
+}
+
+#[test]
+fn deferral_neutralizes_injected_dangling_free_through_the_stack() {
+    let fault = FaultSpec {
+        kind: FaultKind::DanglingFree { lag: 3 },
+        trigger: AllocTime::from_raw(2),
+    };
+    let mut patches = PatchTable::new();
+    patches.add_deferral(SitePair::new(SITE, INJECTED_FREE_SITE), 1_000_000);
+    let mut s = stack(3, patches, Some(fault));
+    let _a = s.malloc(16, SITE).unwrap();
+    let b = s.malloc(16, SITE).unwrap(); // trigger object (clock 2)
+    s.arena_mut().write_u64(b, 0x5AFE).unwrap();
+    for _ in 0..50 {
+        let q = s.malloc(16, SITE).unwrap();
+        s.free(q, SITE);
+    }
+    // The injected free fired but was deferred: the object's data is
+    // still intact and no canary was written over it.
+    assert_eq!(s.arena().read_u64(b).unwrap(), 0x5AFE);
+    assert!(!s.inner_mut().inner_mut().has_signals());
+}
+
+#[test]
+fn hot_reload_fixes_a_live_process() {
+    // §3.4: "subsequent allocations in the same process will be patched
+    // on-the-fly without interrupting execution."
+    let mut s = stack(4, PatchTable::new(), None);
+    let before = s.malloc(16, SITE).unwrap();
+    assert_eq!(s.usable_size(before), Some(16));
+    let mut patches = PatchTable::new();
+    patches.add_pad(SITE, 20);
+    s.inner_mut().reload_patches(patches);
+    let after = s.malloc(16, SITE).unwrap();
+    assert_eq!(s.usable_size(after), Some(64), "pad not applied after reload");
+    // Pre-reload objects still free cleanly.
+    assert_eq!(s.free(before, SITE), FreeOutcome::Freed);
+}
+
+#[test]
+fn breakpoint_propagates_through_all_layers() {
+    let mut s = stack(5, PatchTable::new(), None);
+    s.inner_mut().inner_mut().set_breakpoint(Some(AllocTime::from_raw(3)));
+    for _ in 0..3 {
+        s.malloc(16, SITE).unwrap();
+    }
+    assert!(matches!(
+        s.malloc(16, SITE),
+        Err(xt_alloc::HeapError::Breakpoint { .. })
+    ));
+}
+
+#[test]
+fn clocks_agree_across_layers() {
+    // The allocation clock is the coordinate system for breakpoints,
+    // deferrals, and injections; every layer must report the same one.
+    let mut s = stack(6, PatchTable::new(), None);
+    for _ in 0..17 {
+        s.malloc(24, SITE).unwrap();
+    }
+    let top = s.clock();
+    let mid = s.inner().clock();
+    let bottom = s.inner().inner().clock();
+    assert_eq!(top, AllocTime::from_raw(17));
+    assert_eq!(top, mid);
+    assert_eq!(mid, bottom);
+}
+
+#[test]
+fn alloc_site_survives_all_wrappers() {
+    let mut s = stack(7, PatchTable::new(), None);
+    let p = s.malloc(48, SITE).unwrap();
+    assert_eq!(s.alloc_site_of(p), Some(SITE));
+    assert_eq!(s.inner().alloc_site_of(p), Some(SITE));
+    s.free(p, SITE);
+    assert_eq!(s.alloc_site_of(p), None, "freed object still has a site");
+}
+
+#[test]
+fn deferred_objects_survive_heavy_pressure() {
+    // Parked objects must never be handed out again while deferred, even
+    // under allocation pressure in their size class.
+    let mut patches = PatchTable::new();
+    let free_site = SiteHash::from_raw(0xF2EE);
+    patches.add_deferral(SitePair::new(SITE, free_site), 500);
+    let mut s = stack(8, patches, None);
+    let mut parked = Vec::new();
+    for i in 0..20u64 {
+        let p = s.malloc(16, SITE).unwrap();
+        s.arena_mut().write_u64(p, 0xD00D_0000 + i).unwrap();
+        assert!(matches!(
+            s.free(p, free_site),
+            FreeOutcome::Deferred { .. }
+        ));
+        parked.push((p, 0xD00D_0000 + i));
+    }
+    // Pressure: hundreds of allocations in the same class.
+    for _ in 0..300 {
+        let q = s.malloc(16, SiteHash::from_raw(1)).unwrap();
+        assert!(
+            parked.iter().all(|&(p, _)| p != q),
+            "parked object reallocated"
+        );
+        s.free(q, SiteHash::from_raw(1));
+    }
+    for (p, tag) in &parked {
+        assert_eq!(s.arena().read_u64(*p).unwrap(), *tag, "drag data lost");
+    }
+}
