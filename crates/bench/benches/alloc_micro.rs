@@ -53,8 +53,7 @@ fn layers(c: &mut Criterion) {
     });
     group.bench_function("diefast_p_half", |b| {
         b.iter(|| {
-            let mut heap =
-                DieFastHeap::new(DieFastConfig::with_seed(1).fill_probability(0.5));
+            let mut heap = DieFastHeap::new(DieFastConfig::with_seed(1).fill_probability(0.5));
             churn(&mut heap, 2000);
         });
     });

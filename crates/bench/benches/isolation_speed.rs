@@ -15,9 +15,8 @@ use xt_isolate::iterative::isolate;
 
 fn scripted_heap(seed: u64, steps: usize) -> DieFastHeap {
     let mut h = DieFastHeap::new(
-        DieFastConfig::with_seed(seed).heap(
-            xt_diehard::DieHardConfig::with_seed(seed).track_history(true),
-        ),
+        DieFastConfig::with_seed(seed)
+            .heap(xt_diehard::DieHardConfig::with_seed(seed).track_history(true)),
     );
     let mut script = Rng::new(4242);
     let mut live = Vec::new();
@@ -27,7 +26,10 @@ fn scripted_heap(seed: u64, steps: usize) -> DieFastHeap {
             h.free(v, SiteHash::from_raw(0xF));
         } else {
             let size = 16 + script.below_usize(120);
-            live.push(h.malloc(size, SiteHash::from_raw(step as u32 % 19)).unwrap());
+            live.push(
+                h.malloc(size, SiteHash::from_raw(step as u32 % 19))
+                    .unwrap(),
+            );
         }
     }
     h

@@ -41,8 +41,8 @@ fn main() {
         let runs = 24;
         for seed in 0..runs {
             let mut config = RunConfig::with_seed(7_000 + seed);
-            config.diefast = DieFastConfig::with_seed(0)
-                .heap(DieHardConfig::with_seed(0).multiplier(m));
+            config.diefast =
+                DieFastConfig::with_seed(0).heap(DieHardConfig::with_seed(0).multiplier(m));
             config.fault = Some(fault);
             config.halt_on_signal = true;
             if execute(&EspressoLike::new(), &input, config).failed() {

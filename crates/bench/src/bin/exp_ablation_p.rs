@@ -55,7 +55,9 @@ fn main() {
         }
         println!(
             "| {p} | {isolated}/3 | {} | {:.2} |",
-            total_runs.checked_div(isolated).map_or_else(|| "-".into(), |r| r.to_string()),
+            total_runs
+                .checked_div(isolated)
+                .map_or_else(|| "-".into(), |r| r.to_string()),
             rate_sum / 3.0,
         );
     }

@@ -73,8 +73,14 @@ fn main() {
     println!("## iterative mode");
     println!("| outcome | this reproduction | paper |");
     println!("| --- | --- | --- |");
-    println!("| isolated & corrected | {isolated}/{} | 4/10 |", faults.len());
-    println!("| canary read → abort (unisolatable) | {read_abort}/{} | 4/10 |", faults.len());
+    println!(
+        "| isolated & corrected | {isolated}/{} | 4/10 |",
+        faults.len()
+    );
+    println!(
+        "| canary read → abort (unisolatable) | {read_abort}/{} | 4/10 |",
+        faults.len()
+    );
     println!("| cascade / crash | {cascade}/{} | 2/10 |", faults.len());
 
     // --- Cumulative mode ---

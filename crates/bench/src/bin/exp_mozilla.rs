@@ -20,8 +20,7 @@ fn main() {
     for (label, benign_pages, paper_runs) in
         [("immediate repro", 0usize, 23), ("noisy navigation", 8, 34)]
     {
-        let input =
-            WorkloadInput::with_seed(31).payload(attack_browsing_session(benign_pages));
+        let input = WorkloadInput::with_seed(31).payload(attack_browsing_session(benign_pages));
         let mut mode = CumulativeMode::new(CumulativeModeConfig {
             vary_input_seed: true,
             ..CumulativeModeConfig::default()
@@ -36,7 +35,10 @@ fn main() {
         // the IDN overflow would be one; the expectation is exactly one
         // flagged overflow site.
         for v in &outcome.flagged {
-            println!("  flagged {} ratio {:.1} over {} observations", v.site, v.ratio, v.observations);
+            println!(
+                "  flagged {} ratio {:.1} over {} observations",
+                v.site, v.ratio, v.observations
+            );
         }
     }
 }

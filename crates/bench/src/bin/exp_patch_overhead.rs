@@ -61,7 +61,11 @@ fn main() {
         let correcting = CorrectingHeap::new(diefast, patches.clone());
         let mut stack = FaultyHeap::new(correcting, Some(fault));
         let result = EspressoLike::new().run(&mut stack, &input);
-        assert!(result.completed(), "patched run failed: {:?}", result.outcome);
+        assert!(
+            result.completed(),
+            "patched run failed: {:?}",
+            result.outcome
+        );
         let correcting = stack.into_inner();
         let stats = correcting.stats();
         let footprint = correcting.arena().mapped_bytes();
@@ -73,8 +77,8 @@ fn main() {
             stats.peak_deferred_bytes,
             footprint
         );
-        let overhead_pct = 100.0 * (stats.peak_padded_bytes + stats.peak_deferred_bytes) as f64
-            / footprint as f64;
+        let overhead_pct =
+            100.0 * (stats.peak_padded_bytes + stats.peak_deferred_bytes) as f64 / footprint as f64;
         println!(
             "  -> peak correction space = {:.3}% of heap footprint (paper: <1%)",
             overhead_pct

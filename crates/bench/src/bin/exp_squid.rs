@@ -38,10 +38,7 @@ fn main() {
         "| pad | {} bytes | exactly 6 bytes |",
         pads.first().map_or(0, |&(_, p)| p)
     );
-    println!(
-        "| heap images used | {} | 3 runs |",
-        outcome.images_used
-    );
+    println!("| heap images used | {} | 3 runs |", outcome.images_used);
 
     // Verify across fresh randomization.
     let mut failures = 0;

@@ -119,9 +119,7 @@ fn measure_identical_overflow(k: u32, trials: usize) -> f64 {
             };
             let next = image.resolve_addr(image.slot_addr(culprit) + 16);
             let id = match next {
-                Some(hit) if image.slot(hit.slot).state == SlotState::Live => {
-                    hit.object_id.raw()
-                }
+                Some(hit) if image.slot(hit.slot).state == SlotState::Live => hit.object_id.raw(),
                 _ => u64::MAX - u64::from(i), // no live victim: never identical
             };
             match first {

@@ -33,8 +33,20 @@ fn main() {
     let runs = 9;
     let input = WorkloadInput::with_seed(4).intensity(8);
     println!("# Fig. 7 — normalized execution time (baseline = 1.00x)\n");
-    row(&["suite".into(), "benchmark".into(), "baseline s".into(), "exterminator s".into(), "normalized".into()]);
-    row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()]);
+    row(&[
+        "suite".into(),
+        "benchmark".into(),
+        "baseline s".into(),
+        "exterminator s".into(),
+        "normalized".into(),
+    ]);
+    row(&[
+        "---".into(),
+        "---".into(),
+        "---".into(),
+        "---".into(),
+        "---".into(),
+    ]);
 
     let mut per_suite_ratios: Vec<(&str, Vec<f64>)> = Vec::new();
     for (suite_name, suite) in [

@@ -21,9 +21,7 @@ fn main() {
     let p = h.malloc(32, SiteHash::from_raw(1)).unwrap();
     let invalid = h.free(Addr::new(0xABCD_0000), SiteHash::from_raw(1));
     let interior = h.free(p + 4, SiteHash::from_raw(1));
-    println!(
-        "| invalid frees | ignored ({invalid:?}, {interior:?}), heap intact | tolerate |"
-    );
+    println!("| invalid frees | ignored ({invalid:?}, {interior:?}), heap intact | tolerate |");
 
     // Double frees.
     h.free(p, SiteHash::from_raw(1));
@@ -33,16 +31,17 @@ fn main() {
     // Uninitialized reads.
     let q = h.malloc(64, SiteHash::from_raw(1)).unwrap();
     let zeroed = h.arena().read_bytes(q, 64).unwrap().iter().all(|&b| b == 0);
-    println!(
-        "| uninitialized reads | all allocations zero-filled ({zeroed}) | N/A (zero-fill) |"
-    );
+    println!("| uninitialized reads | all allocations zero-filled ({zeroed}) | N/A (zero-fill) |");
 
     // Buffer overflows: corrected.
     let input = WorkloadInput::with_seed(41).intensity(3);
     let overflow = find_manifesting_fault(
         &EspressoLike::new(),
         &input,
-        FaultKind::BufferOverflow { delta: 20, fill: 0xEE },
+        FaultKind::BufferOverflow {
+            delta: 20,
+            fill: 0xEE,
+        },
         100,
         300,
         20,

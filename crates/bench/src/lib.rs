@@ -8,7 +8,6 @@
 
 use std::time::Instant;
 
-
 use xt_baseline::BaselineHeap;
 use xt_correct::CorrectingHeap;
 use xt_diefast::{DieFastConfig, DieFastHeap};
@@ -53,11 +52,7 @@ pub fn run_on_baseline(workload: &dyn Workload, input: &WorkloadInput, seed: u64
 /// Runs `workload` once over the Fig. 7 *Exterminator* stack: DieFast plus
 /// the correcting allocator, in the non-replicated configuration the paper
 /// measures ("DieFast plus the correcting allocator", §7.1).
-pub fn run_on_exterminator(
-    workload: &dyn Workload,
-    input: &WorkloadInput,
-    seed: u64,
-) -> RunResult {
+pub fn run_on_exterminator(workload: &dyn Workload, input: &WorkloadInput, seed: u64) -> RunResult {
     let diefast = DieFastHeap::new(DieFastConfig::with_seed(seed));
     let mut heap = CorrectingHeap::new(diefast, PatchTable::new());
     let result = workload.run(&mut heap, input);
@@ -73,6 +68,98 @@ pub fn run_on_exterminator(
 /// Prints a Markdown-ish table row.
 pub fn row(cols: &[String]) {
     println!("| {} |", cols.join(" | "));
+}
+
+/// One benchmark measurement destined for a `BENCH_*.json` trajectory file.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark case name, e.g. `many_region_mixed/page_table`.
+    pub name: String,
+    /// Nanoseconds per operation (median).
+    pub ns_per_op: f64,
+    /// Operations per second implied by `ns_per_op`.
+    pub ops_per_sec: f64,
+}
+
+impl BenchRecord {
+    /// Builds a record from a median per-op time in nanoseconds.
+    #[must_use]
+    pub fn from_ns(name: impl Into<String>, ns_per_op: f64) -> Self {
+        BenchRecord {
+            name: name.into(),
+            ns_per_op,
+            ops_per_sec: if ns_per_op > 0.0 {
+                1e9 / ns_per_op
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A JSON number: finite values as-is, NaN/infinities as 0 (JSON has no
+/// representation for them and a `inf` token would poison the file).
+fn json_num(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes benchmark records to a stable, dependency-free JSON file so
+/// future PRs have a perf trajectory to compare against. Ratios of
+/// interest (e.g. speedup over a baseline) can be included as extra
+/// records.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_bench_json(
+    path: impl AsRef<std::path::Path>,
+    suite: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"suite\": \"{}\",\n", json_str(suite)));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}, \"ops_per_sec\": {:.0}}}{}\n",
+            json_str(&r.name),
+            json_num(r.ns_per_op),
+            json_num(r.ops_per_sec),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// The workspace root (two levels up from this crate's manifest), where
+/// `BENCH_*.json` trajectory files live.
+#[must_use]
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
 }
 
 /// Formats a ratio like Fig. 7's normalized execution time.
@@ -98,6 +185,29 @@ mod tests {
         let a = run_on_baseline(&EspressoLike::new(), &input, 1);
         let b = run_on_exterminator(&EspressoLike::new(), &input, 2);
         assert_eq!(a.output, b.output, "stacks disagree on output");
+    }
+
+    #[test]
+    fn bench_json_is_parseable_even_with_hostile_values() {
+        let dir = std::env::temp_dir().join("xt_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let records = [
+            BenchRecord::from_ns("zero/ns\"quoted\\", 0.0),
+            BenchRecord {
+                name: "nan".into(),
+                ns_per_op: f64::NAN,
+                ops_per_sec: f64::INFINITY,
+            },
+        ];
+        write_bench_json(&path, "suite", &records).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\\\"quoted\\\\"), "name not escaped: {text}");
+        assert!(
+            !text.contains("inf") && !text.contains("NaN"),
+            "non-finite leaked: {text}"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -324,6 +324,9 @@ mod tests {
         let pads: Vec<_> = outcome.patches.pads().collect();
         assert!(!pads.is_empty(), "no pad generated: {:?}", outcome.flagged);
         // The pad must cover the 8-byte overflow.
-        assert!(pads.iter().any(|&(_, p)| p >= 8), "pads too small: {pads:?}");
+        assert!(
+            pads.iter().any(|&(_, p)| p >= 8),
+            "pads too small: {pads:?}"
+        );
     }
 }

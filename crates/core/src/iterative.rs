@@ -287,7 +287,11 @@ mod tests {
         let fault = manifesting_overflow(&input, 20, 1);
         let mut mode = IterativeMode::new(IterativeConfig::default());
         let outcome = mode.repair(&EspressoLike::new(), &input, Some(fault));
-        assert!(outcome.fixed, "not repaired in {} rounds", outcome.rounds.len());
+        assert!(
+            outcome.fixed,
+            "not repaired in {} rounds",
+            outcome.rounds.len()
+        );
         assert!(
             !outcome.rounds.is_empty(),
             "a manifesting fault must require at least one round"
@@ -341,7 +345,10 @@ mod tests {
                 break;
             }
         }
-        assert!(repaired, "no dangling fault was isolated across 25 triggers");
+        assert!(
+            repaired,
+            "no dangling fault was isolated across 25 triggers"
+        );
     }
 
     #[test]
@@ -361,7 +368,11 @@ mod tests {
         };
         config.options.min_confirmations = usize::MAX;
         let mut mode = IterativeMode::new(config);
-        let outcome = mode.repair(&EspressoLike::new(), &WorkloadInput::with_seed(33).intensity(3), Some(fault));
+        let outcome = mode.repair(
+            &EspressoLike::new(),
+            &WorkloadInput::with_seed(33).intensity(3),
+            Some(fault),
+        );
         // With min_confirmations impossible, overflow reports vanish; only
         // dangling overwrites could patch. Either way the driver
         // terminates within max_rounds.

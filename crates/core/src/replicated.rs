@@ -111,7 +111,7 @@ pub fn run_replicated<W: Workload + Sync + ?Sized>(
 
     // One isolated allocator stack per replica, run in parallel threads —
     // the stand-in for the paper's replica processes.
-    let records: Vec<_> = crossbeam::thread::scope(|scope| {
+    let records: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = seeds
             .iter()
             .map(|&seed| {
@@ -124,15 +124,14 @@ pub fn run_replicated<W: Workload + Sync + ?Sized>(
                     halt_on_signal: false,
                 };
                 let input = input.clone();
-                scope.spawn(move |_| execute(&workload, &input, run_config))
+                scope.spawn(move || execute(&workload, &input, run_config))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("replica thread panicked"))
             .collect()
-    })
-    .expect("replica scope panicked");
+    });
 
     let outputs: Vec<Vec<u8>> = records.iter().map(|r| r.result.output.clone()).collect();
     let vote = vote(&outputs);

@@ -53,7 +53,9 @@ impl Sub<AllocTime> for AllocTime {
     type Output = u64;
 
     fn sub(self, rhs: AllocTime) -> u64 {
-        self.0.checked_sub(rhs.0).expect("allocation clock underflow")
+        self.0
+            .checked_sub(rhs.0)
+            .expect("allocation clock underflow")
     }
 }
 

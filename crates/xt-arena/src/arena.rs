@@ -1,12 +1,37 @@
 //! The simulated sparse address space.
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::{Addr, MemFault, Rng};
 
 /// Granularity of mappings, mirroring the paper's 4 KiB platform pages.
 pub const PAGE_SIZE: usize = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+const PAGE_SHIFT: u32 = 12;
+
+/// Pages covered by one leaf table of the page-table directory (512 pages
+/// = 2 MiB of address space). Leaves are 2 KiB each, so even a heap of
+/// thousands of randomly placed miniheaps costs well under 0.1% extra
+/// memory in translation structures.
+const CHUNK_PAGES: usize = 512;
+
+/// log2 of [`CHUNK_PAGES`].
+const CHUNK_SHIFT: u32 = 9;
+
+/// Entries in the direct-mapped translation lookaside buffer — sized like
+/// a real second-level TLB (4 KiB of state) so the working set of a
+/// many-miniheap heap stays resident with few conflict misses.
+const TLB_ENTRIES: usize = 256;
+
+/// Leaf-table marker for "this page is unmapped".
+const NO_REGION: u32 = u32::MAX;
+
+/// TLB tag marking an empty entry (no valid page number is this large in a
+/// 47-bit space).
+const INVALID_PAGE: u64 = u64::MAX;
 
 /// Lowest address at which regions are placed (keeps null pointers and small
 /// offsets from them unmapped, so `NULL + k` dereferences fault).
@@ -20,8 +45,57 @@ const PLACEMENT_ATTEMPTS: usize = 4096;
 
 #[derive(Debug)]
 struct Region {
+    base: u64,
     data: Vec<u8>,
 }
+
+/// One leaf of the page table: maps 512 consecutive pages to region ids.
+struct Leaf {
+    entries: Box<[u32; CHUNK_PAGES]>,
+    /// Count of mapped entries, so empty leaves can be reclaimed.
+    mapped: usize,
+}
+
+impl Leaf {
+    fn new() -> Self {
+        Leaf {
+            entries: Box::new([NO_REGION; CHUNK_PAGES]),
+            mapped: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Leaf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Leaf")
+            .field("mapped", &self.mapped)
+            .finish()
+    }
+}
+
+/// Fibonacci-multiplicative hasher for directory chunk numbers. The keys
+/// are page numbers the arena itself generated, so the DoS resistance of
+/// `HashMap`'s default SipHash would charge every TLB miss ~4× the cost
+/// of the table walk it protects — a tax real page-table hardware does
+/// not pay.
+#[derive(Default)]
+struct ChunkHasher(u64);
+
+impl Hasher for ChunkHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("directory keys hash through write_u64");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(17);
+    }
+}
+
+type Directory = HashMap<u64, Leaf, BuildHasherDefault<ChunkHasher>>;
 
 /// A sparse, bounds-checked simulated address space.
 ///
@@ -29,6 +103,12 @@ struct Region {
 /// page-aligned addresses with at least one unmapped guard page between any
 /// two regions. Every access must fall entirely inside one region; anything
 /// else returns a [`MemFault`], the reproduction's SIGSEGV.
+///
+/// Translation is a two-level page table (a directory of fixed 512-page
+/// leaves keyed by chunk number, each leaf mapping page → region id)
+/// fronted by a 256-entry direct-mapped TLB, so a load or store costs O(1)
+/// regardless of how many regions are live. Unmapping invalidates only the
+/// dead region's TLB entries; translations for other regions survive.
 ///
 /// # Example
 ///
@@ -44,22 +124,42 @@ struct Region {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Arena {
-    regions: BTreeMap<u64, Region>,
-    /// One-entry translation cache `(base, end)` for the most recently
-    /// accessed region — the simulation's TLB. Without it, every access
-    /// pays a tree lookup whose depth grows with the region count, which
-    /// would tax many-miniheap allocators for a cost real hardware does
-    /// not charge.
-    last_region: Cell<(u64, u64)>,
+    /// Region storage, indexed by the ids the page table hands out. `None`
+    /// slots are unmapped regions awaiting id reuse.
+    slab: Vec<Option<Region>>,
+    /// Reusable slab indices of unmapped regions.
+    free_ids: Vec<u32>,
+    /// Page-table directory: chunk number → leaf table.
+    directory: Directory,
+    /// Region bases in address order, for placement and iteration (the
+    /// access fast path never touches this).
+    by_base: BTreeMap<u64, u32>,
+    /// Direct-mapped TLB: slot `page % 256` caches `(page, region id)`.
+    tlb: [Cell<(u64, u32)>; TLB_ENTRIES],
+    /// Total mapped bytes, maintained incrementally.
+    total_mapped: usize,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::new()
+    }
 }
 
 impl Arena {
     /// Creates an empty address space.
     #[must_use]
     pub fn new() -> Self {
-        Arena::default()
+        Arena {
+            slab: Vec::new(),
+            free_ids: Vec::new(),
+            directory: Directory::default(),
+            by_base: BTreeMap::new(),
+            tlb: std::array::from_fn(|_| Cell::new((INVALID_PAGE, 0))),
+            total_mapped: 0,
+        }
     }
 
     /// Maps a zero-filled region of at least `len` bytes at a random
@@ -92,12 +192,7 @@ impl Arena {
         for _ in 0..PLACEMENT_ATTEMPTS {
             let base = LOW_ADDR + rng.below(slots) * PAGE_SIZE as u64;
             if self.is_range_free(base, span) {
-                self.regions.insert(
-                    base,
-                    Region {
-                        data: vec![0u8; len],
-                    },
-                );
+                self.insert_region(base, len);
                 return Ok(Addr::new(base));
             }
         }
@@ -121,26 +216,81 @@ impl Arena {
         {
             return Err(MemFault::ExhaustedAddressSpace { len });
         }
-        self.regions.insert(
-            base.get(),
-            Region {
-                data: vec![0u8; len],
-            },
-        );
+        self.insert_region(base.get(), len);
         Ok(())
     }
 
     /// Unmaps the region based at `base`.
     ///
+    /// Only this region's TLB entries are invalidated; cached translations
+    /// for every other region stay hot.
+    ///
     /// # Errors
     ///
     /// Returns [`MemFault::Unmapped`] if `base` is not the base of a mapping.
     pub fn unmap(&mut self, base: Addr) -> Result<(), MemFault> {
-        self.last_region.set((0, 0));
-        self.regions
-            .remove(&base.get())
-            .map(|_| ())
-            .ok_or(MemFault::Unmapped { addr: base })
+        let Some(idx) = self.by_base.remove(&base.get()) else {
+            return Err(MemFault::Unmapped { addr: base });
+        };
+        let region = self.slab[idx as usize]
+            .take()
+            .expect("page table referenced a live region");
+        self.total_mapped -= region.data.len();
+        let first_page = region.base >> PAGE_SHIFT;
+        for page in first_page..first_page + (region.data.len() / PAGE_SIZE) as u64 {
+            let chunk = page >> CHUNK_SHIFT;
+            let leaf = self
+                .directory
+                .get_mut(&chunk)
+                .expect("mapped page has a leaf table");
+            leaf.entries[page as usize & (CHUNK_PAGES - 1)] = NO_REGION;
+            leaf.mapped -= 1;
+            if leaf.mapped == 0 {
+                self.directory.remove(&chunk);
+            }
+        }
+        // Precise shootdown: drop only translations that named this region.
+        for entry in &self.tlb {
+            if entry.get().1 == idx {
+                entry.set((INVALID_PAGE, 0));
+            }
+        }
+        self.free_ids.push(idx);
+        Ok(())
+    }
+
+    fn insert_region(&mut self, base: u64, len: usize) {
+        let idx = match self.free_ids.pop() {
+            Some(idx) => idx,
+            None => {
+                assert!(
+                    self.slab.len() < NO_REGION as usize,
+                    "region id space exhausted"
+                );
+                self.slab.push(None);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.slab[idx as usize] = Some(Region {
+            base,
+            data: vec![0u8; len],
+        });
+        self.by_base.insert(base, idx);
+        self.total_mapped += len;
+        let first_page = base >> PAGE_SHIFT;
+        for page in first_page..first_page + (len / PAGE_SIZE) as u64 {
+            let leaf = self
+                .directory
+                .entry(page >> CHUNK_SHIFT)
+                .or_insert_with(Leaf::new);
+            debug_assert_eq!(
+                leaf.entries[page as usize & (CHUNK_PAGES - 1)],
+                NO_REGION,
+                "double-mapped page"
+            );
+            leaf.entries[page as usize & (CHUNK_PAGES - 1)] = idx;
+            leaf.mapped += 1;
+        }
     }
 
     fn is_range_free(&self, base: u64, span: u64) -> bool {
@@ -148,37 +298,90 @@ impl Arena {
         let lo = base.saturating_sub(PAGE_SIZE as u64);
         let hi = base + span + PAGE_SIZE as u64;
         // Any region starting before `hi` whose end is after `lo` overlaps.
-        if let Some((&start, region)) = self.regions.range(..hi).next_back() {
-            if start + region.data.len() as u64 > lo {
+        if let Some((&start, &idx)) = self.by_base.range(..hi).next_back() {
+            if start + self.region(idx).data.len() as u64 > lo {
                 return false;
             }
         }
         true
     }
 
-    fn locate(&self, addr: Addr, len: usize) -> Result<(u64, usize), MemFault> {
-        let raw = addr.get();
-        let (cached_base, cached_end) = self.last_region.get();
-        if raw >= cached_base && raw < cached_end {
-            if raw + len as u64 > cached_end {
-                return Err(MemFault::OutOfBounds { addr, len });
-            }
-            return Ok((cached_base, (raw - cached_base) as usize));
+    #[inline]
+    fn region(&self, idx: u32) -> &Region {
+        self.slab[idx as usize]
+            .as_ref()
+            .expect("page table referenced a live region")
+    }
+
+    /// Walks the page table (no TLB) to the region id mapping `page`.
+    #[inline]
+    fn lookup_page(&self, page: u64) -> Option<u32> {
+        let leaf = self.directory.get(&(page >> CHUNK_SHIFT))?;
+        match leaf.entries[page as usize & (CHUNK_PAGES - 1)] {
+            NO_REGION => None,
+            idx => Some(idx),
         }
-        let (&start, region) = self
-            .regions
-            .range(..=raw)
-            .next_back()
-            .ok_or(MemFault::Unmapped { addr })?;
-        let off = (raw - start) as usize;
-        if off >= region.data.len() {
-            return Err(MemFault::Unmapped { addr });
+    }
+
+    /// Translates `addr`'s page to its owning region id.
+    ///
+    /// Fast path: one TLB probe (array index + compare). Miss path: one
+    /// hash lookup and one leaf index, then the TLB is refilled. Both are
+    /// O(1) in the number of live regions.
+    #[inline]
+    fn translate(&self, addr: Addr) -> Result<u32, MemFault> {
+        let page = addr.get() >> PAGE_SHIFT;
+        let slot = page as usize & (TLB_ENTRIES - 1);
+        let (tag, cached) = self.tlb[slot].get();
+        if tag == page {
+            return Ok(cached);
         }
-        self.last_region.set((start, start + region.data.len() as u64));
-        if off + len > region.data.len() {
+        let idx = self.lookup_page(page).ok_or(MemFault::Unmapped { addr })?;
+        self.tlb[slot].set((page, idx));
+        Ok(idx)
+    }
+
+    /// Bounds-checks an access of `len` bytes inside `region`.
+    ///
+    /// Regions are page-aligned and whole pages, so a mapped page implies
+    /// `addr` is inside the region: only the end can overrun.
+    #[inline]
+    fn bounds_check(region: &Region, addr: Addr, len: usize) -> Result<usize, MemFault> {
+        let off = (addr.get() - region.base) as usize;
+        if off as u64 + len as u64 > region.data.len() as u64 {
             return Err(MemFault::OutOfBounds { addr, len });
         }
-        Ok((start, off))
+        Ok(off)
+    }
+
+    /// Translates and bounds-checks a read access, returning the owning
+    /// region and the byte offset within it.
+    #[inline]
+    fn locate_ref(&self, addr: Addr, len: usize) -> Result<(&Region, usize), MemFault> {
+        let idx = self.translate(addr)?;
+        let region = self.region(idx);
+        let off = Self::bounds_check(region, addr, len)?;
+        Ok((region, off))
+    }
+
+    /// Translates and bounds-checks a write access, returning the owning
+    /// region mutably and the byte offset within it.
+    #[inline]
+    fn locate_mut(&mut self, addr: Addr, len: usize) -> Result<(&mut Region, usize), MemFault> {
+        let idx = self.translate(addr)?;
+        let region = self.slab[idx as usize]
+            .as_mut()
+            .expect("page table referenced a live region");
+        let off = Self::bounds_check(region, addr, len)?;
+        Ok((region, off))
+    }
+
+    /// Translates `addr` and bounds-checks an access of `len` bytes.
+    #[inline]
+    fn locate(&self, addr: Addr, len: usize) -> Result<(u32, usize), MemFault> {
+        let idx = self.translate(addr)?;
+        let off = Self::bounds_check(self.region(idx), addr, len)?;
+        Ok((idx, off))
     }
 
     /// Reads `len` bytes starting at `addr`.
@@ -186,9 +389,10 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the range is not entirely inside one mapped region.
+    #[inline]
     pub fn read_bytes(&self, addr: Addr, len: usize) -> Result<&[u8], MemFault> {
-        let (start, off) = self.locate(addr, len)?;
-        Ok(&self.regions[&start].data[off..off + len])
+        let (region, off) = self.locate_ref(addr, len)?;
+        Ok(&region.data[off..off + len])
     }
 
     /// Writes `bytes` starting at `addr`. All-or-nothing: a faulting write
@@ -197,9 +401,9 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the range is not entirely inside one mapped region.
+    #[inline]
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), MemFault> {
-        let (start, off) = self.locate(addr, bytes.len())?;
-        let region = self.regions.get_mut(&start).expect("located region");
+        let (region, off) = self.locate_mut(addr, bytes.len())?;
         region.data[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
@@ -209,6 +413,7 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if `addr` is unmapped.
+    #[inline]
     pub fn read_u8(&self, addr: Addr) -> Result<u8, MemFault> {
         Ok(self.read_bytes(addr, 1)?[0])
     }
@@ -218,6 +423,7 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if `addr` is unmapped.
+    #[inline]
     pub fn write_u8(&mut self, addr: Addr, value: u8) -> Result<(), MemFault> {
         self.write_bytes(addr, &[value])
     }
@@ -227,6 +433,7 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the 4-byte range is not mapped.
+    #[inline]
     pub fn read_u32(&self, addr: Addr) -> Result<u32, MemFault> {
         let b = self.read_bytes(addr, 4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
@@ -237,6 +444,7 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the 4-byte range is not mapped.
+    #[inline]
     pub fn write_u32(&mut self, addr: Addr, value: u32) -> Result<(), MemFault> {
         self.write_bytes(addr, &value.to_le_bytes())
     }
@@ -246,6 +454,7 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the 8-byte range is not mapped.
+    #[inline]
     pub fn read_u64(&self, addr: Addr) -> Result<u64, MemFault> {
         let b = self.read_bytes(addr, 8)?;
         Ok(u64::from_le_bytes([
@@ -258,6 +467,7 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the 8-byte range is not mapped.
+    #[inline]
     pub fn write_u64(&mut self, addr: Addr, value: u64) -> Result<(), MemFault> {
         self.write_bytes(addr, &value.to_le_bytes())
     }
@@ -267,6 +477,7 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the 8-byte range is not mapped.
+    #[inline]
     pub fn read_addr(&self, addr: Addr) -> Result<Addr, MemFault> {
         Ok(Addr::new(self.read_u64(addr)?))
     }
@@ -276,6 +487,7 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the 8-byte range is not mapped.
+    #[inline]
     pub fn write_addr(&mut self, addr: Addr, value: Addr) -> Result<(), MemFault> {
         self.write_u64(addr, value.get())
     }
@@ -285,9 +497,9 @@ impl Arena {
     /// # Errors
     ///
     /// Faults if the range is not entirely inside one mapped region.
+    #[inline]
     pub fn fill(&mut self, addr: Addr, len: usize, value: u8) -> Result<(), MemFault> {
-        let (start, off) = self.locate(addr, len)?;
-        let region = self.regions.get_mut(&start).expect("located region");
+        let (region, off) = self.locate_mut(addr, len)?;
         region.data[off..off + len].fill(value);
         Ok(())
     }
@@ -305,44 +517,103 @@ impl Arena {
         len: usize,
         pattern: u32,
     ) -> Result<(), MemFault> {
-        let (start, off) = self.locate(addr, len)?;
-        let region = self.regions.get_mut(&start).expect("located region");
-        let bytes = pattern.to_le_bytes();
-        for (i, slot) in region.data[off..off + len].iter_mut().enumerate() {
-            *slot = bytes[i % 4];
+        let (region, off) = self.locate_mut(addr, len)?;
+        let pat = pattern.to_le_bytes();
+        let dst = &mut region.data[off..off + len];
+        let whole = len - len % 4;
+        for chunk in dst[..whole].chunks_exact_mut(4) {
+            chunk.copy_from_slice(&pat);
+        }
+        for (i, slot) in dst[whole..].iter_mut().enumerate() {
+            *slot = pat[i];
         }
         Ok(())
+    }
+
+    /// Compares `len` bytes at `addr` against a repeating little-endian
+    /// `u32` pattern (phase-aligned to `addr`, like
+    /// [`Arena::fill_pattern_u32`]) and returns the offset of the first
+    /// mismatching byte, or `None` if the whole range matches.
+    ///
+    /// This is DieFast's canary check as one bulk operation: word-at-a-time
+    /// comparison instead of a bounds-checked simulated load per byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is not entirely inside one mapped region.
+    pub fn compare_pattern(
+        &self,
+        addr: Addr,
+        len: usize,
+        pattern: u32,
+    ) -> Result<Option<usize>, MemFault> {
+        let (region, off) = self.locate_ref(addr, len)?;
+        let bytes = &region.data[off..off + len];
+        let pat = pattern.to_le_bytes();
+        // Double the pattern up to 64 bits and compare 8 bytes per step
+        // (the pattern's phase stays aligned because steps are multiples
+        // of four); only a differing word gets a per-byte look.
+        let pat64 = u64::from(pattern) | (u64::from(pattern) << 32);
+        let whole = len - len % 8;
+        let clean_until = bytes[..whole]
+            .chunks_exact(8)
+            .position(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) != pat64)
+            .map_or(whole, |c| c * 8);
+        for (j, &b) in bytes[clean_until..].iter().enumerate() {
+            let i = clean_until + j;
+            if b != pat[i % 4] {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Copies `out.len()` bytes starting at `addr` into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is not entirely inside one mapped region.
+    pub fn copy_out(&self, addr: Addr, out: &mut [u8]) -> Result<(), MemFault> {
+        let (region, off) = self.locate_ref(addr, out.len())?;
+        out.copy_from_slice(&region.data[off..off + out.len()]);
+        Ok(())
+    }
+
+    /// Returns a zero-copy view of the entire region containing `addr`, as
+    /// `(region base, region bytes)`. This is how heap-image capture reads
+    /// a whole miniheap with one translation instead of one per slot.
+    #[must_use]
+    pub fn region_snapshot(&self, addr: Addr) -> Option<(Addr, &[u8])> {
+        let idx = self.lookup_page(addr.get() >> PAGE_SHIFT)?;
+        let region = self.region(idx);
+        Some((Addr::new(region.base), &region.data))
     }
 
     /// Returns the base and length of the region containing `addr`.
     #[must_use]
     pub fn region_of(&self, addr: Addr) -> Option<(Addr, usize)> {
-        let raw = addr.get();
-        let (&start, region) = self.regions.range(..=raw).next_back()?;
-        if raw - start < region.data.len() as u64 {
-            Some((Addr::new(start), region.data.len()))
-        } else {
-            None
-        }
+        let (base, data) = self.region_snapshot(addr)?;
+        Some((base, data.len()))
     }
 
     /// Returns `true` if every byte of `[addr, addr + len)` is mapped.
     #[must_use]
+    #[inline]
     pub fn is_mapped(&self, addr: Addr, len: usize) -> bool {
         self.locate(addr, len.max(1)).is_ok()
     }
 
     /// Iterates over `(base, len)` for every mapped region, in address order.
     pub fn regions(&self) -> impl Iterator<Item = (Addr, usize)> + '_ {
-        self.regions
+        self.by_base
             .iter()
-            .map(|(&start, region)| (Addr::new(start), region.data.len()))
+            .map(|(&base, &idx)| (Addr::new(base), self.region(idx).data.len()))
     }
 
     /// Total mapped bytes.
     #[must_use]
     pub fn mapped_bytes(&self) -> usize {
-        self.regions.values().map(|r| r.data.len()).sum()
+        self.total_mapped
     }
 }
 
@@ -408,7 +679,9 @@ mod tests {
     fn faulting_write_is_all_or_nothing() {
         let (mut arena, base) = arena_with_region(4096);
         arena.fill(base, 4096, 0xaa).unwrap();
-        let err = arena.write_bytes(base + 4092, &[1, 2, 3, 4, 5, 6]).unwrap_err();
+        let err = arena
+            .write_bytes(base + 4092, &[1, 2, 3, 4, 5, 6])
+            .unwrap_err();
         assert!(matches!(err, MemFault::OutOfBounds { .. }));
         // Nothing was modified.
         assert_eq!(arena.read_bytes(base + 4092, 4).unwrap(), &[0xaa; 4]);
@@ -435,10 +708,7 @@ mod tests {
         let (mut arena, base) = arena_with_region(4096);
         arena.unmap(base).unwrap();
         assert!(arena.read_u8(base).is_err());
-        assert!(matches!(
-            arena.unmap(base),
-            Err(MemFault::Unmapped { .. })
-        ));
+        assert!(matches!(arena.unmap(base), Err(MemFault::Unmapped { .. })));
     }
 
     #[test]
@@ -497,5 +767,123 @@ mod tests {
         let b1 = a1.map(4096, &mut Rng::new(1));
         let b2 = a2.map(4096, &mut Rng::new(2));
         assert_ne!(b1, b2, "two seeds produced identical placement");
+    }
+
+    #[test]
+    fn compare_pattern_finds_first_mismatch() {
+        let (mut arena, base) = arena_with_region(4096);
+        arena.fill_pattern_u32(base, 100, 0xABCD_EF01).unwrap();
+        assert_eq!(arena.compare_pattern(base, 100, 0xABCD_EF01).unwrap(), None);
+        // Aligned word mismatch.
+        arena.write_u8(base + 41, 0x5A).unwrap();
+        assert_eq!(
+            arena.compare_pattern(base, 100, 0xABCD_EF01).unwrap(),
+            Some(41)
+        );
+        // Mismatch in the truncated tail word.
+        arena.fill_pattern_u32(base, 100, 0xABCD_EF01).unwrap();
+        arena.write_u8(base + 98, 0x5A).unwrap();
+        assert_eq!(
+            arena.compare_pattern(base, 99, 0xABCD_EF01).unwrap(),
+            Some(98)
+        );
+        // Out-of-bounds compare faults like any other access.
+        assert!(arena.compare_pattern(base + 4092, 8, 1).is_err());
+    }
+
+    #[test]
+    fn copy_out_matches_read_bytes() {
+        let (mut arena, base) = arena_with_region(4096);
+        arena.write_bytes(base + 7, b"exterminate").unwrap();
+        let mut buf = [0u8; 11];
+        arena.copy_out(base + 7, &mut buf).unwrap();
+        assert_eq!(&buf, b"exterminate");
+        let mut big = [0u8; 16];
+        assert!(arena.copy_out(base + 4090, &mut big).is_err());
+    }
+
+    #[test]
+    fn region_snapshot_is_whole_region() {
+        let (mut arena, base) = arena_with_region(2 * 4096);
+        arena.write_u8(base + 5000, 9).unwrap();
+        let (snap_base, bytes) = arena.region_snapshot(base + 6000).unwrap();
+        assert_eq!(snap_base, base);
+        assert_eq!(bytes.len(), 2 * 4096);
+        assert_eq!(bytes[5000], 9);
+        assert!(arena.region_snapshot(Addr::new(0x2000)).is_none());
+    }
+
+    /// Regression test: unmapping one region must not poison cached
+    /// translations of *other* regions (the old single-entry cache was
+    /// flushed whole on any unmap; worse, a stale entry must never
+    /// resurrect the dead region).
+    #[test]
+    fn unmap_keeps_unrelated_translations_correct() {
+        let mut arena = Arena::new();
+        let mut rng = Rng::new(99);
+        let a = arena.map(4096, &mut rng);
+        let b = arena.map(4096, &mut rng);
+        let c = arena.map(4096, &mut rng);
+        arena.write_u64(a, 0xA).unwrap();
+        arena.write_u64(b, 0xB).unwrap();
+        arena.write_u64(c, 0xC).unwrap();
+        // Warm translations for all three, then unmap B.
+        assert_eq!(arena.read_u64(a).unwrap(), 0xA);
+        assert_eq!(arena.read_u64(b).unwrap(), 0xB);
+        assert_eq!(arena.read_u64(c).unwrap(), 0xC);
+        arena.unmap(b).unwrap();
+        // A and C still translate (and correctly); B faults.
+        assert_eq!(arena.read_u64(a).unwrap(), 0xA);
+        assert_eq!(arena.read_u64(c).unwrap(), 0xC);
+        assert!(matches!(arena.read_u64(b), Err(MemFault::Unmapped { .. })));
+        // A fresh region may reuse B's internal id; the old address must
+        // still fault and the new one must read its own zeroed memory.
+        let d = arena.map(4096, &mut rng);
+        assert!(arena.read_u64(b).is_err() || b == d);
+        assert_eq!(arena.read_u64(d).unwrap(), 0);
+        assert_eq!(arena.read_u64(a).unwrap(), 0xA);
+    }
+
+    /// Two regions whose pages collide in the direct-mapped TLB must evict
+    /// each other without ever returning the wrong region's bytes.
+    #[test]
+    fn tlb_conflict_misses_stay_correct() {
+        let mut arena = Arena::new();
+        // Pages 0x10000 and 0x10100 share TLB slot 0 (256-entry TLB).
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1010_0000);
+        arena.map_at(a, 4096).unwrap();
+        arena.map_at(b, 4096).unwrap();
+        arena.write_u64(a, 1).unwrap();
+        arena.write_u64(b, 2).unwrap();
+        for _ in 0..100 {
+            assert_eq!(arena.read_u64(a).unwrap(), 1);
+            assert_eq!(arena.read_u64(b).unwrap(), 2);
+        }
+        arena.unmap(a).unwrap();
+        assert!(arena.read_u64(a).is_err());
+        assert_eq!(arena.read_u64(b).unwrap(), 2);
+    }
+
+    /// Interleaved map/unmap/access across many regions: every read sees
+    /// the bytes its region was stamped with, never a stale translation.
+    #[test]
+    fn interleaved_map_unmap_read_sequence() {
+        let mut arena = Arena::new();
+        let mut rng = Rng::new(42);
+        let mut live: Vec<(Addr, u64)> = Vec::new();
+        for round in 0u64..200 {
+            if live.len() >= 8 {
+                let (victim, _) = live.swap_remove((round % 8) as usize);
+                arena.unmap(victim).unwrap();
+                assert!(arena.read_u8(victim).is_err());
+            }
+            let base = arena.map(4096, &mut rng);
+            arena.write_u64(base, round).unwrap();
+            live.push((base, round));
+            for &(addr, stamp) in &live {
+                assert_eq!(arena.read_u64(addr).unwrap(), stamp);
+            }
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! The paper instruments the real process heap of C programs. Reproducing
 //! that directly in Rust would make every injected memory error undefined
 //! behaviour, so this crate provides the substitute substrate described in
-//! `DESIGN.md`: a 48-bit *simulated* address space ([`Arena`]) made of
+//! `DESIGN.md`: a 47-bit *simulated* address space ([`Arena`]) made of
 //! sparsely mapped pages. Heap pointers are [`Addr`] values (plain offsets),
 //! and all loads/stores are bounds-checked: an access to unmapped memory
 //! returns a [`MemFault`], which the runtime treats exactly like a SIGSEGV.
@@ -14,6 +14,38 @@
 //! mapped region fault, while overflows within a miniheap silently corrupt
 //! whatever the randomized layout placed there — the behaviour Exterminator's
 //! probabilistic isolation depends on.
+//!
+//! # Translation: page table + TLB
+//!
+//! Every simulated access is translated the way hardware translates it:
+//!
+//! 1. a **256-entry direct-mapped TLB** indexed by page number resolves
+//!    repeat accesses to recently touched pages with one array probe;
+//! 2. on a miss, a **two-level page table** — a directory of fixed
+//!    512-page leaf tables, each mapping page → region id — resolves the
+//!    page in O(1) and refills the TLB.
+//!
+//! Unmapping a region performs a *precise* TLB shootdown: only the dead
+//! region's entries are invalidated, so a `free` does not slow down
+//! unrelated accesses. (An earlier design used a `BTreeMap` range query
+//! softened by a single-entry cache flushed whole on any unmap; that
+//! charged the simulation an O(log n) tree walk per miss — a cost real
+//! hardware does not pay, which distorted exactly the overhead the paper
+//! measures in Fig. 7.)
+//!
+//! ## Fidelity: what the simulation charges vs. real hardware
+//!
+//! | operation            | real hardware              | this arena                    |
+//! |----------------------|----------------------------|-------------------------------|
+//! | load/store, TLB hit  | ~1 cycle address check     | array probe + bounds check    |
+//! | load/store, TLB miss | page-table walk (O(1))     | hash + leaf index (O(1))      |
+//! | `mmap`/`munmap`      | kernel, O(pages)           | page-table edit, O(pages)     |
+//! | canary fill/check    | word-wide loop             | bulk [`Arena::fill_pattern_u32`] / [`Arena::compare_pattern`] |
+//! | heap-image capture   | `memcpy` of mapped pages   | [`Arena::region_snapshot`] + slice copies |
+//!
+//! Nothing is charged per-access that scales with the number of live
+//! regions, so measured allocator overheads reflect the algorithms under
+//! study (randomized probing, canary work), not the substrate.
 //!
 //! # Example
 //!

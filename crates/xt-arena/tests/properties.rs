@@ -1,8 +1,124 @@
 //! Property tests for the simulated address space.
+//!
+//! Besides direct invariants, these tests pin the page-table/TLB arena to
+//! the *observable semantics* of the original `BTreeMap` implementation:
+//! a naive reference model (linear scan over `(base, bytes)` pairs) is
+//! driven in lockstep through random map/unmap/access interleavings, and
+//! every result — data read, fault classification (`Unmapped` vs
+//! `OutOfBounds`), all-or-nothing writes, guard-page faults — must agree.
 
 use proptest::prelude::*;
 
-use xt_arena::{Arena, MemFault, Rng, PAGE_SIZE};
+use xt_arena::{Addr, Arena, MemFault, Rng, PAGE_SIZE};
+
+/// The reference semantics: a flat list of regions, searched linearly.
+#[derive(Default)]
+struct ModelArena {
+    regions: Vec<(u64, Vec<u8>)>,
+}
+
+/// What the model says an access should observe.
+#[derive(Debug, PartialEq, Eq)]
+enum ModelAccess {
+    Ok,
+    Unmapped,
+    OutOfBounds,
+}
+
+impl ModelArena {
+    fn map(&mut self, base: Addr, len: usize) {
+        self.regions.push((base.get(), vec![0u8; len]));
+    }
+
+    fn unmap(&mut self, base: Addr) -> bool {
+        let before = self.regions.len();
+        self.regions.retain(|&(b, _)| b != base.get());
+        self.regions.len() != before
+    }
+
+    fn classify(&self, addr: Addr, len: usize) -> ModelAccess {
+        let raw = addr.get();
+        for &(base, ref data) in &self.regions {
+            if raw >= base && raw < base + data.len() as u64 {
+                return if raw + len as u64 <= base + data.len() as u64 {
+                    ModelAccess::Ok
+                } else {
+                    ModelAccess::OutOfBounds
+                };
+            }
+        }
+        ModelAccess::Unmapped
+    }
+
+    fn write(&mut self, addr: Addr, bytes: &[u8]) -> ModelAccess {
+        let verdict = self.classify(addr, bytes.len());
+        if verdict == ModelAccess::Ok {
+            let raw = addr.get();
+            for &mut (base, ref mut data) in &mut self.regions {
+                if raw >= base && raw < base + data.len() as u64 {
+                    let off = (raw - base) as usize;
+                    data[off..off + bytes.len()].copy_from_slice(bytes);
+                }
+            }
+        }
+        verdict
+    }
+
+    fn read(&self, addr: Addr, len: usize) -> Result<&[u8], ModelAccess> {
+        match self.classify(addr, len) {
+            ModelAccess::Ok => {
+                let raw = addr.get();
+                let (base, data) = self
+                    .regions
+                    .iter()
+                    .find(|&&(base, ref data)| raw >= base && raw < base + data.len() as u64)
+                    .expect("classified Ok");
+                let off = (raw - base) as usize;
+                Ok(&data[off..off + len])
+            }
+            verdict => Err(verdict),
+        }
+    }
+}
+
+fn classify_fault(result: Result<(), MemFault>) -> ModelAccess {
+    match result {
+        Ok(()) => ModelAccess::Ok,
+        Err(MemFault::Unmapped { .. }) => ModelAccess::Unmapped,
+        Err(MemFault::OutOfBounds { .. }) => ModelAccess::OutOfBounds,
+        Err(MemFault::ExhaustedAddressSpace { .. }) => {
+            panic!("access returned a mapping fault")
+        }
+    }
+}
+
+/// One step of a randomized arena script.
+#[derive(Clone, Debug)]
+enum ArenaOp {
+    /// Map a fresh region of 1–3 pages.
+    Map(usize),
+    /// Unmap the nth live region (modulo count).
+    UnmapNth(usize),
+    /// Write a byte pattern at an offset relative to the nth region's
+    /// base; offsets may run past the region end or into guard pages.
+    Write(usize, usize, u8, usize),
+    /// Read relative to the nth region's base.
+    Read(usize, usize, usize),
+    /// Read at an absolute (mostly unmapped) address.
+    ReadAbs(u64, usize),
+}
+
+fn arena_op() -> impl Strategy<Value = ArenaOp> {
+    prop_oneof![
+        (1usize..3 * PAGE_SIZE).prop_map(ArenaOp::Map),
+        (0usize..16).prop_map(ArenaOp::UnmapNth),
+        (0usize..16, 0usize..PAGE_SIZE + 64, any::<u8>(), 1usize..96)
+            .prop_map(|(n, off, fill, len)| ArenaOp::Write(n, off, fill, len)),
+        (0usize..16, 0usize..PAGE_SIZE + 64, 1usize..96)
+            .prop_map(|(n, off, len)| ArenaOp::Read(n, off, len)),
+        (0u64..0x8000_0000_0000, 1usize..64).prop_map(|(a, l)| ArenaOp::ReadAbs(a, l)),
+    ]
+}
 
 proptest! {
     /// Whatever bytes go in come back out, at any in-bounds offset.
@@ -81,5 +197,147 @@ proptest! {
             Err(MemFault::Unmapped { .. })
         );
         prop_assert!(faulted);
+    }
+
+    /// The page-table arena is observably equivalent to the reference
+    /// semantics under arbitrary map/unmap/access interleavings: identical
+    /// data, identical `Unmapped` vs `OutOfBounds` classification, and
+    /// all-or-nothing writes.
+    #[test]
+    fn equivalent_to_reference_model(
+        seed in 0u64..10_000,
+        ops in proptest::collection::vec(arena_op(), 1..120),
+    ) {
+        let mut arena = Arena::new();
+        let mut model = ModelArena::default();
+        let mut rng = Rng::new(seed);
+        let mut bases: Vec<Addr> = Vec::new();
+        for op in ops {
+            match op {
+                ArenaOp::Map(len) => {
+                    let base = arena.map(len, &mut rng);
+                    let (b, actual_len) = arena.region_of(base).expect("fresh mapping resolves");
+                    prop_assert_eq!(b, base);
+                    model.map(base, actual_len);
+                    bases.push(base);
+                }
+                ArenaOp::UnmapNth(n) => {
+                    if bases.is_empty() { continue; }
+                    let base = bases.swap_remove(n % bases.len());
+                    prop_assert!(arena.unmap(base).is_ok());
+                    prop_assert!(model.unmap(base));
+                    // Unmapped base faults identically in both.
+                    prop_assert_eq!(
+                        classify_fault(arena.read_bytes(base, 1).map(|_| ())),
+                        ModelAccess::Unmapped
+                    );
+                }
+                ArenaOp::Write(n, off, fill, len) => {
+                    if bases.is_empty() { continue; }
+                    let addr = bases[n % bases.len()] + off as u64;
+                    let bytes = vec![fill; len];
+                    let got = classify_fault(arena.write_bytes(addr, &bytes));
+                    let want = model.write(addr, &bytes);
+                    prop_assert_eq!(&got, &want, "write at +{} len {}: {:?} vs {:?}", off, len, got, want);
+                    if got != ModelAccess::Ok {
+                        // All-or-nothing: the mapped prefix, if any, must be
+                        // untouched, which the full-region compare below
+                        // (after the loop) also enforces continuously.
+                        prop_assert!(got == ModelAccess::Unmapped || got == ModelAccess::OutOfBounds);
+                    }
+                }
+                ArenaOp::Read(n, off, len) => {
+                    if bases.is_empty() { continue; }
+                    let addr = bases[n % bases.len()] + off as u64;
+                    match (arena.read_bytes(addr, len), model.read(addr, len)) {
+                        (Ok(got), Ok(want)) => prop_assert_eq!(got, want),
+                        (Err(fault), Err(want)) => {
+                            prop_assert_eq!(classify_fault(Err(fault)), want);
+                        }
+                        (got, want) => {
+                            return Err(TestCaseError::Fail(format!(
+                                "read at +{off} len {len} diverged: {got:?} vs {want:?}"
+                            )));
+                        }
+                    }
+                }
+                ArenaOp::ReadAbs(raw, len) => {
+                    let addr = Addr::new(raw);
+                    let got = classify_fault(arena.read_bytes(addr, len).map(|_| ()));
+                    let want = model.classify(addr, len);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            // Continuous full-state equivalence: every region's bytes match
+            // the model byte-for-byte (this is what makes faulting writes
+            // provably all-or-nothing across the whole interleaving).
+            for &base in &bases {
+                let (b, len) = arena.region_of(base).expect("live region resolves");
+                prop_assert_eq!(b, base);
+                prop_assert_eq!(
+                    arena.read_bytes(base, len).unwrap(),
+                    model.read(base, len).unwrap()
+                );
+            }
+            prop_assert_eq!(arena.regions().count(), bases.len());
+        }
+    }
+
+    /// Guard pages: the page on either side of any mapping is unmapped, so
+    /// one-past-the-end and one-before accesses fault as `Unmapped` (after
+    /// an `OutOfBounds` for ranges straddling the boundary).
+    #[test]
+    fn guard_pages_fault(seed in 0u64..2000, lens in proptest::collection::vec(1usize..3 * PAGE_SIZE, 1..8)) {
+        let mut arena = Arena::new();
+        let mut rng = Rng::new(seed);
+        for len in lens {
+            let base = arena.map(len, &mut rng);
+            let (_, actual_len) = arena.region_of(base).unwrap();
+            let end = base + actual_len as u64;
+            prop_assert!(matches!(
+                arena.read_u8(end),
+                Err(MemFault::Unmapped { .. })
+            ));
+            prop_assert!(matches!(
+                arena.read_u8(base - 1),
+                Err(MemFault::Unmapped { .. })
+            ));
+            // Straddling the end is OutOfBounds (start is mapped).
+            prop_assert!(matches!(
+                arena.read_bytes(end - 1, 2),
+                Err(MemFault::OutOfBounds { .. })
+            ));
+        }
+    }
+
+    /// Bulk APIs agree with their scalar equivalents.
+    #[test]
+    fn bulk_apis_match_scalar_semantics(
+        seed in 0u64..2000,
+        pattern in any::<u32>(),
+        len in 1usize..512,
+        corrupt_at in 0usize..512,
+    ) {
+        let mut arena = Arena::new();
+        let base = arena.map(PAGE_SIZE, &mut Rng::new(seed));
+        arena.fill_pattern_u32(base, len, pattern).unwrap();
+        prop_assert_eq!(arena.compare_pattern(base, len, pattern).unwrap(), None);
+        // copy_out sees exactly what read_bytes sees.
+        let mut buf = vec![0u8; len];
+        arena.copy_out(base, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..], arena.read_bytes(base, len).unwrap());
+        // region_snapshot exposes the same bytes.
+        let (snap_base, snap) = arena.region_snapshot(base).unwrap();
+        prop_assert_eq!(snap_base, base);
+        prop_assert_eq!(&snap[..len], &buf[..]);
+        // A single corrupted byte is located exactly.
+        if corrupt_at < len {
+            let original = arena.read_u8(base + corrupt_at as u64).unwrap();
+            arena.write_u8(base + corrupt_at as u64, original ^ 0xFF).unwrap();
+            prop_assert_eq!(
+                arena.compare_pattern(base, len, pattern).unwrap(),
+                Some(corrupt_at)
+            );
+        }
     }
 }

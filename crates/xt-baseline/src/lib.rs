@@ -40,8 +40,8 @@
 
 use std::collections::HashMap;
 
-use xt_arena::{Addr, Arena, Rng};
 use xt_alloc::{AllocTime, FreeOutcome, Heap, HeapError, SiteHash};
+use xt_arena::{Addr, Arena, Rng};
 
 /// Bytes of inline metadata before each payload.
 pub const HEADER_SIZE: usize = 16;
@@ -315,7 +315,11 @@ mod tests {
         assert_eq!(stale, fresh);
         h.arena_mut().write_u64(fresh, 1111).unwrap();
         h.arena_mut().write_u64(stale, 2222).unwrap(); // dangling write
-        assert_eq!(h.arena().read_u64(fresh).unwrap(), 2222, "silent corruption");
+        assert_eq!(
+            h.arena().read_u64(fresh).unwrap(),
+            2222,
+            "silent corruption"
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
-use xt_arena::{Addr, Arena};
 use xt_alloc::{AllocTime, FreeOutcome, Heap, HeapError, SiteHash, SitePair};
+use xt_arena::{Addr, Arena};
 use xt_patch::PatchTable;
 
 /// One queued deallocation: released when the clock reaches `due`.
@@ -209,9 +209,7 @@ impl<H: Heap> Heap for CorrectingHeap<H> {
         if pad > 0 {
             self.live_padded_bytes = self.live_padded_bytes.saturating_sub(pad);
         }
-        let defer = self
-            .patches
-            .deferral_for(SitePair::new(alloc_site, site));
+        let defer = self.patches.deferral_for(SitePair::new(alloc_site, site));
         if defer == 0 {
             return self.inner.free(ptr, site);
         }

@@ -1,7 +1,7 @@
 //! The DieFast heap: DieHard plus canary-based error detection.
 
-use xt_arena::{Addr, Arena, Rng};
 use xt_alloc::{AllocTime, FreeOutcome, Heap, HeapError, SiteHash};
+use xt_arena::{Addr, Arena, Rng};
 use xt_diehard::{DieHardHeap, MiniHeap, SlotRef, SlotState};
 
 use crate::{DieFastConfig, ErrorSignal, SignalKind};
@@ -93,21 +93,19 @@ impl DieFastHeap {
 
     /// Checks whether the canary bytes of the slot at `loc` are intact.
     ///
-    /// The whole slot is compared against the repeating canary pattern;
-    /// any mismatching byte means an overflow or a dangling write landed
-    /// here.
+    /// The whole slot is compared against the repeating canary pattern in
+    /// one bulk word-at-a-time arena operation; any mismatching byte means
+    /// an overflow or a dangling write landed here.
     #[must_use]
     pub fn canary_intact(&self, loc: SlotRef) -> bool {
         let mh: &MiniHeap = self.inner.miniheap(loc);
         let addr = mh.slot_addr(loc.slot());
         let size = mh.object_size();
-        let bytes = self
-            .inner
+        self.inner
             .arena()
-            .read_bytes(addr, size)
-            .expect("slot memory is always mapped");
-        let pattern = self.canary.to_le_bytes();
-        bytes.iter().enumerate().all(|(i, &b)| b == pattern[i % 4])
+            .compare_pattern(addr, size, self.canary)
+            .expect("slot memory is always mapped")
+            .is_none()
     }
 
     fn signal(&mut self, kind: SignalKind, loc: SlotRef) {
@@ -172,10 +170,7 @@ impl Heap for DieFastHeap {
         if outcome != FreeOutcome::Freed {
             return outcome;
         }
-        let loc = self
-            .inner
-            .location_of(ptr)
-            .expect("freed address resolves");
+        let loc = self.inner.location_of(ptr).expect("freed address resolves");
         // "After every deallocation, DieFast checks both the preceding and
         // following objects" — if they are free, their canaries must be
         // intact; corruption here is the signature of an overflow from a
@@ -329,8 +324,14 @@ mod tests {
         for _ in 0..100 {
             let a = clean.malloc(16, SITE).unwrap();
             let b = dirty.malloc(16, SITE).unwrap();
-            let ia = clean.inner().meta(clean.inner().location_of(a).unwrap()).object_id;
-            let ib = dirty.inner().meta(dirty.inner().location_of(b).unwrap()).object_id;
+            let ia = clean
+                .inner()
+                .meta(clean.inner().location_of(a).unwrap())
+                .object_id;
+            let ib = dirty
+                .inner()
+                .meta(dirty.inner().location_of(b).unwrap())
+                .object_id;
             assert_eq!(ia, ib, "object ids diverged after bad-object isolation");
         }
     }
@@ -377,9 +378,7 @@ mod tests {
                 let (p, size) = live.swap_remove(rng.below_usize(live.len()));
                 // Write the object fully before freeing: canary collisions
                 // with real data must not fire.
-                h.arena_mut()
-                    .fill(p, size, rng.next_u32() as u8)
-                    .unwrap();
+                h.arena_mut().fill(p, size, rng.next_u32() as u8).unwrap();
                 h.free(p, SITE);
             } else {
                 let size = 16 + rng.below_usize(100);

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use xt_arena::Addr;
 use xt_alloc::{AllocTime, ObjectId};
+use xt_arena::Addr;
 
 /// Which check discovered the corruption.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -130,9 +130,22 @@ impl BitMap {
         None
     }
 
-    /// Iterates over the indices of set bits.
+    /// Iterates over the indices of set bits, word-at-a-time: each word
+    /// yields its set bits via `trailing_zeros` instead of probing every
+    /// bit position (padding bits past `len` are never set, so no bound
+    /// check is needed).
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(w * 64 + bit)
+            })
+        })
     }
 }
 

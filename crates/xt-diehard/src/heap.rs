@@ -2,8 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use xt_arena::{Addr, Arena, Rng};
 use xt_alloc::{AllocTime, FreeOutcome, Heap, HeapError, ObjectId, SiteHash};
+use xt_arena::{Addr, Arena, Rng};
 
 use crate::{
     class_object_size, size_class_of, DieHardConfig, FreeRecord, MiniHeap, MiniHeapId, ObjectLog,
@@ -361,8 +361,7 @@ impl DieHardHeap {
     fn ensure_capacity(&mut self, class: usize) -> Result<(), HeapError> {
         loop {
             let c = &self.classes[class];
-            let needs_growth =
-                (c.occupied + 1) as f64 * self.config.multiplier > c.capacity as f64;
+            let needs_growth = (c.occupied + 1) as f64 * self.config.multiplier > c.capacity as f64;
             if !needs_growth {
                 return Ok(());
             }

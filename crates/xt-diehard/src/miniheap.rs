@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use xt_arena::Addr;
 use xt_alloc::AllocTime;
+use xt_arena::Addr;
 
 use crate::{BitMap, SlotMeta};
 

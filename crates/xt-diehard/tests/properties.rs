@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 
-use xt_arena::Addr;
 use xt_alloc::{FreeOutcome, Heap, Rng, SiteHash};
+use xt_arena::Addr;
 use xt_diehard::{class_object_size, size_class_of, DieHardConfig, DieHardHeap};
 
 /// A randomized malloc/free script.

@@ -26,8 +26,8 @@
 
 use std::fmt;
 
-use xt_arena::{Addr, Arena, MemFault, Rng};
 use xt_alloc::{AllocTime, FreeOutcome, Heap, HeapError, SiteHash};
+use xt_arena::{Addr, Arena, MemFault, Rng};
 
 /// The synthetic deallocation site of injected premature frees.
 pub const INJECTED_FREE_SITE: SiteHash = SiteHash::from_raw(0xFA17_FEED);
@@ -144,7 +144,10 @@ impl fmt::Display for InjectedEvent {
                 write!(f, "premature free of {ptr} at {at} ({outcome:?})")
             }
             InjectedEvent::DanglingCancelled { at, ptr } => {
-                write!(f, "dangling injection cancelled at {at} ({ptr} freed normally)")
+                write!(
+                    f,
+                    "dangling injection cancelled at {at} ({ptr} freed normally)"
+                )
             }
             InjectedEvent::AppFreeSuppressed { at, ptr } => {
                 write!(f, "application free of dangled {ptr} suppressed at {at}")
@@ -365,10 +368,7 @@ mod tests {
                 assert_eq!(culprit, ptrs[2]);
                 assert_eq!(len, 4);
                 // The bytes really are in the next slot.
-                assert_eq!(
-                    h.arena().read_bytes(ptrs[2] + 16, 4).unwrap(),
-                    &[0xEE; 4]
-                );
+                assert_eq!(h.arena().read_bytes(ptrs[2] + 16, 4).unwrap(), &[0xEE; 4]);
             }
             other => panic!("unexpected event {other:?}"),
         }

@@ -5,8 +5,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use xt_arena::Addr;
 use xt_alloc::{AllocTime, Heap, ObjectId, SiteHash};
+use xt_arena::Addr;
 use xt_diefast::DieFastHeap;
 use xt_diehard::{MiniHeapId, SlotState};
 
@@ -164,13 +164,18 @@ impl HeapImage {
         let arena = heap.arena();
         let mut miniheaps = Vec::new();
         for mh in inner.miniheaps() {
+            // One translation for the whole miniheap: snapshot its backing
+            // region and slice per-slot data out of it, instead of paying a
+            // bounds-checked simulated load per slot.
+            let (region_base, region) = arena
+                .region_snapshot(mh.base())
+                .expect("miniheap memory is mapped");
+            let first = (mh.base() - region_base) as usize;
             let mut slots = Vec::with_capacity(mh.n_slots());
             for idx in 0..mh.n_slots() {
                 let meta = mh.meta(idx);
-                let data = arena
-                    .read_bytes(mh.slot_addr(idx), mh.object_size())
-                    .expect("miniheap memory is mapped")
-                    .to_vec();
+                let off = first + idx * mh.object_size();
+                let data = region[off..off + mh.object_size()].to_vec();
                 slots.push(SlotImage {
                     state: meta.state,
                     object_id: meta.object_id,
@@ -229,7 +234,8 @@ impl HeapImage {
                     }
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         let existing: ObjectRef = *e.get();
-                        let existing_state = miniheaps[existing.miniheap].slots[existing.slot].state;
+                        let existing_state =
+                            miniheaps[existing.miniheap].slots[existing.slot].state;
                         if slot.state == SlotState::Live && existing_state != SlotState::Live {
                             e.insert(r);
                         }
@@ -355,8 +361,25 @@ impl HeapImage {
             let mut first_bad = None;
             let mut end_bad = 0;
             let mut n_bad = 0;
-            for (i, &b) in slot.data.iter().enumerate() {
-                if b != pattern[i % 4] {
+            // Word-at-a-time: whole intact words (the common case) are
+            // skipped with one comparison; only corrupt words get a
+            // per-byte look.
+            let whole = slot.data.len() - slot.data.len() % 4;
+            for (w, chunk) in slot.data[..whole].chunks_exact(4).enumerate() {
+                if chunk != &pattern[..] {
+                    for (j, (&b, &p)) in chunk.iter().zip(&pattern).enumerate() {
+                        if b != p {
+                            let i = w * 4 + j;
+                            first_bad.get_or_insert(i);
+                            end_bad = i + 1;
+                            n_bad += 1;
+                        }
+                    }
+                }
+            }
+            for (j, &b) in slot.data[whole..].iter().enumerate() {
+                if b != pattern[j] {
+                    let i = whole + j;
                     first_bad.get_or_insert(i);
                     end_bad = i + 1;
                     n_bad += 1;

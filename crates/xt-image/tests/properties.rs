@@ -8,9 +8,8 @@ use xt_image::HeapImage;
 
 /// Builds a heap with a random (seed-driven) churn history.
 fn churned_heap(seed: u64, steps: usize, fill_probability: f64) -> DieFastHeap {
-    let mut heap = DieFastHeap::new(
-        DieFastConfig::with_seed(seed).fill_probability(fill_probability),
-    );
+    let mut heap =
+        DieFastHeap::new(DieFastConfig::with_seed(seed).fill_probability(fill_probability));
     let mut rng = Rng::new(seed ^ 0x5EED);
     let mut live = Vec::new();
     for i in 0..steps {
@@ -19,7 +18,9 @@ fn churned_heap(seed: u64, steps: usize, fill_probability: f64) -> DieFastHeap {
             heap.free(victim, SiteHash::from_raw(0xF));
         } else {
             let size = 16 + rng.below_usize(200);
-            let p = heap.malloc(size, SiteHash::from_raw(i as u32 % 13)).unwrap();
+            let p = heap
+                .malloc(size, SiteHash::from_raw(i as u32 % 13))
+                .unwrap();
             heap.arena_mut().write_u64(p, i as u64).unwrap();
             live.push(p);
         }

@@ -135,9 +135,7 @@ fn principal_corruption(image: &HeapImage) -> Option<CorruptionGeometry> {
     for c in &corruptions {
         let start = c.addr.get() + c.first_bad as u64;
         let end = c.addr.get() + c.end_bad as u64;
-        let entry = per_mh
-            .entry(c.slot.miniheap)
-            .or_insert((0, u64::MAX, 0));
+        let entry = per_mh.entry(c.slot.miniheap).or_insert((0, u64::MAX, 0));
         entry.0 += c.n_bad;
         entry.1 = entry.1.min(start);
         entry.2 = entry.2.max(end);
@@ -234,12 +232,7 @@ fn summarize_overflow(image: &HeapImage, log: &ObjectLog, summary: &mut RunSumma
 }
 
 /// §5.2: per-site canary Bernoulli observations for a failed run.
-fn summarize_dangling(
-    log: &ObjectLog,
-    fail_clock: AllocTime,
-    p: f64,
-    summary: &mut RunSummary,
-) {
+fn summarize_dangling(log: &ObjectLog, fail_clock: AllocTime, p: f64, summary: &mut RunSummary) {
     struct SiteAcc {
         frees: u32,
         canaried: u32,
@@ -256,9 +249,7 @@ fn summarize_dangling(
         acc.frees += 1;
         if free.canaried {
             acc.canaried += 1;
-            let older = acc
-                .oldest
-                .is_none_or(|(t, _)| free.free_time < t);
+            let older = acc.oldest.is_none_or(|(t, _)| free.free_time < t);
             if older {
                 acc.oldest = Some((free.free_time, free.free_site));
             }
@@ -567,8 +558,7 @@ impl CumulativeIsolator {
                     iso.failures = failures.parse().map_err(|_| fail("bad failures"))?;
                     iso.n_sites = n_sites.parse().map_err(|_| fail("bad n_sites"))?;
                     iso.config.prior_c = prior_c.parse().map_err(|_| fail("bad prior"))?;
-                    iso.config.integration_steps =
-                        steps.parse().map_err(|_| fail("bad steps"))?;
+                    iso.config.integration_steps = steps.parse().map_err(|_| fail("bad steps"))?;
                     iso.config.fill_probability = p.parse().map_err(|_| fail("bad p"))?;
                 }
                 [tag @ ("oobs" | "dobs"), s, xbits, y] => {
@@ -708,7 +698,10 @@ mod tests {
         let image = HeapImage::capture(&h);
         let log = h.inner().history().unwrap();
         let summary = summarize_run(&image, log, true, 0.5);
-        assert!(!summary.overflow_obs.is_empty(), "corruption not summarized");
+        assert!(
+            !summary.overflow_obs.is_empty(),
+            "corruption not summarized"
+        );
         let mh = &image.miniheaps[0];
         let k = (victim - mh.base) / u64::from(mh.object_size);
         let n = mh.slots.len() as f64;

@@ -30,8 +30,8 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use xt_arena::Addr;
 use xt_alloc::ObjectId;
+use xt_arena::Addr;
 use xt_diehard::SlotState;
 use xt_image::{CanaryCorruption, HeapImage, ObjectRef};
 
@@ -239,7 +239,10 @@ fn diff_live_objects(images: &[HeapImage]) -> Vec<Corruption> {
         let mut offset = 0;
         while offset < size {
             let wlen = 8.min(size - offset);
-            let words: Vec<&[u8]> = slots.iter().map(|s| &s.data[offset..offset + wlen]).collect();
+            let words: Vec<&[u8]> = slots
+                .iter()
+                .map(|s| &s.data[offset..offset + wlen])
+                .collect();
             if words.iter().all(|w| *w == words[0]) {
                 offset += wlen;
                 continue;
@@ -478,8 +481,7 @@ mod tests {
         // Churn: two generations of transient objects, so freed space
         // (DieFast's implicit fence-posts) covers most of the heap.
         for _ in 0..2 {
-            let transient: Vec<Addr> =
-                (0..40).map(|_| h.malloc(16, SITE_B).unwrap()).collect();
+            let transient: Vec<Addr> = (0..40).map(|_| h.malloc(16, SITE_B).unwrap()).collect();
             for p in transient {
                 h.free(p, FREE_SITE);
             }
@@ -548,9 +550,7 @@ mod tests {
             if !next_slot_canaried(&h, culprit) {
                 continue;
             }
-            h.arena_mut()
-                .write_bytes(culprit + 16, b"OVFLW!")
-                .unwrap();
+            h.arena_mut().write_bytes(culprit + 16, b"OVFLW!").unwrap();
             heaps.push(h);
         }
         let report = isolate(&capture_all(&heaps)).unwrap();
@@ -661,9 +661,7 @@ mod tests {
         while heaps.len() < 3 {
             seed += 1;
             assert!(seed < 300, "no suitable seeds found");
-            let mut h = DieFastHeap::new(
-                DieFastConfig::with_seed(seed).fill_probability(0.0),
-            );
+            let mut h = DieFastHeap::new(DieFastConfig::with_seed(seed).fill_probability(0.0));
             let mut ptrs = Vec::new();
             for i in 0..60u64 {
                 let p = h.malloc(16, SITE_A).unwrap();
@@ -727,7 +725,10 @@ mod tests {
 
     #[test]
     fn merge_ranges_merges_contiguous_offsets() {
-        assert_eq!(merge_ranges(&[1, 2, 3, 7, 9, 10]), vec![(1, 4), (7, 8), (9, 11)]);
+        assert_eq!(
+            merge_ranges(&[1, 2, 3, 7, 9, 10]),
+            vec![(1, 4), (7, 8), (9, 11)]
+        );
         assert!(merge_ranges(&[]).is_empty());
     }
 

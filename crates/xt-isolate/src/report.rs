@@ -137,7 +137,10 @@ impl fmt::Display for IsolationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsolationError::NotEnoughImages { got } => {
-                write!(f, "iterative isolation needs at least 2 heap images, got {got}")
+                write!(
+                    f,
+                    "iterative isolation needs at least 2 heap images, got {got}"
+                )
             }
             IsolationError::MismatchedImages => {
                 write!(f, "heap images come from differently-configured heaps")

@@ -229,16 +229,15 @@ impl PatchTable {
             };
             match fields.as_slice() {
                 ["pad", site, pad] => {
-                    let site =
-                        u32::from_str_radix(site, 16).map_err(|_| fail("bad site hash"))?;
+                    let site = u32::from_str_radix(site, 16).map_err(|_| fail("bad site hash"))?;
                     let pad: u32 = pad.parse().map_err(|_| fail("bad pad value"))?;
                     table.add_pad(SiteHash::from_raw(site), pad);
                 }
                 ["defer", alloc, free, ticks] => {
-                    let alloc = u32::from_str_radix(alloc, 16)
-                        .map_err(|_| fail("bad alloc site hash"))?;
-                    let free = u32::from_str_radix(free, 16)
-                        .map_err(|_| fail("bad free site hash"))?;
+                    let alloc =
+                        u32::from_str_radix(alloc, 16).map_err(|_| fail("bad alloc site hash"))?;
+                    let free =
+                        u32::from_str_radix(free, 16).map_err(|_| fail("bad free site hash"))?;
                     let ticks: u64 = ticks.parse().map_err(|_| fail("bad deferral value"))?;
                     table.add_deferral(
                         SitePair::new(SiteHash::from_raw(alloc), SiteHash::from_raw(free)),

@@ -64,7 +64,10 @@ impl SiteNames {
 #[must_use]
 pub fn render_bug_report(patches: &PatchTable, names: &SiteNames) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "BUG REPORT — generated from Exterminator runtime patches");
+    let _ = writeln!(
+        out,
+        "BUG REPORT — generated from Exterminator runtime patches"
+    );
     let _ = writeln!(
         out,
         "{} error(s): {} buffer overflow(s), {} dangling pointer(s)\n",

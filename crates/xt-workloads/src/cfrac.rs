@@ -7,8 +7,8 @@
 //! arrays created and destroyed at a rate of several allocations per
 //! arithmetic step, with almost no computation in between.
 
-use xt_arena::Addr;
 use xt_alloc::Heap;
+use xt_arena::Addr;
 
 use crate::ctx::{fnv1a, Abort, Ctx};
 use crate::{RunResult, Workload, WorkloadInput};

@@ -1,8 +1,8 @@
 //! The execution context shared by all workloads: scoped call-site
 //! tracking, heap access with crash propagation, and output capture.
 
-use xt_arena::{Addr, MemFault};
 use xt_alloc::{Heap, HeapError, Rng, SiteHash, SiteStack};
+use xt_arena::{Addr, MemFault};
 
 use crate::{CrashKind, RunOutcome, RunResult};
 
@@ -235,7 +235,11 @@ impl<'a> Ctx<'a> {
 /// never be fed to it — outputs must be layout-independent.
 #[must_use]
 pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
-    let mut h = if state == 0 { 0xcbf2_9ce4_8422_2325 } else { state };
+    let mut h = if state == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        state
+    };
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);

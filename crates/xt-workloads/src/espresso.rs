@@ -18,8 +18,8 @@
 //!   vote on identical byte streams and silent corruption changes the
 //!   output.
 
-use xt_arena::Addr;
 use xt_alloc::Heap;
+use xt_arena::Addr;
 
 use crate::ctx::{fnv1a, Abort, Ctx};
 use crate::{RunResult, Workload, WorkloadInput};
@@ -337,8 +337,7 @@ mod tests {
 
     #[test]
     fn produces_many_distinct_alloc_sites() {
-        let mut heap =
-            DieHardHeap::new(DieHardConfig::with_seed(1).track_history(true));
+        let mut heap = DieHardHeap::new(DieHardConfig::with_seed(1).track_history(true));
         EspressoLike::new().run(&mut heap, &WorkloadInput::with_seed(5).intensity(3));
         let sites = heap.history().unwrap().distinct_alloc_sites().len();
         assert!(
@@ -353,8 +352,7 @@ mod tests {
         // the property cumulative-mode isolation's per-site statistics
         // depend on (and why the paper's espresso patch file is large but
         // each entry precise).
-        let mut heap =
-            DieHardHeap::new(DieHardConfig::with_seed(2).track_history(true));
+        let mut heap = DieHardHeap::new(DieHardConfig::with_seed(2).track_history(true));
         EspressoLike::new().run(&mut heap, &WorkloadInput::with_seed(7).intensity(3));
         let log = heap.history().unwrap();
         let sites = log.distinct_alloc_sites();

@@ -185,7 +185,9 @@ mod tests {
 
     #[test]
     fn input_builder_chains() {
-        let input = WorkloadInput::with_seed(7).payload(b"x".to_vec()).intensity(3);
+        let input = WorkloadInput::with_seed(7)
+            .payload(b"x".to_vec())
+            .intensity(3);
         assert_eq!(input.seed, 7);
         assert_eq!(input.payload, b"x");
         assert_eq!(input.intensity, 3);

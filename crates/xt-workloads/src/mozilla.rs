@@ -266,7 +266,10 @@ mod tests {
         let payload = benign_browsing_session(8);
         let mut h1 = DieFastHeap::new(DieFastConfig::with_seed(1));
         let mut h2 = DieFastHeap::new(DieFastConfig::with_seed(1));
-        w.run(&mut h1, &WorkloadInput::with_seed(100).payload(payload.clone()));
+        w.run(
+            &mut h1,
+            &WorkloadInput::with_seed(100).payload(payload.clone()),
+        );
         w.run(&mut h2, &WorkloadInput::with_seed(200).payload(payload));
         assert_ne!(
             h1.clock(),
@@ -283,7 +286,10 @@ mod tests {
         let payload = benign_browsing_session(5);
         let mut h1 = DieFastHeap::new(DieFastConfig::with_seed(1));
         let mut h2 = DieFastHeap::new(DieFastConfig::with_seed(2));
-        let a = w.run(&mut h1, &WorkloadInput::with_seed(11).payload(payload.clone()));
+        let a = w.run(
+            &mut h1,
+            &WorkloadInput::with_seed(11).payload(payload.clone()),
+        );
         let b = w.run(&mut h2, &WorkloadInput::with_seed(22).payload(payload));
         assert_eq!(a.output, b.output);
     }
@@ -298,7 +304,8 @@ mod tests {
         let mut detected = 0;
         for seed in 0..8 {
             let mut heap = DieFastHeap::new(
-                DieFastConfig::with_seed(seed).heap(DieHardConfig::with_seed(seed).track_history(true)),
+                DieFastConfig::with_seed(seed)
+                    .heap(DieHardConfig::with_seed(seed).track_history(true)),
             );
             let r = MozillaLike::new().run(&mut heap, &input);
             // Either DieFast signals corruption, or (when the IDN buffer

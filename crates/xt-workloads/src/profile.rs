@@ -16,8 +16,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use xt_arena::Addr;
 use xt_alloc::Heap;
+use xt_arena::Addr;
 
 use crate::ctx::{fnv1a, Abort, Ctx};
 use crate::{RunResult, Workload, WorkloadInput};
@@ -308,7 +308,10 @@ mod tests {
 
     #[test]
     fn all_profiles_complete() {
-        for w in crate::spec_suite().iter().chain(crate::alloc_intensive_suite().iter()) {
+        for w in crate::spec_suite()
+            .iter()
+            .chain(crate::alloc_intensive_suite().iter())
+        {
             let mut heap = DieHardHeap::new(DieHardConfig::with_seed(1));
             let r = w.run(&mut heap, &WorkloadInput::with_seed(3));
             assert!(r.completed(), "{} crashed: {:?}", w.name(), r.outcome);

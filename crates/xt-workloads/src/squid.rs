@@ -84,10 +84,7 @@ impl SquidLike {
             ctx.write_bytes(entry + ENTRY_HEADER as u64, decoded)?;
             // The store path ALWAYS writes the trailer — 6 bytes past the
             // end of the buggy allocation.
-            ctx.write_bytes(
-                entry + (ENTRY_HEADER + decoded.len()) as u64,
-                TRAILER,
-            )?;
+            ctx.write_bytes(entry + (ENTRY_HEADER + decoded.len()) as u64, TRAILER)?;
             Ok(entry)
         })
     }
@@ -224,7 +221,11 @@ mod tests {
         let mut heap = DieFastHeap::new(DieFastConfig::with_seed(3));
         let r = SquidLike::new().run(&mut heap, &input);
         assert!(r.completed(), "{:?}", r.outcome);
-        assert!(!heap.has_signals(), "false positive: {:?}", heap.take_signals());
+        assert!(
+            !heap.has_signals(),
+            "false positive: {:?}",
+            heap.take_signals()
+        );
     }
 
     #[test]

@@ -43,16 +43,9 @@ fn repaired_user(
     base_sel: u64,
 ) -> (FaultSpec, PatchTable) {
     for sel in base_sel..base_sel + 16 {
-        let Some(fault) = find_manifesting_fault(
-            &EspressoLike::new(),
-            input,
-            kind,
-            100,
-            450,
-            20,
-            4,
-            sel,
-        ) else {
+        let Some(fault) =
+            find_manifesting_fault(&EspressoLike::new(), input, kind, 100, 450, 20, 4, sel)
+        else {
             continue;
         };
         let mut mode = IterativeMode::new(IterativeConfig {
@@ -84,13 +77,19 @@ fn main() {
     let (overflow_a, patches_a) = repaired_user(
         "user A (4B overflow)",
         &input,
-        FaultKind::BufferOverflow { delta: 4, fill: 0xA1 },
+        FaultKind::BufferOverflow {
+            delta: 4,
+            fill: 0xA1,
+        },
         1,
     );
     let (overflow_b, patches_b) = repaired_user(
         "user B (36B overflow)",
         &input,
-        FaultKind::BufferOverflow { delta: 36, fill: 0xB2 },
+        FaultKind::BufferOverflow {
+            delta: 36,
+            fill: 0xB2,
+        },
         40,
     );
     let (dangling, patches_c) = repaired_user(
@@ -110,11 +109,7 @@ fn main() {
     );
 
     // Every user's bug is corrected by the merged file.
-    for (label, fault) in [
-        ("A", overflow_a),
-        ("B", overflow_b),
-        ("C", dangling),
-    ] {
+    for (label, fault) in [("A", overflow_a), ("B", overflow_b), ("C", dangling)] {
         let mut failures = 0;
         for seed in 0..4 {
             let mut config = RunConfig::with_seed(0xC0DE + seed);

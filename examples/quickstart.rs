@@ -66,7 +66,10 @@ fn main() {
         outcome.images_used
     );
     for (i, round) in outcome.rounds.iter().enumerate() {
-        println!("  round {i}: detected via {:?} at {}", round.failure, round.breakpoint);
+        println!(
+            "  round {i}: detected via {:?} at {}",
+            round.failure, round.breakpoint
+        );
         print!("{}", round.report);
     }
     println!("runtime patches:\n{}", outcome.patches.to_text());

@@ -33,7 +33,7 @@ fn padded_site_contains_injected_overflow_through_the_whole_stack() {
     patches.add_pad(SITE, 16);
     let mut s = stack(1, patches, Some(fault));
     let p = s.malloc(16, SITE).unwrap(); // 16 + 16 pad → 32-byte slot
-    // The injector wrote [16, 32): inside the padded slot.
+                                         // The injector wrote [16, 32): inside the padded slot.
     assert_eq!(s.arena().read_bytes(p + 16, 16).unwrap(), &[0xAB; 16]);
     // No canary corruption anywhere: allocate a lot and expect no signals.
     for _ in 0..200 {
@@ -82,7 +82,10 @@ fn unpadded_overflow_is_detected_through_the_whole_stack() {
             detected += 1;
         }
     }
-    assert!(detected >= 4, "only {detected}/8 stacks detected the overflow");
+    assert!(
+        detected >= 4,
+        "only {detected}/8 stacks detected the overflow"
+    );
 }
 
 #[test]
@@ -118,7 +121,11 @@ fn hot_reload_fixes_a_live_process() {
     patches.add_pad(SITE, 20);
     s.inner_mut().reload_patches(patches);
     let after = s.malloc(16, SITE).unwrap();
-    assert_eq!(s.usable_size(after), Some(64), "pad not applied after reload");
+    assert_eq!(
+        s.usable_size(after),
+        Some(64),
+        "pad not applied after reload"
+    );
     // Pre-reload objects still free cleanly.
     assert_eq!(s.free(before, SITE), FreeOutcome::Freed);
 }
@@ -126,7 +133,9 @@ fn hot_reload_fixes_a_live_process() {
 #[test]
 fn breakpoint_propagates_through_all_layers() {
     let mut s = stack(5, PatchTable::new(), None);
-    s.inner_mut().inner_mut().set_breakpoint(Some(AllocTime::from_raw(3)));
+    s.inner_mut()
+        .inner_mut()
+        .set_breakpoint(Some(AllocTime::from_raw(3)));
     for _ in 0..3 {
         s.malloc(16, SITE).unwrap();
     }
@@ -174,10 +183,7 @@ fn deferred_objects_survive_heavy_pressure() {
     for i in 0..20u64 {
         let p = s.malloc(16, SITE).unwrap();
         s.arena_mut().write_u64(p, 0xD00D_0000 + i).unwrap();
-        assert!(matches!(
-            s.free(p, free_site),
-            FreeOutcome::Deferred { .. }
-        ));
+        assert!(matches!(s.free(p, free_site), FreeOutcome::Deferred { .. }));
         parked.push((p, 0xD00D_0000 + i));
     }
     // Pressure: hundreds of allocations in the same class.

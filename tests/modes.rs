@@ -144,7 +144,10 @@ fn cumulative_state_stays_small() {
         mode.run_once(&MozillaLike::new(), &input, None);
     }
     let state = mode.isolator().state_bytes();
-    assert!(state < 256 * 1024, "cumulative state too big: {state} bytes");
+    assert!(
+        state < 256 * 1024,
+        "cumulative state too big: {state} bytes"
+    );
     // Compare against one heap image of the same workload.
     let rec = exterminator::runner::execute(
         &MozillaLike::new(),

@@ -89,7 +89,10 @@ fn buffer_overflows_are_tolerated_and_corrected() {
     for seed in 0..8 {
         let mut config = RunConfig::with_seed(3000 + seed);
         config.fault = Some(fault);
-        if execute(&EspressoLike::new(), &input, config).result.completed() {
+        if execute(&EspressoLike::new(), &input, config)
+            .result
+            .completed()
+        {
             survived += 1;
         }
     }
@@ -124,7 +127,10 @@ fn dangling_pointers_are_tolerated_and_correctable() {
         // Without canaries (plain-DieHard behaviour) the stale data is
         // usually still intact when read.
         config.diefast = DieFastConfig::with_seed(0).fill_probability(0.0);
-        if execute(&EspressoLike::new(), &input, config).result.completed() {
+        if execute(&EspressoLike::new(), &input, config)
+            .result
+            .completed()
+        {
             survived_diehard += 1;
         }
     }
@@ -182,5 +188,8 @@ fn dangling_pointers_are_tolerated_and_correctable() {
             failures += 1;
         }
     }
-    assert_eq!(failures, 0, "deferral patch did not correct the dangling free");
+    assert_eq!(
+        failures, 0,
+        "deferral patch did not correct the dangling free"
+    );
 }
