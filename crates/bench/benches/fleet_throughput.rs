@@ -1,0 +1,209 @@
+//! Fleet-service ingestion and publication benchmarks.
+//!
+//! ```text
+//! cargo bench -p bench --bench fleet_throughput
+//! ```
+//!
+//! The aggregation side of §5/§6.4: how many client run reports per second
+//! one service instance sustains under concurrent submitters, as a
+//! function of evidence-shard count (1/4/16), plus the latency of
+//! publishing a patch epoch (classify every shard + lattice join). Writes
+//! `BENCH_fleet.json` at the workspace root so future PRs have a
+//! throughput trajectory to compare against.
+//!
+//! The submitters hammer the wire path (`decode` + shard-split + fold),
+//! which is the service's hot loop; delivery dedup is disabled so the same
+//! corpus can be replayed every iteration without hitting the duplicate
+//! fast path. On a single-core container shard counts mostly measure
+//! reduced lock *contention* (fewer futex round trips); on multi-core they
+//! additionally scale with parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{workspace_root, write_bench_json, BenchRecord};
+use xt_fleet::{FleetConfig, FleetService, RunReport};
+
+/// Reports in the replayed corpus.
+const CORPUS: usize = 2048;
+
+/// Concurrent submitter threads.
+const SUBMITTERS: usize = 4;
+
+/// Distinct allocation sites across the corpus — enough to spread over 16
+/// shards the way a real fleet's site population would.
+const SITES: u32 = 256;
+
+/// Shard counts under test (the acceptance axis).
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// A deterministic synthetic corpus, pre-encoded to wire bytes: each
+/// report carries a handful of observations the way real cumulative-mode
+/// summaries do (compare `RunSummary` sizes in `xt-isolate`).
+fn corpus() -> Vec<Vec<u8>> {
+    let mut state = 0x5EED_F1EE7_u64;
+    let mut rand = move |n: u64| {
+        state = state
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(0x1405_7B7E_F767_814F);
+        (state >> 33) % n
+    };
+    (0..CORPUS)
+        .map(|i| {
+            let obs = |rand: &mut dyn FnMut(u64) -> u64| {
+                (0..4)
+                    .map(|_| {
+                        (
+                            rand(u64::from(SITES)) as u32,
+                            [0.25, 0.5, 0.75][rand(3) as usize],
+                            rand(2) == 0,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            RunReport {
+                client: (i % 64) as u64,
+                seq: i as u32,
+                failed: rand(3) == 0,
+                clock: 1000 + i as u64,
+                n_sites: SITES,
+                overflow_obs: obs(&mut rand),
+                dangling_obs: obs(&mut rand),
+                pad_hints: vec![(rand(u64::from(SITES)) as u32, 8 + rand(56) as u32)],
+                defer_hints: vec![(
+                    rand(u64::from(SITES)) as u32,
+                    rand(u64::from(SITES)) as u32,
+                    1 + rand(64),
+                )],
+            }
+            .encode()
+        })
+        .collect()
+}
+
+fn service(shards: usize) -> FleetService {
+    FleetService::new(FleetConfig {
+        shards,
+        publish_every: 0,
+        dedup_delivery: false,
+        ..FleetConfig::default()
+    })
+}
+
+/// One iteration: `SUBMITTERS` threads drain disjoint slices of the corpus
+/// into the shared service.
+fn drain(service: &FleetService, reports: &[Vec<u8>]) {
+    std::thread::scope(|scope| {
+        for slice in reports.chunks(reports.len().div_ceil(SUBMITTERS)) {
+            scope.spawn(move || {
+                for bytes in slice {
+                    service.ingest(bytes).expect("corpus reports are valid");
+                }
+            });
+        }
+    });
+}
+
+fn ingest_throughput(c: &mut Criterion) {
+    let reports = corpus();
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(12);
+    for shards in SHARD_COUNTS {
+        let svc = service(shards);
+        group.bench_with_input(BenchmarkId::new("ingest", shards), &(), |b, ()| {
+            b.iter(|| drain(&svc, &reports));
+        });
+        // The uncontended floor: one submitter, no cross-thread traffic.
+        // The gap between this and the concurrent series is what shard
+        // count buys back; on a single-core host the concurrent series
+        // cannot beat the floor no matter the shard count.
+        let svc = service(shards);
+        group.bench_with_input(BenchmarkId::new("ingest_seq", shards), &(), |b, ()| {
+            b.iter(|| {
+                for bytes in &reports {
+                    svc.ingest(bytes).expect("corpus reports are valid");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn publish_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(12);
+    for shards in SHARD_COUNTS {
+        let svc = service(shards);
+        // Populate once: publish cost is classification over resident
+        // sites, independent of how many reports built the evidence.
+        drain(&svc, &corpus());
+        group.bench_with_input(BenchmarkId::new("publish", shards), &(), |b, ()| {
+            b.iter(|| svc.publish());
+        });
+    }
+    group.finish();
+}
+
+/// Converts per-iteration minima to reports/sec (ingest, normalized by
+/// corpus size) and epoch-publish latency, and writes `BENCH_fleet.json`.
+fn emit_json(c: &mut Criterion) {
+    let find = |id: String| c.results().iter().find(|r| r.id == id).map(|r| r.min_ns);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut records = Vec::new();
+    // Environment record: parallel-scaling numbers below are only
+    // meaningful relative to this core count.
+    records.push(BenchRecord {
+        name: "env/cores".into(),
+        ns_per_op: cores as f64,
+        ops_per_sec: 0.0,
+    });
+    println!("host cores: {cores}");
+    let mut ingest = Vec::new();
+    for shards in SHARD_COUNTS {
+        if let Some(ns_iter) = find(format!("fleet/ingest/{shards}")) {
+            let per_report = ns_iter / CORPUS as f64;
+            let rec = BenchRecord::from_ns(format!("ingest/shards_{shards}"), per_report);
+            println!(
+                "ingest {shards:>2} shards: {per_report:.0} ns/report, {:.0} reports/sec ({SUBMITTERS} submitters)",
+                rec.ops_per_sec
+            );
+            ingest.push((shards, per_report));
+            records.push(rec);
+        }
+        if let Some(ns_iter) = find(format!("fleet/ingest_seq/{shards}")) {
+            let per_report = ns_iter / CORPUS as f64;
+            println!(
+                "ingest {shards:>2} shards: {per_report:.0} ns/report (1 submitter, uncontended)"
+            );
+            records.push(BenchRecord::from_ns(
+                format!("ingest_seq/shards_{shards}"),
+                per_report,
+            ));
+        }
+        if let Some(ns_iter) = find(format!("fleet/publish/{shards}")) {
+            println!("publish {shards:>2} shards: {:.1} µs/epoch", ns_iter / 1e3);
+            records.push(BenchRecord::from_ns(
+                format!("publish/shards_{shards}"),
+                ns_iter,
+            ));
+        }
+    }
+    if let (Some(&(_, one)), Some(&(_, sixteen))) = (
+        ingest.iter().find(|(s, _)| *s == 1),
+        ingest.iter().find(|(s, _)| *s == 16),
+    ) {
+        let speedup = one / sixteen;
+        println!("16-shard vs 1-shard ingest speedup: {speedup:.2}x");
+        // Schema-uniform speedup record: the ratio rides in ns_per_op.
+        records.push(BenchRecord {
+            name: "ingest/speedup_16v1".into(),
+            ns_per_op: speedup,
+            ops_per_sec: 0.0,
+        });
+    }
+    let path = workspace_root().join("BENCH_fleet.json");
+    write_bench_json(&path, "fleet_throughput", &records).expect("write BENCH_fleet.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, ingest_throughput, publish_latency, emit_json);
+criterion_main!(benches);

@@ -45,6 +45,59 @@ impl Default for CumulativeModeConfig {
     }
 }
 
+/// Everything one deployed client execution produces: the failure flag
+/// and the compact per-site statistics to report upstream.
+#[derive(Clone, Debug)]
+pub struct SummarizedRun {
+    /// Whether the run failed (signal or crash).
+    pub failed: bool,
+    /// Final allocation clock.
+    pub clock: xt_alloc::AllocTime,
+    /// The §5 per-site summary — the payload a fleet client submits.
+    pub summary: xt_isolate::cumulative::RunSummary,
+}
+
+/// Executes **one** deployed run under `patches` and reduces it to a
+/// [`RunSummary`](xt_isolate::cumulative::RunSummary) — the reusable
+/// single-run entry point. [`CumulativeMode::run_once`] wraps this for the
+/// single-user loop; `xt-fleet` simulator clients call it directly and
+/// ship the summary to the aggregation service instead of folding it into
+/// local state.
+#[must_use]
+pub fn summarized_run(
+    workload: &dyn Workload,
+    input: &WorkloadInput,
+    fault: Option<FaultSpec>,
+    patches: PatchTable,
+    heap_seed: u64,
+    fill_probability: f64,
+    multiplier: f64,
+) -> SummarizedRun {
+    let mut diefast = DieFastConfig::cumulative_with_seed(heap_seed);
+    diefast.fill_probability = fill_probability;
+    diefast.heap.multiplier = multiplier;
+    let run_config = RunConfig {
+        heap_seed,
+        diefast,
+        patches,
+        fault,
+        breakpoint: None,
+        halt_on_signal: true,
+    };
+    let rec = execute(workload, input, run_config);
+    let failed = rec.failed();
+    let history = rec
+        .history
+        .as_ref()
+        .expect("cumulative runs require history tracking");
+    let summary = summarize_run(&rec.image, history, failed, fill_probability);
+    SummarizedRun {
+        failed,
+        clock: rec.clock,
+        summary,
+    }
+}
+
 /// What one deployed run contributed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunDigest {
@@ -132,28 +185,19 @@ impl CumulativeMode {
         if self.config.vary_input_seed {
             run_input.seed = input.seed.wrapping_add(self.run_counter);
         }
-        let mut diefast = DieFastConfig::cumulative_with_seed(heap_seed);
-        diefast.fill_probability = self.config.fill_probability;
-        diefast.heap.multiplier = self.config.multiplier;
-        let run_config = RunConfig {
-            heap_seed,
-            diefast,
-            patches: self.patches(),
+        let run = summarized_run(
+            workload,
+            &run_input,
             fault,
-            breakpoint: None,
-            halt_on_signal: true,
-        };
-        let rec = execute(workload, &run_input, run_config);
-        let failed = rec.failed();
-        let history = rec
-            .history
-            .as_ref()
-            .expect("cumulative mode requires history tracking");
-        let summary = summarize_run(&rec.image, history, failed, self.config.fill_probability);
-        self.isolator.record_run(&summary);
+            self.patches(),
+            heap_seed,
+            self.config.fill_probability,
+            self.config.multiplier,
+        );
+        self.isolator.record_run(&run.summary);
         RunDigest {
             run: self.run_counter as usize,
-            failed,
+            failed: run.failed,
             isolated: !self.flagged().is_empty(),
         }
     }

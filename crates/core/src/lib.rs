@@ -47,7 +47,9 @@ pub mod replicated;
 pub mod runner;
 pub mod voter;
 
-pub use cumulative::{CumulativeMode, CumulativeModeConfig, CumulativeOutcome};
+pub use cumulative::{
+    summarized_run, CumulativeMode, CumulativeModeConfig, CumulativeOutcome, SummarizedRun,
+};
 pub use iterative::{FailureKind, IterativeConfig, IterativeMode, IterativeOutcome, RoundReport};
 pub use replicated::{ReplicaSummary, ReplicatedConfig, ReplicatedOutcome};
 pub use runner::{execute, find_manifesting_fault, RunConfig, RunRecord};

@@ -175,6 +175,16 @@ pub struct Bencher {
     samples_ns: Vec<f64>,
 }
 
+/// `true` when `XT_BENCH_QUICK` is set: every benchmark runs its routine
+/// a trivial number of times (one calibration call plus two single-
+/// iteration samples). Numbers are meaningless in this mode — it exists so
+/// CI can smoke-test that benches still compile, run, and write their
+/// `BENCH_*.json` outputs without paying for real measurements.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var_os("XT_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 impl Bencher {
     /// Measures `routine`, batching iterations so each sample is long
     /// enough for the clock to resolve.
@@ -184,9 +194,19 @@ impl Bencher {
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
         let target = Duration::from_millis(2);
-        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+        let quick = quick_mode();
+        let iters = if quick {
+            1
+        } else {
+            (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize
+        };
+        let samples = if quick {
+            self.sample_size.min(2)
+        } else {
+            self.sample_size
+        };
         self.samples_ns.clear();
-        for _ in 0..self.sample_size {
+        for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(routine());
@@ -225,8 +245,31 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes every test that touches the environment against every
+    /// test that (transitively) reads it through `quick_mode()`:
+    /// concurrent getenv/setenv is undefined behavior on glibc.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn quick_mode_caps_samples() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("XT_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("q");
+            g.sample_size(50);
+            g.bench_function("slowish", |b| {
+                b.iter(|| std::thread::sleep(Duration::from_micros(50)))
+            });
+            g.finish();
+        }
+        std::env::remove_var("XT_BENCH_QUICK");
+        assert_eq!(c.results()[0].samples, 2, "quick mode must cap samples");
+    }
+
     #[test]
     fn bencher_records_samples() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         {
             let mut g = c.benchmark_group("t");

@@ -69,9 +69,19 @@ macro_rules! __proptest_impl {
                             );
                         }
                         Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            // No shrinking in this stand-in, but generation
+                            // is deterministic per test name: the same case
+                            // index always regenerates the same inputs, so
+                            // the rerun path is one copy-paste.
                             panic!(
-                                "property {} failed at case {}: {}",
-                                stringify!($name), accepted, msg,
+                                "property {name} failed at case {case}: {msg}\n\
+                                 inputs are regenerated deterministically from the test name \
+                                 (no shrinking); case {case} will recur at the same index.\n\
+                                 rerun exactly:\n    cargo test -p {pkg} {name}",
+                                name = stringify!($name),
+                                case = accepted,
+                                msg = msg,
+                                pkg = env!("CARGO_PKG_NAME"),
                             );
                         }
                     }

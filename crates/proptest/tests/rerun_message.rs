@@ -1,0 +1,48 @@
+//! The failure contract: a failing property names its deterministic case
+//! index and a copy-paste rerun command (ROADMAP: there is no shrinking,
+//! so the rerun path must be one paste).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    // Deliberately not #[test]: invoked below under catch_unwind.
+    fn always_fails_on_big_x(x in 50u64..100) {
+        prop_assert!(x < 50, "x was {}", x);
+    }
+}
+
+#[test]
+fn failure_names_case_index_and_rerun_command() {
+    let panic = std::panic::catch_unwind(always_fails_on_big_x)
+        .expect_err("property must fail: every generated x is >= 50");
+    let msg = panic
+        .downcast_ref::<String>()
+        .expect("panic payload is the formatted message")
+        .clone();
+    assert!(
+        msg.contains("property always_fails_on_big_x failed at case 0"),
+        "missing deterministic case index: {msg}"
+    );
+    assert!(
+        msg.contains("x was "),
+        "missing the prop_assert message: {msg}"
+    );
+    assert!(
+        msg.contains("cargo test -p proptest always_fails_on_big_x"),
+        "missing copy-paste rerun command: {msg}"
+    );
+    assert!(
+        msg.contains("deterministically"),
+        "must explain why the rerun reproduces: {msg}"
+    );
+}
+
+proptest! {
+    /// And the passing path stays silent (the macro change must not
+    /// affect successful runs).
+    #[test]
+    fn passing_properties_still_pass(x in 0u64..50) {
+        prop_assert!(x < 50);
+    }
+}

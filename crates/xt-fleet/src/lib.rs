@@ -1,0 +1,42 @@
+//! Fleet-scale collaborative correction: the §6.4 story as a service.
+//!
+//! The paper's deployment argument is not one machine. §5 closes with the
+//! observation that cumulative mode reduces each execution to "relevant
+//! statistics about each run" — a few hundred bytes — precisely so that a
+//! *population* of users can pool them, and §6.4 sketches the utility that
+//! merges every user's patches "computing the maximum buffer pad required
+//! for any allocation site, and the maximal deferral amount". This crate
+//! is that loop at Windows-Error-Reporting scale:
+//!
+//! 1. **Clients** run their workload under the correcting allocator,
+//!    reduce the run to a [`RunSummary`](xt_isolate::cumulative::RunSummary)
+//!    (via [`exterminator::summarized_run`]), and submit it as a compact
+//!    binary [`RunReport`] (module [`wire`]).
+//! 2. **The service** ([`FleetService`], module [`service`]) folds reports
+//!    into `N` evidence shards keyed by allocation-site hash. Each shard
+//!    is an [`EvidenceTable`](xt_isolate::evidence::EvidenceTable) — the
+//!    §5 Bayesian hypothesis test in running-product form — behind its own
+//!    lock, so ingestion scales with cores. Because evidence merge and the
+//!    patch-lattice join of `xt-patch` are commutative, associative, and
+//!    (with delivery dedup) idempotent, any interleaving of the fleet's
+//!    reports converges to the same state.
+//! 3. **Publication**: the service periodically classifies every shard and
+//!    joins newly flagged patches into a versioned
+//!    [`PatchEpoch`](xt_patch::PatchEpoch). Epochs are monotone — §6.4's
+//!    max-merge guarantees epoch `n + 1` covers epoch `n` — so clients
+//!    polling [`FleetService::latest`] (a lock-free-for-writers `Arc`
+//!    snapshot) can adopt any newer epoch without coordination.
+//! 4. **The simulator** (module [`simulator`]) closes the loop: hundreds
+//!    to thousands of scoped-thread clients each run
+//!    workload-with-injected-fault → submit → poll → rerun, reproducing
+//!    the paper's cumulative-mode convergence (Fig. 6's runs-to-isolation
+//!    curves) at population scale — the fleet corrects an overflow and a
+//!    dangling bug for everyone after enough reports arrive from anyone.
+
+pub mod service;
+pub mod simulator;
+pub mod wire;
+
+pub use service::{FleetConfig, FleetMetrics, FleetService, IngestReceipt};
+pub use simulator::{FaultConvergence, FleetOutcome, FleetSimulator, SimConfig};
+pub use wire::{RunReport, WireError};

@@ -1,0 +1,481 @@
+//! The sharded collaborative-correction service.
+//!
+//! Architecture (the Windows-Error-Reporting-scale loop of §5/§6.4):
+//!
+//! * **Ingestion** — a decoded [`RunReport`] is split by allocation site
+//!   and folded into `N` shards, each a
+//!   [`EvidenceTable`](xt_isolate::evidence::EvidenceTable) behind its own
+//!   mutex. Sites are assigned to shards by Fibonacci hash, so two
+//!   concurrent reports contend only when they carry evidence for sites
+//!   that map to the same shard — ingestion throughput scales with cores
+//!   until the shard count is exhausted. Run-level metadata (report and
+//!   failure counts, the site-population maximum `N` for the prior) lives
+//!   in shared atomics.
+//! * **Classification** — the Bayesian test runs *incrementally*: each
+//!   shard's evidence is running-product state, so folding a report costs
+//!   O(observations × grid) and classification at publish time costs
+//!   O(sites × grid), independent of how many reports ever arrived.
+//! * **Publication** — [`FleetService::publish`] classifies every shard
+//!   under the global prior, joins the flagged patches into the previous
+//!   epoch's table (the patch lattice of `xt-patch` makes this a
+//!   convergent, monotone state), and installs a new
+//!   [`PatchEpoch`](xt_patch::PatchEpoch) snapshot. Clients poll
+//!   [`FleetService::latest`], which hands out the current `Arc` snapshot
+//!   without touching any shard lock — readers never block ingestion.
+//! * **Delivery dedup** — reports are identified by `(client, seq)`;
+//!   redelivery (at-least-once transports, client retries) is dropped, so
+//!   ingestion is idempotent at the service level. The property tests in
+//!   `tests/properties.rs` verify order-insensitivity and idempotence
+//!   against a sequential reference.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use xt_alloc::{SiteHash, SitePair};
+use xt_isolate::cumulative::CumulativeConfig;
+use xt_isolate::evidence::EvidenceTable;
+use xt_patch::{PatchEpoch, PatchTable};
+
+use crate::wire::{RunReport, WireError};
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Number of evidence shards (ingestion parallelism).
+    pub shards: usize,
+    /// Classifier parameters shared by all shards.
+    pub isolator: CumulativeConfig,
+    /// Auto-publish a new epoch after this many ingested reports
+    /// (0 = publish only when [`FleetService::publish`] is called).
+    pub publish_every: u64,
+    /// Drop redelivered `(client, seq)` reports.
+    pub dedup_delivery: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 16,
+            isolator: CumulativeConfig::default(),
+            publish_every: 256,
+            dedup_delivery: true,
+        }
+    }
+}
+
+/// What ingesting one report did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The report was a redelivery and was dropped.
+    pub duplicate: bool,
+    /// Shards whose evidence the report touched.
+    pub shards_touched: usize,
+    /// Per-site observations folded in.
+    pub observations: usize,
+    /// Latest published epoch number — the client's cue to poll when it
+    /// lags.
+    pub epoch: u64,
+}
+
+/// Aggregate service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetMetrics {
+    /// Unique reports ingested.
+    pub reports: u64,
+    /// Failed runs among them.
+    pub failed_reports: u64,
+    /// Redeliveries dropped by dedup.
+    pub duplicates: u64,
+    /// Current epoch number.
+    pub epoch: u64,
+    /// Unique reports the service had ingested when the current epoch was
+    /// published (0 for the genesis epoch) — the fleet's
+    /// "reports-to-isolation" analogue of the paper's per-user run counts.
+    pub epoch_reports: u64,
+    /// Distinct sites with evidence, summed over shards.
+    pub sites_tracked: usize,
+    /// The global site-population maximum (prior `N`).
+    pub n_sites: usize,
+    /// Configured shard count.
+    pub shards: usize,
+}
+
+/// The sharded collaborative-correction service. All methods take `&self`;
+/// share one instance across ingestion threads.
+#[derive(Debug)]
+pub struct FleetService {
+    config: FleetConfig,
+    /// Per-shard evidence, each behind an independent lock.
+    shards: Vec<Mutex<EvidenceTable>>,
+    /// Delivery-dedup sets, sharded by client hash (a different axis than
+    /// the evidence shards: one report checks exactly one dedup shard).
+    seen: Vec<Mutex<HashSet<(u64, u32)>>>,
+    /// Global site-population maximum (`N` of the `cN − 1` threshold).
+    n_sites: AtomicUsize,
+    reports: AtomicU64,
+    failed_reports: AtomicU64,
+    duplicates: AtomicU64,
+    /// Reports since the last publish (drives auto-publish).
+    pending: AtomicU64,
+    /// Serializes publishers; ingestion never takes it.
+    publish_lock: Mutex<()>,
+    /// The current epoch snapshot, paired with the report count at its
+    /// publication (one lock, so readers always see a consistent pair).
+    /// Readers clone the `Arc` and go.
+    epoch: RwLock<(Arc<PatchEpoch>, u64)>,
+}
+
+impl FleetService {
+    /// Creates a service with empty evidence and the genesis epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        FleetService {
+            shards: (0..config.shards)
+                .map(|_| Mutex::new(EvidenceTable::new(config.isolator)))
+                .collect(),
+            seen: (0..config.shards.max(4))
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+            n_sites: AtomicUsize::new(1),
+            reports: AtomicU64::new(0),
+            failed_reports: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+            publish_lock: Mutex::new(()),
+            epoch: RwLock::new((Arc::new(PatchEpoch::genesis()), 0)),
+            config,
+        }
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Which shard owns `site` (Fibonacci hash of the site hash).
+    #[must_use]
+    pub fn shard_of(&self, site: SiteHash) -> usize {
+        let h = u64::from(site.raw().wrapping_mul(0x9E37_79B9));
+        ((h * self.shards.len() as u64) >> 32) as usize
+    }
+
+    /// Decodes and ingests one wire report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WireError`] if the bytes are malformed; malformed
+    /// reports leave the service state untouched.
+    pub fn ingest(&self, bytes: &[u8]) -> Result<IngestReceipt, WireError> {
+        Ok(self.ingest_report(&RunReport::decode(bytes)?))
+    }
+
+    /// Ingests one decoded report.
+    pub fn ingest_report(&self, report: &RunReport) -> IngestReceipt {
+        if self.config.dedup_delivery {
+            let dedup_shard = (report.client as usize) % self.seen.len();
+            let fresh = self
+                .seen
+                .get(dedup_shard)
+                .expect("dedup shard index in range")
+                .lock()
+                .expect("dedup lock poisoned")
+                .insert((report.client, report.seq));
+            if !fresh {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                return IngestReceipt {
+                    duplicate: true,
+                    shards_touched: 0,
+                    observations: 0,
+                    epoch: self.latest().number,
+                };
+            }
+        }
+        self.reports.fetch_add(1, Ordering::Relaxed);
+        if report.failed {
+            self.failed_reports.fetch_add(1, Ordering::Relaxed);
+        }
+        self.n_sites
+            .fetch_max(report.n_sites as usize, Ordering::Relaxed);
+
+        // Split the report by owning shard, then take each touched shard's
+        // lock exactly once.
+        let mut batches: Vec<(usize, ShardBatch)> = Vec::new();
+        for &(site, x, y) in &report.overflow_obs {
+            batch_for(&mut batches, self.shard_of(SiteHash::from_raw(site)))
+                .overflow
+                .push((site, x, y));
+        }
+        for &(site, x, y) in &report.dangling_obs {
+            batch_for(&mut batches, self.shard_of(SiteHash::from_raw(site)))
+                .dangling
+                .push((site, x, y));
+        }
+        for &(site, pad) in &report.pad_hints {
+            batch_for(&mut batches, self.shard_of(SiteHash::from_raw(site)))
+                .pads
+                .push((site, pad));
+        }
+        for &(alloc, free, ticks) in &report.defer_hints {
+            batch_for(&mut batches, self.shard_of(SiteHash::from_raw(alloc)))
+                .defers
+                .push((alloc, free, ticks));
+        }
+
+        let shards_touched = batches.len();
+        for (idx, batch) in batches {
+            let mut shard = self
+                .shards
+                .get(idx)
+                .expect("shard index in range")
+                .lock()
+                .expect("shard lock poisoned");
+            for (site, x, y) in batch.overflow {
+                shard.observe_overflow(SiteHash::from_raw(site), x, y);
+            }
+            for (site, x, y) in batch.dangling {
+                shard.observe_dangling(SiteHash::from_raw(site), x, y);
+            }
+            for (site, pad) in batch.pads {
+                shard.hint_pad(SiteHash::from_raw(site), pad);
+            }
+            for (alloc, free, ticks) in batch.defers {
+                shard.hint_deferral(
+                    SitePair::new(SiteHash::from_raw(alloc), SiteHash::from_raw(free)),
+                    ticks,
+                );
+            }
+        }
+
+        // Exactly-one trigger: `fetch_add` hands out consecutive values,
+        // so precisely one ingesting thread observes the cadence boundary
+        // — a `>=` check here would send every thread that crossed it
+        // before the reset into a redundant full reclassification.
+        let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.config.publish_every > 0 && pending == self.config.publish_every {
+            self.publish();
+        }
+        IngestReceipt {
+            duplicate: false,
+            shards_touched,
+            observations: report.observations(),
+            epoch: self.latest().number,
+        }
+    }
+
+    /// The current epoch snapshot — an `Arc` clone, never blocked by
+    /// ingestion or publication in progress.
+    #[must_use]
+    pub fn latest(&self) -> Arc<PatchEpoch> {
+        self.epoch.read().expect("epoch lock poisoned").0.clone()
+    }
+
+    /// The current epoch snapshot together with the number of unique
+    /// reports the service had ingested when it was published (0 for the
+    /// genesis epoch). The pair is read atomically, so the count always
+    /// belongs to *this* epoch even while newer ones are being minted.
+    #[must_use]
+    pub fn latest_with_reports(&self) -> (Arc<PatchEpoch>, u64) {
+        let guard = self.epoch.read().expect("epoch lock poisoned");
+        (guard.0.clone(), guard.1)
+    }
+
+    /// Classifies all shards under the global prior and, if any new
+    /// patches were isolated, installs the successor epoch. Returns the
+    /// epoch current after the call (new or unchanged).
+    pub fn publish(&self) -> Arc<PatchEpoch> {
+        let _publisher = self.publish_lock.lock().expect("publish lock poisoned");
+        self.pending.store(0, Ordering::Relaxed);
+        let n_sites = self.n_sites.load(Ordering::Relaxed);
+        let mut isolated = PatchTable::new();
+        for shard in &self.shards {
+            // One shard lock at a time: ingestion keeps flowing on the
+            // other shards while this one classifies.
+            let contribution = shard
+                .lock()
+                .expect("shard lock poisoned")
+                .generate_patches_with(n_sites);
+            isolated.merge(&contribution);
+        }
+        let current = self.latest();
+        if current.covers(&isolated) {
+            return current;
+        }
+        let next = Arc::new(current.succeed(&isolated));
+        let reports = self.reports.load(Ordering::Relaxed);
+        *self.epoch.write().expect("epoch lock poisoned") = (next.clone(), reports);
+        next
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn metrics(&self) -> FleetMetrics {
+        let (epoch, epoch_reports) = self.latest_with_reports();
+        FleetMetrics {
+            reports: self.reports.load(Ordering::Relaxed),
+            failed_reports: self.failed_reports.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            epoch: epoch.number,
+            epoch_reports,
+            sites_tracked: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("shard lock poisoned").sites_tracked())
+                .sum(),
+            n_sites: self.n_sites.load(Ordering::Relaxed),
+            shards: self.shards.len(),
+        }
+    }
+}
+
+/// A report's evidence, grouped by destination shard.
+#[derive(Default)]
+struct ShardBatch {
+    overflow: Vec<(u32, f64, bool)>,
+    dangling: Vec<(u32, f64, bool)>,
+    pads: Vec<(u32, u32)>,
+    defers: Vec<(u32, u32, u64)>,
+}
+
+/// The batch for shard `idx`, creating it on first touch. Linear scan: a
+/// report touches at most a handful of shards.
+fn batch_for(batches: &mut Vec<(usize, ShardBatch)>, idx: usize) -> &mut ShardBatch {
+    let pos = match batches.iter().position(|(i, _)| *i == idx) {
+        Some(pos) => pos,
+        None => {
+            batches.push((idx, ShardBatch::default()));
+            batches.len() - 1
+        }
+    };
+    &mut batches[pos].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dangling_report(client: u64, seq: u32, site: u32) -> RunReport {
+        RunReport {
+            client,
+            seq,
+            failed: true,
+            clock: 500,
+            n_sites: 100,
+            overflow_obs: Vec::new(),
+            dangling_obs: vec![(site, 0.5, true)],
+            pad_hints: Vec::new(),
+            defer_hints: vec![(site, 0xF, 30)],
+        }
+    }
+
+    #[test]
+    fn evidence_accumulates_into_a_published_patch() {
+        let service = FleetService::new(FleetConfig {
+            shards: 4,
+            publish_every: 0,
+            ..FleetConfig::default()
+        });
+        // 20 clients each report the §7.2 dangling signature once.
+        for client in 0..20 {
+            let receipt = service.ingest_report(&dangling_report(client, 0, 0xBAD));
+            assert!(!receipt.duplicate);
+            assert_eq!(receipt.observations, 1);
+        }
+        assert_eq!(service.latest().number, 0, "nothing published yet");
+        let epoch = service.publish();
+        assert_eq!(epoch.number, 1);
+        let pair = SitePair::new(SiteHash::from_raw(0xBAD), SiteHash::from_raw(0xF));
+        assert_eq!(epoch.patches.deferral_for(pair), 30);
+        // Republishing without new evidence does not mint an epoch.
+        assert_eq!(service.publish().number, 1);
+        let m = service.metrics();
+        assert_eq!(m.reports, 20);
+        assert_eq!(m.failed_reports, 20);
+        assert_eq!(m.epoch, 1);
+    }
+
+    #[test]
+    fn redelivery_is_dropped() {
+        let service = FleetService::new(FleetConfig {
+            shards: 2,
+            publish_every: 0,
+            ..FleetConfig::default()
+        });
+        let report = dangling_report(1, 0, 0xBAD);
+        assert!(!service.ingest_report(&report).duplicate);
+        assert!(service.ingest_report(&report).duplicate);
+        let m = service.metrics();
+        assert_eq!(m.reports, 1);
+        assert_eq!(m.duplicates, 1);
+    }
+
+    #[test]
+    fn auto_publish_fires_on_the_configured_cadence() {
+        let service = FleetService::new(FleetConfig {
+            shards: 2,
+            publish_every: 10,
+            ..FleetConfig::default()
+        });
+        for client in 0..30 {
+            service.ingest_report(&dangling_report(client, 0, 0xBAD));
+        }
+        let epoch = service.latest();
+        assert!(epoch.number >= 1, "auto-publish never fired");
+        assert!(!epoch.patches.is_empty());
+    }
+
+    #[test]
+    fn wire_ingest_rejects_garbage_without_side_effects() {
+        let service = FleetService::new(FleetConfig::default());
+        assert!(service.ingest(b"not a report").is_err());
+        assert_eq!(service.metrics().reports, 0);
+        let good = dangling_report(5, 1, 0xBAD).encode();
+        assert!(service.ingest(&good).is_ok());
+        assert_eq!(service.metrics().reports, 1);
+    }
+
+    #[test]
+    fn shard_routing_covers_all_shards() {
+        let service = FleetService::new(FleetConfig {
+            shards: 8,
+            ..FleetConfig::default()
+        });
+        let mut hit = vec![false; 8];
+        for raw in 0..512u32 {
+            let idx = service.shard_of(SiteHash::from_raw(raw.wrapping_mul(2654435761)));
+            hit[idx] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "unused shard: {hit:?}");
+    }
+
+    #[test]
+    fn concurrent_ingestion_matches_sequential_totals() {
+        let config = FleetConfig {
+            shards: 4,
+            publish_every: 0,
+            ..FleetConfig::default()
+        };
+        let service = FleetService::new(config);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let service = &service;
+                scope.spawn(move || {
+                    for i in 0..25u32 {
+                        service.ingest_report(&dangling_report(t, i, 0xBAD + (i % 3)));
+                    }
+                });
+            }
+        });
+        let m = service.metrics();
+        assert_eq!(m.reports, 100);
+        let epoch = service.publish();
+        assert_eq!(epoch.number, 1);
+        assert!(!epoch.patches.is_empty());
+    }
+}

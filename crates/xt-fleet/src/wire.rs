@@ -1,0 +1,456 @@
+//! The client→service wire format: one run, a few hundred bytes.
+//!
+//! Cumulative mode's whole deployment argument (§5, §6.4) is that a run
+//! reduces to "a few kilobytes per execution, compared to tens or hundreds
+//! of megabytes for each heap image". [`RunReport`] is that reduction on
+//! the wire: a [`RunSummary`](xt_isolate::cumulative::RunSummary) plus the
+//! client identity and sequence number the service needs for at-least-once
+//! delivery dedup.
+//!
+//! The encoding is a fixed little-endian binary layout (magic, flags,
+//! identity, four counted arrays). No self-describing framing — both ends
+//! are this crate — but decode validates everything: magic, version,
+//! boolean bytes, array bounds, and trailing garbage all fail loudly with
+//! a [`WireError`] naming the offset.
+
+use xt_alloc::{AllocTime, SiteHash};
+use xt_isolate::cumulative::{RunSummary, SiteObservation};
+
+/// First bytes of every report: `XTR` plus the format version.
+const MAGIC: [u8; 4] = *b"XTR1";
+
+/// Hard cap on any array count in a decoded report — a corrupt or hostile
+/// length prefix must not turn into a multi-gigabyte allocation.
+const MAX_ENTRIES: u32 = 1 << 20;
+
+/// One client run, as submitted to the aggregation service.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Stable client identity (assigned out of band).
+    pub client: u64,
+    /// Client-local run sequence number; `(client, seq)` dedups redelivery.
+    pub seq: u32,
+    /// Whether the run failed (signal, crash, or divergence).
+    pub failed: bool,
+    /// Final allocation clock.
+    pub clock: u64,
+    /// Distinct allocation sites the run observed (`N` for the prior).
+    pub n_sites: u32,
+    /// §5.1 overflow-criteria observations: `(site, X, Y)`.
+    pub overflow_obs: Vec<(u32, f64, bool)>,
+    /// §5.2 canary observations: `(site, X, Y)`.
+    pub dangling_obs: Vec<(u32, f64, bool)>,
+    /// Pad hints: `(site, bytes)`.
+    pub pad_hints: Vec<(u32, u32)>,
+    /// Deferral hints: `(alloc site, free site, ticks)`.
+    pub defer_hints: Vec<(u32, u32, u64)>,
+}
+
+impl RunReport {
+    /// Wraps one run's [`RunSummary`] for submission by `client`.
+    #[must_use]
+    pub fn from_summary(client: u64, seq: u32, summary: &RunSummary) -> Self {
+        RunReport {
+            client,
+            seq,
+            failed: summary.failed,
+            clock: summary.clock.raw(),
+            n_sites: u32::try_from(summary.n_sites).unwrap_or(u32::MAX),
+            overflow_obs: summary
+                .overflow_obs
+                .iter()
+                .map(|o| (o.site.raw(), o.x, o.y))
+                .collect(),
+            dangling_obs: summary
+                .dangling_obs
+                .iter()
+                .map(|o| (o.site.raw(), o.x, o.y))
+                .collect(),
+            pad_hints: summary
+                .pad_hints
+                .iter()
+                .map(|&(site, pad)| (site.raw(), pad))
+                .collect(),
+            defer_hints: summary
+                .defer_hints
+                .iter()
+                .map(|&(alloc, free, ticks)| (alloc.raw(), free.raw(), ticks))
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the [`RunSummary`] (used by sequential reference
+    /// implementations and tests; the service folds reports directly).
+    #[must_use]
+    pub fn to_summary(&self) -> RunSummary {
+        RunSummary {
+            failed: self.failed,
+            clock: AllocTime::from_raw(self.clock),
+            n_sites: self.n_sites as usize,
+            overflow_obs: self
+                .overflow_obs
+                .iter()
+                .map(|&(site, x, y)| SiteObservation {
+                    site: SiteHash::from_raw(site),
+                    x,
+                    y,
+                })
+                .collect(),
+            dangling_obs: self
+                .dangling_obs
+                .iter()
+                .map(|&(site, x, y)| SiteObservation {
+                    site: SiteHash::from_raw(site),
+                    x,
+                    y,
+                })
+                .collect(),
+            pad_hints: self
+                .pad_hints
+                .iter()
+                .map(|&(site, pad)| (SiteHash::from_raw(site), pad))
+                .collect(),
+            defer_hints: self
+                .defer_hints
+                .iter()
+                .map(|&(alloc, free, ticks)| {
+                    (SiteHash::from_raw(alloc), SiteHash::from_raw(free), ticks)
+                })
+                .collect(),
+        }
+    }
+
+    /// Total per-site observations carried.
+    #[must_use]
+    pub fn observations(&self) -> usize {
+        self.overflow_obs.len() + self.dangling_obs.len()
+    }
+
+    /// Serializes to the binary wire format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            44 + 13 * (self.overflow_obs.len() + self.dangling_obs.len())
+                + 8 * self.pad_hints.len()
+                + 16 * self.defer_hints.len(),
+        );
+        out.extend_from_slice(&MAGIC);
+        out.push(u8::from(self.failed));
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.clock.to_le_bytes());
+        out.extend_from_slice(&self.n_sites.to_le_bytes());
+        out.extend_from_slice(&(self.overflow_obs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dangling_obs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.pad_hints.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.defer_hints.len() as u32).to_le_bytes());
+        for &(site, x, y) in self.overflow_obs.iter().chain(&self.dangling_obs) {
+            out.extend_from_slice(&site.to_le_bytes());
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+            out.push(u8::from(y));
+        }
+        for &(site, pad) in &self.pad_hints {
+            out.extend_from_slice(&site.to_le_bytes());
+            out.extend_from_slice(&pad.to_le_bytes());
+        }
+        for &(alloc, free, ticks) in &self.defer_hints {
+            out.extend_from_slice(&alloc.to_le_bytes());
+            out.extend_from_slice(&free.to_le_bytes());
+            out.extend_from_slice(&ticks.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the binary wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformed byte.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.array::<4>()?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let failed = r.bool()?;
+        let client = u64::from_le_bytes(r.array()?);
+        let seq = u32::from_le_bytes(r.array()?);
+        let clock = u64::from_le_bytes(r.array()?);
+        let n_sites = u32::from_le_bytes(r.array()?);
+        let n_overflow = r.count()?;
+        let n_dangling = r.count()?;
+        let n_pads = r.count()?;
+        let n_defers = r.count()?;
+        let mut obs = |n: u32| -> Result<Vec<(u32, f64, bool)>, WireError> {
+            (0..n)
+                .map(|_| {
+                    let site = u32::from_le_bytes(r.array()?);
+                    let at = r.pos;
+                    let x = f64::from_bits(u64::from_le_bytes(r.array()?));
+                    // A probability must be finite and in [0, 1]: one NaN
+                    // folded into a site's running products would poison
+                    // its evidence permanently (NaN ratios never flag).
+                    if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+                        return Err(WireError::BadProbability {
+                            at,
+                            bits: x.to_bits(),
+                        });
+                    }
+                    let y = r.bool()?;
+                    Ok((site, x, y))
+                })
+                .collect()
+        };
+        let overflow_obs = obs(n_overflow)?;
+        let dangling_obs = obs(n_dangling)?;
+        let pad_hints = (0..n_pads)
+            .map(|_| {
+                Ok((
+                    u32::from_le_bytes(r.array()?),
+                    u32::from_le_bytes(r.array()?),
+                ))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?;
+        let defer_hints = (0..n_defers)
+            .map(|_| {
+                Ok((
+                    u32::from_le_bytes(r.array()?),
+                    u32::from_le_bytes(r.array()?),
+                    u64::from_le_bytes(r.array()?),
+                ))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?;
+        if r.pos != bytes.len() {
+            return Err(WireError::Trailing {
+                at: r.pos,
+                extra: bytes.len() - r.pos,
+            });
+        }
+        Ok(RunReport {
+            client,
+            seq,
+            failed,
+            clock,
+            n_sites,
+            overflow_obs,
+            dangling_obs,
+            pad_hints,
+            defer_hints,
+        })
+    }
+}
+
+/// A malformed wire report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The report does not start with the expected magic/version bytes.
+    BadMagic([u8; 4]),
+    /// The report ends before a field at this offset is complete.
+    Truncated {
+        /// Byte offset where more data was needed.
+        at: usize,
+    },
+    /// A boolean byte held something other than 0 or 1.
+    BadBool {
+        /// Byte offset of the offending value.
+        at: usize,
+        /// The value found.
+        value: u8,
+    },
+    /// An observation probability was non-finite or outside `[0, 1]`.
+    BadProbability {
+        /// Byte offset of the offending value.
+        at: usize,
+        /// The raw `f64` bits found.
+        bits: u64,
+    },
+    /// An array length prefix exceeds the sanity cap.
+    Oversized {
+        /// Byte offset of the length prefix.
+        at: usize,
+        /// The claimed element count.
+        count: u32,
+    },
+    /// Bytes remain after the last field.
+    Trailing {
+        /// Offset where decoding finished.
+        at: usize,
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad report magic {m:02x?}"),
+            WireError::Truncated { at } => write!(f, "report truncated at byte {at}"),
+            WireError::BadBool { at, value } => {
+                write!(f, "bad boolean byte {value:#x} at offset {at}")
+            }
+            WireError::BadProbability { at, bits } => {
+                write!(
+                    f,
+                    "observation probability {} (bits {bits:#x}) at offset {at} is not in [0, 1]",
+                    f64::from_bits(*bits)
+                )
+            }
+            WireError::Oversized { at, count } => {
+                write!(f, "array count {count} at offset {at} exceeds cap")
+            }
+            WireError::Trailing { at, extra } => {
+                write!(f, "{extra} trailing bytes after report end at offset {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over the wire bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let end = self.pos + N;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(WireError::Truncated { at: self.pos })?;
+        self.pos = end;
+        Ok(slice.try_into().expect("slice length is N"))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        let at = self.pos;
+        match self.array::<1>()?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(WireError::BadBool { at, value }),
+        }
+    }
+
+    fn count(&mut self) -> Result<u32, WireError> {
+        let at = self.pos;
+        let count = u32::from_le_bytes(self.array()?);
+        if count > MAX_ENTRIES {
+            return Err(WireError::Oversized { at, count });
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            client: 0xA11CE,
+            seq: 7,
+            failed: true,
+            clock: 1234,
+            n_sites: 77,
+            overflow_obs: vec![(0xB06, 0.25, true), (0xC1EA, 0.5, false)],
+            dangling_obs: vec![(0xD00D, 1.0 - 0.5f64.powi(9), true)],
+            pad_hints: vec![(0xB06, 36)],
+            defer_hints: vec![(0xD00D, 0xF, 42)],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let report = sample();
+        let bytes = report.encode();
+        assert_eq!(RunReport::decode(&bytes).unwrap(), report);
+        // Stays compact: well under a kilobyte for a typical run.
+        assert!(bytes.len() < 200, "report is {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        let report = sample();
+        let back = RunReport::from_summary(report.client, report.seq, &report.to_summary());
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().encode();
+        bytes[3] = b'9';
+        assert!(matches!(
+            RunReport::decode(&bytes),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            let err = RunReport::decode(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::BadBool { .. }),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(matches!(
+            RunReport::decode(&bytes),
+            Err(WireError::Trailing { extra: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_hostile_counts() {
+        let mut bytes = sample().encode();
+        // Overflow-count field sits after magic(4)+flag(1)+client(8)+seq(4)
+        // +clock(8)+n_sites(4) = 29.
+        bytes[29..33].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = RunReport::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(err, WireError::Oversized { at: 29, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_probabilities() {
+        // First overflow observation's x sits after the 45-byte header
+        // plus the 4-byte site hash.
+        let x_off = 45 + 4;
+        for bad in [f64::NAN, f64::INFINITY, -0.25, 1.5] {
+            let mut bytes = sample().encode();
+            bytes[x_off..x_off + 8].copy_from_slice(&bad.to_bits().to_le_bytes());
+            let err = RunReport::decode(&bytes).unwrap_err();
+            assert!(
+                matches!(err, WireError::BadProbability { at, .. } if at == x_off),
+                "x = {bad}: {err:?}"
+            );
+        }
+        // The boundary values themselves stay legal.
+        for ok in [0.0f64, 1.0] {
+            let mut bytes = sample().encode();
+            bytes[x_off..x_off + 8].copy_from_slice(&ok.to_bits().to_le_bytes());
+            assert!(RunReport::decode(&bytes).is_ok(), "x = {ok} rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bool() {
+        let mut bytes = sample().encode();
+        bytes[4] = 3; // the failed flag
+        assert!(matches!(
+            RunReport::decode(&bytes),
+            Err(WireError::BadBool { at: 4, value: 3 })
+        ));
+    }
+}

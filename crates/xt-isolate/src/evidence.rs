@@ -1,0 +1,619 @@
+//! Incremental, mergeable cumulative-mode evidence (§5, fleet-scale form).
+//!
+//! [`CumulativeIsolator`](crate::cumulative::CumulativeIsolator) is
+//! *batch*-shaped: it stores every `(X, Y)` observation and re-evaluates
+//! the likelihood integral over the full list on each query — O(runs ×
+//! steps) per site per classification, and two isolators cannot be
+//! combined without replaying raw observations. That is fine for one
+//! user's patch file; it does not scale to a service aggregating reports
+//! from thousands of clients.
+//!
+//! This module keeps the same hypothesis test in *running-product* form.
+//! For one site, the two likelihoods of §5 are products over observations:
+//!
+//! ```text
+//! L0 = Π_i  (X_i if Y_i else 1 − X_i)
+//! L1 = ∫₀¹ Π_i (q_i if Y_i else 1 − q_i) dθ,   q_i = (1−θ)·X_i + θ
+//! ```
+//!
+//! `L0` is a scalar running product. For `L1`, the integrand evaluated at
+//! the fixed Simpson nodes `θ_j = j/steps` is *also* a per-node running
+//! product, so [`SiteEvidence`] maintains the integrand as a vector of
+//! `steps + 1` partial products and folds each new observation in with one
+//! multiply per node — O(steps) per observation, O(steps) per
+//! classification, and **no observation list at all**.
+//!
+//! Because every stored quantity is a product of per-observation factors,
+//! two evidence states over disjoint observation sets combine by pointwise
+//! multiplication: [`SiteEvidence::merge`] is commutative and associative,
+//! which is exactly what a sharded aggregation service needs — any
+//! partition of the fleet's reports, folded in any order, converges to the
+//! same state (up to float rounding). [`EvidenceTable`] lifts the same
+//! property to whole run summaries (site maps, pad/deferral hints, run
+//! counters), giving `xt-fleet` its CRDT-style shard state.
+
+use std::collections::BTreeMap;
+
+use xt_alloc::{SiteHash, SitePair};
+use xt_patch::PatchTable;
+
+use crate::cumulative::{CumulativeConfig, RunSummary, Verdict};
+
+/// Running-product evidence for one allocation site: the §5 hypothesis
+/// test in incremental form.
+///
+/// # Example
+///
+/// ```
+/// use xt_isolate::evidence::SiteEvidence;
+///
+/// // Fifteen failures, always canaried at p = 1/2 — the espresso
+/// // dangling signature (§7.2).
+/// let mut e = SiteEvidence::new(512);
+/// for _ in 0..15 {
+///     e.observe(0.5, true);
+/// }
+/// // The same evidence split across two aggregators and merged.
+/// let mut a = SiteEvidence::new(512);
+/// let mut b = SiteEvidence::new(512);
+/// for i in 0..15 {
+///     if i % 2 == 0 { a.observe(0.5, true) } else { b.observe(0.5, true) }
+/// }
+/// a.merge(&b);
+/// assert!((a.ratio() - e.ratio()).abs() < 1e-9 * e.ratio());
+/// assert_eq!(a.observations(), 15);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteEvidence {
+    /// Observations folded in so far.
+    obs: usize,
+    /// Running `L0` product.
+    l0: f64,
+    /// Running integrand products at the `steps + 1` Simpson nodes.
+    grid: Vec<f64>,
+}
+
+impl SiteEvidence {
+    /// Creates empty evidence integrating over `steps` Simpson intervals
+    /// (forced even, minimum 2 — same convention as
+    /// [`likelihood_h1`](crate::cumulative::likelihood_h1)).
+    #[must_use]
+    pub fn new(steps: usize) -> Self {
+        let n = steps.max(2) & !1;
+        SiteEvidence {
+            obs: 0,
+            l0: 1.0,
+            grid: vec![1.0; n + 1],
+        }
+    }
+
+    /// Number of Simpson intervals this evidence integrates over.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.grid.len() - 1
+    }
+
+    /// Observations folded in.
+    #[must_use]
+    pub fn observations(&self) -> usize {
+        self.obs
+    }
+
+    /// Folds one `(X, Y)` observation in: one multiply for `L0` plus one
+    /// per Simpson node.
+    pub fn observe(&mut self, x: f64, y: bool) {
+        self.obs += 1;
+        self.l0 *= if y { x } else { 1.0 - x };
+        let n = self.grid.len() - 1;
+        for (j, g) in self.grid.iter_mut().enumerate() {
+            let theta = j as f64 / n as f64;
+            let q = (1.0 - theta) * x + theta;
+            *g *= if y { q } else { 1.0 - q };
+        }
+    }
+
+    /// Combines evidence accumulated over a *disjoint* set of observations
+    /// (pointwise product). Commutative and associative, so shards and
+    /// aggregators can fold states in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides integrate over different Simpson grids —
+    /// states are only combinable under one configuration.
+    pub fn merge(&mut self, other: &SiteEvidence) {
+        assert_eq!(
+            self.grid.len(),
+            other.grid.len(),
+            "cannot merge evidence with different integration grids"
+        );
+        self.obs += other.obs;
+        self.l0 *= other.l0;
+        for (g, o) in self.grid.iter_mut().zip(&other.grid) {
+            *g *= o;
+        }
+    }
+
+    /// Likelihood of the observations under `H0: θ = 0`.
+    #[must_use]
+    pub fn l0(&self) -> f64 {
+        self.l0
+    }
+
+    /// Likelihood under `H1: θ > 0`: Simpson combination of the running
+    /// node products.
+    #[must_use]
+    pub fn l1(&self) -> f64 {
+        let n = self.grid.len() - 1;
+        let h = 1.0 / n as f64;
+        let mut sum = self.grid[0] + self.grid[n];
+        for (j, &g) in self.grid.iter().enumerate().take(n).skip(1) {
+            sum += if j % 2 == 1 { 4.0 * g } else { 2.0 * g };
+        }
+        sum * h / 3.0
+    }
+
+    /// `L1 / L0` (∞ if `L0` underflows to zero while `L1 > 0`, 1 if both
+    /// vanish) — the statistic compared against the `cN − 1` threshold.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        let (l0, l1) = (self.l0(), self.l1());
+        if l0 > 0.0 {
+            l1 / l0
+        } else if l1 > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    /// The §5.1 decision for this site under prior constant `prior_c` and
+    /// site population `n_sites`.
+    #[must_use]
+    pub fn verdict(&self, site: SiteHash, n_sites: usize, prior_c: f64) -> Verdict {
+        let threshold = (prior_c * n_sites.max(1) as f64 - 1.0).max(1.0);
+        let ratio = self.ratio();
+        Verdict {
+            site,
+            l0: self.l0(),
+            l1: self.l1(),
+            ratio,
+            flagged: ratio > threshold,
+            observations: self.obs,
+        }
+    }
+}
+
+/// A mergeable aggregate of cumulative-mode evidence: per-site
+/// [`SiteEvidence`] for both error families, pad/deferral hints, and run
+/// counters. The order-insensitive equivalent of
+/// [`CumulativeIsolator`](crate::cumulative::CumulativeIsolator), and the
+/// state each `xt-fleet` shard keeps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvidenceTable {
+    config: CumulativeConfig,
+    overflow: BTreeMap<SiteHash, SiteEvidence>,
+    dangling: BTreeMap<SiteHash, SiteEvidence>,
+    pad_hints: BTreeMap<SiteHash, u32>,
+    defer_hints: BTreeMap<SitePair, u64>,
+    runs: usize,
+    failures: usize,
+    n_sites: usize,
+}
+
+impl EvidenceTable {
+    /// Creates an empty table under `config`.
+    #[must_use]
+    pub fn new(config: CumulativeConfig) -> Self {
+        EvidenceTable {
+            config,
+            overflow: BTreeMap::new(),
+            dangling: BTreeMap::new(),
+            pad_hints: BTreeMap::new(),
+            defer_hints: BTreeMap::new(),
+            runs: 0,
+            failures: 0,
+            n_sites: 1,
+        }
+    }
+
+    /// The table's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CumulativeConfig {
+        &self.config
+    }
+
+    /// Total runs folded in.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Failed runs among them.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.failures
+    }
+
+    /// Largest site population seen (`N` of the prior).
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Sites with evidence in either family.
+    #[must_use]
+    pub fn sites_tracked(&self) -> usize {
+        let mut sites: std::collections::BTreeSet<SiteHash> =
+            self.overflow.keys().copied().collect();
+        sites.extend(self.dangling.keys().copied());
+        sites.len()
+    }
+
+    /// Notes one run's metadata without observations (used when a run's
+    /// observations are routed elsewhere, e.g. to other shards).
+    pub fn note_run(&mut self, failed: bool, n_sites: usize) {
+        self.runs += 1;
+        if failed {
+            self.failures += 1;
+        }
+        self.n_sites = self.n_sites.max(n_sites);
+    }
+
+    /// Folds one overflow-criteria observation in.
+    pub fn observe_overflow(&mut self, site: SiteHash, x: f64, y: bool) {
+        let steps = self.config.integration_steps;
+        self.overflow
+            .entry(site)
+            .or_insert_with(|| SiteEvidence::new(steps))
+            .observe(x, y);
+    }
+
+    /// Folds one dangling-canary observation in.
+    pub fn observe_dangling(&mut self, site: SiteHash, x: f64, y: bool) {
+        let steps = self.config.integration_steps;
+        self.dangling
+            .entry(site)
+            .or_insert_with(|| SiteEvidence::new(steps))
+            .observe(x, y);
+    }
+
+    /// Records a pad hint (kept by maximum).
+    pub fn hint_pad(&mut self, site: SiteHash, pad: u32) {
+        let e = self.pad_hints.entry(site).or_insert(0);
+        *e = (*e).max(pad);
+    }
+
+    /// Records a deferral hint (kept by per-pair maximum).
+    pub fn hint_deferral(&mut self, pair: SitePair, ticks: u64) {
+        let e = self.defer_hints.entry(pair).or_insert(0);
+        *e = (*e).max(ticks);
+    }
+
+    /// Folds one whole [`RunSummary`] in.
+    pub fn record_run(&mut self, summary: &RunSummary) {
+        self.note_run(summary.failed, summary.n_sites);
+        for obs in &summary.overflow_obs {
+            self.observe_overflow(obs.site, obs.x, obs.y);
+        }
+        for obs in &summary.dangling_obs {
+            self.observe_dangling(obs.site, obs.x, obs.y);
+        }
+        for &(site, pad) in &summary.pad_hints {
+            self.hint_pad(site, pad);
+        }
+        for &(alloc, free, ticks) in &summary.defer_hints {
+            self.hint_deferral(SitePair::new(alloc, free), ticks);
+        }
+    }
+
+    /// Combines another table accumulated over a disjoint set of runs.
+    /// Commutative, associative; any gossip/shard topology converges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables were accumulated under different
+    /// configurations — evidence is only combinable when every site was
+    /// observed under the same grid, prior, and canary probability.
+    pub fn merge(&mut self, other: &EvidenceTable) {
+        assert_eq!(
+            self.config, other.config,
+            "cannot merge evidence accumulated under different configurations"
+        );
+        self.runs += other.runs;
+        self.failures += other.failures;
+        self.n_sites = self.n_sites.max(other.n_sites);
+        for (site, evidence) in &other.overflow {
+            match self.overflow.entry(*site) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(evidence.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().merge(evidence),
+            }
+        }
+        for (site, evidence) in &other.dangling {
+            match self.dangling.entry(*site) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(evidence.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().merge(evidence),
+            }
+        }
+        for (&site, &pad) in &other.pad_hints {
+            self.hint_pad(site, pad);
+        }
+        for (&pair, &ticks) in &other.defer_hints {
+            self.hint_deferral(pair, ticks);
+        }
+    }
+
+    /// Verdicts for all sites with overflow evidence, using `n_sites` as
+    /// the population (callers aggregating across shards pass the global
+    /// maximum).
+    #[must_use]
+    pub fn overflow_verdicts_with(&self, n_sites: usize) -> Vec<Verdict> {
+        self.overflow
+            .iter()
+            .map(|(&site, e)| e.verdict(site, n_sites, self.config.prior_c))
+            .collect()
+    }
+
+    /// Verdicts for all sites with dangling evidence.
+    #[must_use]
+    pub fn dangling_verdicts_with(&self, n_sites: usize) -> Vec<Verdict> {
+        self.dangling
+            .iter()
+            .map(|(&site, e)| e.verdict(site, n_sites, self.config.prior_c))
+            .collect()
+    }
+
+    /// Verdicts under this table's own recorded site population.
+    #[must_use]
+    pub fn overflow_verdicts(&self) -> Vec<Verdict> {
+        self.overflow_verdicts_with(self.n_sites)
+    }
+
+    /// Verdicts under this table's own recorded site population.
+    #[must_use]
+    pub fn dangling_verdicts(&self) -> Vec<Verdict> {
+        self.dangling_verdicts_with(self.n_sites)
+    }
+
+    /// Patches for every flagged site with a matching hint, under site
+    /// population `n_sites`. Deferral patches are emitted for every hinted
+    /// `(alloc, free)` pair of a flagged alloc site.
+    #[must_use]
+    pub fn generate_patches_with(&self, n_sites: usize) -> PatchTable {
+        let mut patches = PatchTable::new();
+        for v in self.overflow_verdicts_with(n_sites) {
+            if !v.flagged {
+                continue;
+            }
+            if let Some(&pad) = self.pad_hints.get(&v.site) {
+                patches.add_pad(v.site, pad);
+            }
+        }
+        for v in self.dangling_verdicts_with(n_sites) {
+            if !v.flagged {
+                continue;
+            }
+            for (&pair, &ticks) in &self.defer_hints {
+                if pair.alloc == v.site {
+                    patches.add_deferral(pair, ticks);
+                }
+            }
+        }
+        patches
+    }
+
+    /// Patches under this table's own recorded site population.
+    #[must_use]
+    pub fn generate_patches(&self) -> PatchTable {
+        self.generate_patches_with(self.n_sites)
+    }
+
+    /// Resident bytes of the evidence state — per site this is one grid of
+    /// `steps + 1` doubles instead of an unbounded observation list.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        let per_site = std::mem::size_of::<SiteEvidence>()
+            + (self.config.integration_steps + 1) * std::mem::size_of::<f64>();
+        (self.overflow.len() + self.dangling.len()) * per_site
+            + self.pad_hints.len() * 16
+            + self.defer_hints.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cumulative::{classify, CumulativeIsolator, SiteObservation};
+
+    const BUGGY: SiteHash = SiteHash::from_raw(0xB06);
+    const CLEAN: SiteHash = SiteHash::from_raw(0xC1EA);
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn incremental_matches_batch_classifier() {
+        // The same observation multiset, batch vs running-product.
+        let obs: Vec<(f64, bool)> = (0..25)
+            .map(|i| (0.1 + 0.8 * (i as f64 / 25.0), i % 3 != 0))
+            .collect();
+        let config = CumulativeConfig::default();
+        let batch = classify(BUGGY, &obs, 250, &config);
+        let mut e = SiteEvidence::new(config.integration_steps);
+        for &(x, y) in &obs {
+            e.observe(x, y);
+        }
+        let inc = e.verdict(BUGGY, 250, config.prior_c);
+        assert!(close(batch.l0, inc.l0), "{} vs {}", batch.l0, inc.l0);
+        assert!(close(batch.l1, inc.l1), "{} vs {}", batch.l1, inc.l1);
+        assert_eq!(batch.flagged, inc.flagged);
+        assert_eq!(batch.observations, inc.observations);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_order_insensitive() {
+        let obs: Vec<(f64, bool)> = (0..30).map(|i| (0.3, i % 4 == 0)).collect();
+        let mut whole = SiteEvidence::new(64);
+        for &(x, y) in &obs {
+            whole.observe(x, y);
+        }
+        // Split 3 ways, merge in a different order.
+        let mut parts = [
+            SiteEvidence::new(64),
+            SiteEvidence::new(64),
+            SiteEvidence::new(64),
+        ];
+        for (i, &(x, y)) in obs.iter().enumerate() {
+            parts[i % 3].observe(x, y);
+        }
+        let mut ba = parts[2].clone();
+        ba.merge(&parts[0]);
+        ba.merge(&parts[1]);
+        assert_eq!(ba.observations(), whole.observations());
+        assert!(close(ba.l0(), whole.l0()));
+        assert!(close(ba.l1(), whole.l1()));
+    }
+
+    #[test]
+    #[should_panic(expected = "different integration grids")]
+    fn merge_rejects_mismatched_grids() {
+        let mut a = SiteEvidence::new(64);
+        a.merge(&SiteEvidence::new(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn table_merge_rejects_mismatched_configs() {
+        // Even with no common site, mixing configurations must fail at
+        // the merge, not at some later collision.
+        let mut a = EvidenceTable::new(CumulativeConfig {
+            integration_steps: 64,
+            ..CumulativeConfig::default()
+        });
+        let b = EvidenceTable::new(CumulativeConfig {
+            integration_steps: 512,
+            ..CumulativeConfig::default()
+        });
+        a.merge(&b);
+    }
+
+    #[test]
+    fn table_matches_batch_isolator_end_to_end() {
+        // Feed identical run streams to the batch isolator and the
+        // mergeable table; verdicts and generated patches must agree.
+        let config = CumulativeConfig::default();
+        let mut batch = CumulativeIsolator::new(config);
+        let mut table = EvidenceTable::new(config);
+        for run in 0..20 {
+            let mut summary = RunSummary {
+                failed: true,
+                n_sites: 100,
+                ..RunSummary::default()
+            };
+            summary.overflow_obs.push(SiteObservation {
+                site: BUGGY,
+                x: 0.3,
+                y: true,
+            });
+            summary.dangling_obs.push(SiteObservation {
+                site: CLEAN,
+                x: 0.5,
+                y: run % 2 == 0,
+            });
+            summary.pad_hints.push((BUGGY, 24));
+            summary
+                .defer_hints
+                .push((CLEAN, SiteHash::from_raw(0xF), 40));
+            batch.record_run(&summary);
+            table.record_run(&summary);
+        }
+        assert_eq!(table.runs(), batch.runs());
+        assert_eq!(table.failures(), batch.failures());
+        let bv = batch.overflow_verdicts();
+        let tv = table.overflow_verdicts();
+        assert_eq!(bv.len(), tv.len());
+        for (b, t) in bv.iter().zip(&tv) {
+            assert_eq!(b.site, t.site);
+            assert_eq!(b.flagged, t.flagged);
+            assert!(close(b.ratio, t.ratio), "{} vs {}", b.ratio, t.ratio);
+        }
+        assert_eq!(table.generate_patches(), batch.generate_patches());
+        assert_eq!(table.generate_patches().pad_for(BUGGY), 24);
+    }
+
+    #[test]
+    fn sharded_tables_merge_to_the_sequential_state() {
+        // Partition a run stream across three tables (as shards would),
+        // merge, and compare against sequential accumulation.
+        let config = CumulativeConfig {
+            integration_steps: 64,
+            ..CumulativeConfig::default()
+        };
+        let mut sequential = EvidenceTable::new(config);
+        let mut shards = [
+            EvidenceTable::new(config),
+            EvidenceTable::new(config),
+            EvidenceTable::new(config),
+        ];
+        for run in 0..30u32 {
+            let mut summary = RunSummary {
+                failed: run % 2 == 0,
+                n_sites: 50 + (run as usize % 7),
+                ..RunSummary::default()
+            };
+            summary.overflow_obs.push(SiteObservation {
+                site: SiteHash::from_raw(run % 5),
+                x: 0.2 + f64::from(run % 3) * 0.1,
+                y: run % 2 == 0,
+            });
+            summary.pad_hints.push((SiteHash::from_raw(run % 5), run));
+            sequential.record_run(&summary);
+            shards[(run as usize) % 3].record_run(&summary);
+        }
+        let mut merged = shards[1].clone();
+        merged.merge(&shards[2]);
+        merged.merge(&shards[0]);
+        assert_eq!(merged.runs(), sequential.runs());
+        assert_eq!(merged.failures(), sequential.failures());
+        assert_eq!(merged.n_sites(), sequential.n_sites());
+        assert_eq!(merged.generate_patches(), sequential.generate_patches());
+        let a = merged.overflow_verdicts();
+        let b = sequential.overflow_verdicts();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.flagged, y.flagged);
+            assert!(close(x.ratio, y.ratio));
+        }
+    }
+
+    #[test]
+    fn state_stays_compact() {
+        let mut table = EvidenceTable::new(CumulativeConfig {
+            integration_steps: 64,
+            ..CumulativeConfig::default()
+        });
+        for run in 0..1000u32 {
+            let mut summary = RunSummary {
+                failed: true,
+                n_sites: 40,
+                ..RunSummary::default()
+            };
+            summary.dangling_obs.push(SiteObservation {
+                site: SiteHash::from_raw(run % 8),
+                x: 0.5,
+                y: true,
+            });
+            table.record_run(&summary);
+        }
+        // 1000 runs over 8 sites: batch storage would hold 1000
+        // observations; the grid form is bounded by sites × grid.
+        assert_eq!(table.runs(), 1000);
+        assert!(table.state_bytes() < 8 * (64 + 2) * 8 + 1024);
+        assert_eq!(table.sites_tracked(), 8);
+    }
+}

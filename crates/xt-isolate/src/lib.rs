@@ -15,15 +15,21 @@
 //!   statistics (a few hundred bytes); a Bayesian hypothesis test flags
 //!   sites whose objects sit "behind" observed corruption (overflows) or
 //!   whose canarying correlates with failure (dangling pointers) more
-//!   often than chance predicts.
+//!   often than chance predicts. [`evidence`] holds the same test in
+//!   incremental, *mergeable* running-product form — the shape a
+//!   fleet-scale aggregation service (`xt-fleet`) needs, where evidence
+//!   from thousands of clients is folded into sharded state in arbitrary
+//!   order.
 //!
 //! Both families produce an [`IsolationReport`] which converts into the
 //! runtime [`PatchTable`](xt_patch::PatchTable) consumed by the correcting
 //! allocator.
 
 pub mod cumulative;
+pub mod evidence;
 pub mod iterative;
 mod report;
 pub mod theory;
 
+pub use evidence::{EvidenceTable, SiteEvidence};
 pub use report::{DanglingReport, IsolationError, IsolationReport, OverflowReport};

@@ -225,6 +225,7 @@ impl PatchTable {
             let fields: Vec<&str> = line.split_whitespace().collect();
             let fail = |reason: &str| PatchParseError {
                 line: lineno + 1,
+                content: raw_line.to_string(),
                 reason: reason.to_string(),
             };
             match fields.as_slice() {
@@ -277,17 +278,104 @@ impl PatchTable {
 pub struct PatchParseError {
     /// 1-based line number.
     pub line: usize,
+    /// The offending line, verbatim.
+    pub content: String,
     /// What was wrong.
     pub reason: String,
 }
 
 impl fmt::Display for PatchParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "patch file line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "patch file line {}: {}: {:?}",
+            self.line, self.reason, self.content
+        )
     }
 }
 
 impl Error for PatchParseError {}
+
+/// A versioned snapshot of merged patches: what an aggregation service
+/// publishes and what clients poll by number (§6.4 at fleet scale).
+///
+/// Epoch numbers are assigned by the publisher and must be accompanied by
+/// *monotone* tables: epoch `n + 1`'s table is the lattice join of epoch
+/// `n`'s table with newly isolated patches, so any client holding any
+/// older epoch is corrected by every newer one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PatchEpoch {
+    /// Monotonically increasing epoch number (0 = the empty pre-publish
+    /// epoch).
+    pub number: u64,
+    /// The merged patch table as of this epoch.
+    pub patches: PatchTable,
+}
+
+impl PatchEpoch {
+    /// The initial, empty epoch every client starts from.
+    #[must_use]
+    pub fn genesis() -> Self {
+        PatchEpoch::default()
+    }
+
+    /// The successor epoch: joins `newly_isolated` into this epoch's
+    /// table. The result covers everything this epoch covered.
+    #[must_use]
+    pub fn succeed(&self, newly_isolated: &PatchTable) -> Self {
+        let mut patches = self.patches.clone();
+        patches.merge(newly_isolated);
+        PatchEpoch {
+            number: self.number + 1,
+            patches,
+        }
+    }
+
+    /// `true` if this epoch's table covers every entry of `other` (the
+    /// lattice partial order collaborative correction relies on).
+    #[must_use]
+    pub fn covers(&self, other: &PatchTable) -> bool {
+        other
+            .pads()
+            .all(|(site, pad)| self.patches.pad_for(site) >= pad)
+            && other
+                .deferrals()
+                .all(|(pair, ticks)| self.patches.deferral_for(pair) >= ticks)
+    }
+
+    /// Serializes epoch number plus table in the patch-file format (the
+    /// epoch rides in a structured comment, so any patch-file consumer
+    /// can read the table).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        format!("# epoch {}\n{}", self.number, self.patches.to_text())
+    }
+
+    /// Parses text produced by [`PatchEpoch::to_text`]. The epoch header
+    /// is only recognized on the *first* line (where `to_text` writes
+    /// it); everywhere else `# epoch ...` is an ordinary comment, and
+    /// plain patch files without a header parse as epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatchParseError`] naming the offending line.
+    pub fn from_text(text: &str) -> Result<Self, PatchParseError> {
+        let mut number = 0;
+        if let Some(line) = text.lines().next() {
+            if let Some(rest) = line.trim().strip_prefix("# epoch ") {
+                number = rest.trim().parse().map_err(|_| PatchParseError {
+                    line: 1,
+                    content: line.to_string(),
+                    reason: "bad epoch number".to_string(),
+                })?;
+            }
+        }
+        Ok(PatchEpoch {
+            number,
+            patches: PatchTable::from_text(text)?,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -398,10 +486,55 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_carry_the_offending_line() {
+        let err = PatchTable::from_text("pad 1 6\n  pad zz 5\ndefer 1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.content, "  pad zz 5", "verbatim line, not trimmed");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 2") && msg.contains("bad site hash") && msg.contains("pad zz 5"),
+            "message must name line, reason, and content: {msg}"
+        );
+        let err = PatchTable::from_text("pad 1 6\ndefer 1 2 oops").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("defer 1 2 oops"));
+    }
+
+    #[test]
     fn parser_rejects_bad_fields() {
         assert!(PatchTable::from_text("pad zz 5").is_err());
         assert!(PatchTable::from_text("pad 1 -2").is_err());
         assert!(PatchTable::from_text("defer 1 2").is_err());
+    }
+
+    #[test]
+    fn epoch_succession_is_monotone_and_round_trips() {
+        let mut isolated = PatchTable::new();
+        isolated.add_pad(site(1), 6);
+        let e1 = PatchEpoch::genesis().succeed(&isolated);
+        assert_eq!(e1.number, 1);
+        let mut more = PatchTable::new();
+        more.add_pad(site(1), 3); // smaller: join keeps 6
+        more.add_deferral(pair(2, 3), 50);
+        let e2 = e1.succeed(&more);
+        assert_eq!(e2.number, 2);
+        assert_eq!(e2.patches.pad_for(site(1)), 6);
+        assert!(e2.covers(&e1.patches), "epochs only grow");
+        assert!(e2.covers(&more));
+        assert!(!e1.covers(&e2.patches));
+        let parsed = PatchEpoch::from_text(&e2.to_text()).unwrap();
+        assert_eq!(parsed, e2);
+        // A plain patch file reads as epoch 0.
+        let plain = PatchEpoch::from_text(&e2.patches.to_text()).unwrap();
+        assert_eq!(plain.number, 0);
+        assert_eq!(plain.patches, e2.patches);
+        // A corrupt epoch line is a parse error naming the line.
+        let err = PatchEpoch::from_text("# epoch banana\n").unwrap_err();
+        assert!(err.to_string().contains("bad epoch number"), "{err}");
+        // Past line 1, "# epoch ..." is an ordinary comment, not a header.
+        let commented = PatchEpoch::from_text("pad 1 6\n# epoch notes: merged by hand\n").unwrap();
+        assert_eq!(commented.number, 0);
+        assert_eq!(commented.patches.pad_for(site(1)), 6);
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Collaborative correction (§6.4): merging patches from multiple users.
+//! Collaborative correction (§6.4) as a service: the fleet loop.
 //!
 //! ```text
-//! cargo run --example collaborative_patching
+//! cargo run --release --example collaborative_patching
 //! ```
 //!
 //! "Each individual user of an application is likely to experience
@@ -10,118 +10,112 @@
 //! that supports collaborative correction ... computing the maximum buffer
 //! pad required for any allocation site, and the maximal deferral amount."
 //!
-//! Here three users each hit a *different* bug in the same application
-//! (two distinct overflows and a dangling free). Their locally generated
-//! patch files are merged; the merged file corrects all three errors for
-//! everyone.
+//! The original version of this example hand-merged two patch files. This
+//! one runs the real loop the paper sketches (and `xt-fleet` implements):
+//! a community of users, half hitting a cold-site buffer overflow and half
+//! a dangling free, each **submits** its runs' compact summaries to the
+//! sharded aggregation service, the service **aggregates** evidence and
+//! publishes versioned patch epochs, and every user **pulls** the latest
+//! epoch before its next run. Nobody computes a patch locally — isolation
+//! emerges from the pooled evidence, and one published epoch corrects both
+//! bugs for everyone.
 
-use exterminator::iterative::{IterativeConfig, IterativeMode};
-use exterminator::runner::{execute, find_manifesting_fault, RunConfig};
-use xt_faults::{FaultKind, FaultSpec};
-use xt_patch::PatchTable;
+use exterminator::summarized_run;
+use xt_fleet::simulator::{demo_faults, verified_corrected};
+use xt_fleet::{FleetConfig, FleetService, RunReport};
 use xt_workloads::{EspressoLike, WorkloadInput};
 
-/// Verifies a patch set against a fault over several fresh heap seeds.
-fn patch_verified(input: &WorkloadInput, fault: FaultSpec, patches: &PatchTable) -> bool {
-    (0..4).all(|seed| {
-        let mut config = RunConfig::with_seed(0x7E57 + seed);
-        config.fault = Some(fault);
-        config.patches = patches.clone();
-        config.halt_on_signal = true;
-        !execute(&EspressoLike::new(), input, config).failed()
-    })
-}
+/// Community size. Even users inject the overflow, odd users the dangling
+/// free — two disjoint sub-populations, as in the paper's deployment story.
+const USERS: u64 = 20;
 
-/// One user's repair session: find a manifesting fault of `kind`, repair
-/// it, and keep only repairs that survive independent verification —
-/// detection is probabilistic (Theorem 2), so a repair certified by a few
-/// clean runs is occasionally premature.
-fn repaired_user(
-    label: &str,
-    input: &WorkloadInput,
-    kind: FaultKind,
-    base_sel: u64,
-) -> (FaultSpec, PatchTable) {
-    for sel in base_sel..base_sel + 16 {
-        let Some(fault) =
-            find_manifesting_fault(&EspressoLike::new(), input, kind, 100, 450, 20, 4, sel)
-        else {
-            continue;
-        };
-        let mut mode = IterativeMode::new(IterativeConfig {
-            base_seed: sel ^ 0xD00D,
-            ..IterativeConfig::default()
-        });
-        let outcome = mode.repair(&EspressoLike::new(), input, Some(fault));
-        if outcome.fixed
-            && !outcome.patches.is_empty()
-            && patch_verified(input, fault, &outcome.patches)
-        {
-            println!(
-                "{label}: fixed=true rounds={} patch entries={}",
-                outcome.rounds.len(),
-                outcome.patches.len()
-            );
-            return (fault, outcome.patches);
-        }
-    }
-    panic!("{label}: no verifiably repairable fault found");
-}
+/// Runs each user contributes at most.
+const ROUNDS: u32 = 12;
 
 fn main() {
-    let input = WorkloadInput::with_seed(77).intensity(3);
+    let input = WorkloadInput::with_seed(21).intensity(3);
+    let workload = EspressoLike::new();
 
-    // Three users, three distinct bugs (found with the §7.2 methodology:
-    // injector seeds are drawn until the fault manifests; repairs are
-    // accepted only after independent verification).
-    let (overflow_a, patches_a) = repaired_user(
-        "user A (4B overflow)",
-        &input,
-        FaultKind::BufferOverflow {
-            delta: 4,
-            fill: 0xA1,
-        },
-        1,
-    );
-    let (overflow_b, patches_b) = repaired_user(
-        "user B (36B overflow)",
-        &input,
-        FaultKind::BufferOverflow {
-            delta: 36,
-            fill: 0xB2,
-        },
-        40,
-    );
-    let (dangling, patches_c) = repaired_user(
-        "user C (dangling free)",
-        &input,
-        FaultKind::DanglingFree { lag: 12 },
-        80,
-    );
+    // Two community bugs, screened to be §5-isolatable (not every
+    // manifesting fault develops the canary/failure correlation the
+    // Bayesian test needs — see `exp_injected_dangling`).
+    let (overflow, dangling) =
+        demo_faults(&workload, &input).expect("no isolatable demonstration faults found");
+    println!("bug A (overflow): {overflow:?}");
+    println!("bug B (dangling): {dangling:?}");
 
-    // The collaborative-correction utility: pointwise max over all users.
-    let merged = PatchTable::merged([&patches_a, &patches_b, &patches_c]);
-    println!(
-        "merged patch file ({} entries, {} bytes):\n{}",
-        merged.len(),
-        merged.to_text().len(),
-        merged.to_text()
-    );
+    // The aggregation service: 8 evidence shards, a fresh epoch every 16
+    // reports.
+    let service = FleetService::new(FleetConfig {
+        shards: 8,
+        publish_every: 16,
+        ..FleetConfig::default()
+    });
 
-    // Every user's bug is corrected by the merged file.
-    for (label, fault) in [("A", overflow_a), ("B", overflow_b), ("C", dangling)] {
-        let mut failures = 0;
-        for seed in 0..4 {
-            let mut config = RunConfig::with_seed(0xC0DE + seed);
-            config.fault = Some(fault);
-            config.patches = merged.clone();
-            config.halt_on_signal = true;
-            if execute(&EspressoLike::new(), &input, config).failed() {
-                failures += 1;
+    let mut runs = 0u64;
+    let mut last_verified = 0u64;
+    'fleet: for round in 0..ROUNDS {
+        for user in 0..USERS {
+            // Pull: adopt the newest published epoch before running.
+            let epoch = service.latest();
+            let fault = if user % 2 == 0 { overflow } else { dangling };
+            let run = summarized_run(
+                &workload,
+                &input,
+                Some(fault),
+                epoch.patches.clone(),
+                0x5EED ^ (user * 7919 + u64::from(round) * 104_729),
+                service.config().isolator.fill_probability,
+                2.0,
+            );
+            runs += 1;
+            // Submit: a few hundred bytes over the wire, not a heap image.
+            let report = RunReport::from_summary(user, round, &run.summary);
+            let receipt = service
+                .ingest(&report.encode())
+                .expect("well-formed report");
+            assert!(!receipt.duplicate);
+
+            // Aggregate: epochs appear on the publish cadence; verify
+            // only when a new one is minted (probes are whole workload
+            // executions) and stop once one corrects both bugs.
+            let epoch = service.latest();
+            if epoch.number > last_verified && !epoch.patches.is_empty() {
+                last_verified = epoch.number;
+                if verified_corrected(&workload, &input, overflow, &epoch.patches, 4, 0xA5)
+                    && verified_corrected(&workload, &input, dangling, &epoch.patches, 4, 0xB6)
+                {
+                    break 'fleet;
+                }
             }
         }
-        println!("merged patches vs bug {label}: {failures}/4 runs fail");
-        assert_eq!(failures, 0, "bug {label} not corrected by merged patches");
     }
-    println!("=> one merged patch file corrects every user's error");
+
+    let epoch = service.publish();
+    let m = service.metrics();
+    println!(
+        "\nfleet: {} reports ({} failed) from {USERS} users in {runs} runs; \
+         {} sites tracked across {} shards; epoch {} published",
+        m.reports, m.failed_reports, m.sites_tracked, m.shards, epoch.number
+    );
+    println!(
+        "published patch file ({} entries, {} bytes):\n{}",
+        epoch.patches.len(),
+        epoch.to_text().len(),
+        epoch.to_text()
+    );
+
+    // Every user's bug is corrected by the published epoch.
+    for (label, fault) in [("A (overflow)", overflow), ("B (dangling)", dangling)] {
+        let corrected = verified_corrected(&workload, &input, fault, &epoch.patches, 4, 0xC0DE);
+        println!(
+            "epoch {} vs bug {label}: corrected={corrected}",
+            epoch.number
+        );
+        assert!(
+            corrected,
+            "bug {label} not corrected by the published epoch"
+        );
+    }
+    println!("=> one published epoch corrects every user's error");
 }
