@@ -14,7 +14,7 @@ use xt_isolate::cumulative::{summarize_run, CumulativeConfig, CumulativeIsolator
 use xt_patch::PatchTable;
 use xt_workloads::{Workload, WorkloadInput};
 
-use crate::runner::{execute, RunConfig};
+use crate::runner::RunConfig;
 
 /// Configuration for the cumulative-mode driver.
 #[derive(Clone, Debug)]
@@ -73,6 +73,38 @@ pub fn summarized_run(
     fill_probability: f64,
     multiplier: f64,
 ) -> SummarizedRun {
+    summarized_run_reusable(
+        workload,
+        input,
+        fault,
+        patches,
+        heap_seed,
+        fill_probability,
+        multiplier,
+        &mut crate::runner::ReusableStack::new(),
+    )
+}
+
+/// [`summarized_run`] over a caller-held [`ReusableStack`]: identical
+/// behaviour, but the simulated address space is reset and reused between
+/// runs instead of rebuilt. A long-lived deployed client (or a
+/// fleet-simulator client thread executing hundreds of rounds) keeps one
+/// stack for its whole lifetime, like a real process keeps its page
+/// tables.
+///
+/// [`ReusableStack`]: crate::runner::ReusableStack
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn summarized_run_reusable(
+    workload: &dyn Workload,
+    input: &WorkloadInput,
+    fault: Option<FaultSpec>,
+    patches: PatchTable,
+    heap_seed: u64,
+    fill_probability: f64,
+    multiplier: f64,
+    stack: &mut crate::runner::ReusableStack,
+) -> SummarizedRun {
     let mut diefast = DieFastConfig::cumulative_with_seed(heap_seed);
     diefast.fill_probability = fill_probability;
     diefast.heap.multiplier = multiplier;
@@ -84,7 +116,7 @@ pub fn summarized_run(
         breakpoint: None,
         halt_on_signal: true,
     };
-    let rec = execute(workload, input, run_config);
+    let rec = crate::runner::execute_reusable(workload, input, run_config, stack);
     let failed = rec.failed();
     let history = rec
         .history

@@ -16,7 +16,10 @@
 //! * [`replicated`] — run several differently-seeded replicas of one
 //!   execution simultaneously, vote on their outputs, and on any signal,
 //!   crash, or divergence isolate errors from the replicas' images and
-//!   hot-patch the survivors.
+//!   hot-patch the survivors. `run_replicated` is the one-shot entry; the
+//!   deployment shape — replicas that *stay up* across inputs, a streaming
+//!   voter that answers before stragglers finish, and fleet patch epochs
+//!   hot-reloaded between inputs — is the persistent [`pool`].
 //! * [`cumulative`] — for deployed, nondeterministic programs: reduce each
 //!   run to per-site summary statistics and let a Bayesian classifier
 //!   accumulate evidence across runs until the buggy sites cross the
@@ -43,14 +46,19 @@
 
 pub mod cumulative;
 pub mod iterative;
+pub mod pool;
 pub mod replicated;
 pub mod runner;
 pub mod voter;
 
 pub use cumulative::{
-    summarized_run, CumulativeMode, CumulativeModeConfig, CumulativeOutcome, SummarizedRun,
+    summarized_run, summarized_run_reusable, CumulativeMode, CumulativeModeConfig,
+    CumulativeOutcome, SummarizedRun,
 };
 pub use iterative::{FailureKind, IterativeConfig, IterativeMode, IterativeOutcome, RoundReport};
-pub use replicated::{ReplicaSummary, ReplicatedConfig, ReplicatedOutcome};
-pub use runner::{execute, find_manifesting_fault, RunConfig, RunRecord};
-pub use voter::{vote, VoteResult};
+pub use pool::{EarlyVerdict, PoolConfig, PoolOutcome, ReplicaPool, Straggler, VoteTiming};
+pub use replicated::{run_replicated, ReplicaSummary, ReplicatedConfig, ReplicatedOutcome};
+pub use runner::{
+    execute, execute_reusable, find_manifesting_fault, ReusableStack, RunConfig, RunRecord,
+};
+pub use voter::{output_digest, vote, StreamVerdict, StreamingVoter, VoteResult};

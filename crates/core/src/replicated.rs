@@ -6,23 +6,21 @@
 //! DieFast-based heaps, each with a correcting allocator. This
 //! organization lets Exterminator discover and fix errors."
 //!
-//! Replicas here are threads, each owning a fully isolated allocator stack
-//! over its own simulated address space; outputs are compared by the
-//! plurality [voter](crate::voter). A DieFast signal, a crash, or output
-//! divergence triggers isolation over the replicas' heap images, and the
-//! resulting patches are returned for hot reload into running correcting
-//! allocators.
+//! [`run_replicated`] is the one-shot convenience entry: it stands up a
+//! [`ReplicaPool`](crate::pool::ReplicaPool) for a single input, collects
+//! the outcome, and tears the pool down. Long-lived deployments — many
+//! inputs, streaming vote verdicts, fleet patch-epoch hot reloads — should
+//! hold a pool directly; see [`crate::pool`].
 
 use xt_diefast::DieFastConfig;
 use xt_faults::FaultSpec;
-use xt_image::HeapImage;
-use xt_isolate::iterative::{isolate_with, IsolateOptions};
+use xt_isolate::iterative::IsolateOptions;
 use xt_isolate::IsolationReport;
 use xt_patch::PatchTable;
 use xt_workloads::{Workload, WorkloadInput};
 
-use crate::runner::{execute, RunConfig};
-use crate::voter::{vote, VoteResult};
+use crate::pool::{PoolConfig, ReplicaPool};
+use crate::voter::VoteResult;
 
 /// Configuration for one replicated execution.
 #[derive(Clone, Debug)]
@@ -49,6 +47,20 @@ impl Default for ReplicatedConfig {
     }
 }
 
+impl ReplicatedConfig {
+    /// The pool configuration equivalent to this one-shot configuration.
+    #[must_use]
+    pub fn to_pool_config(&self) -> PoolConfig {
+        PoolConfig {
+            replicas: self.replicas,
+            base_seed: self.base_seed,
+            diefast: self.diefast.clone(),
+            options: self.options,
+            ..PoolConfig::default()
+        }
+    }
+}
+
 /// Per-replica digest.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplicaSummary {
@@ -62,10 +74,15 @@ pub struct ReplicaSummary {
     pub signals: usize,
     /// Length of its output stream.
     pub output_len: usize,
+    /// 128-bit digest of its output stream (the streaming voter's unit of
+    /// comparison; byte-identical across runs with identical seeds).
+    pub output_digest: u128,
 }
 
-/// The outcome of one replicated execution.
-#[derive(Clone, Debug)]
+/// The outcome of one replicated execution. Equality covers the full
+/// deterministic surface — vote, patches, isolation report, replica
+/// digests — so the pool's determinism tests can compare outcomes whole.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ReplicatedOutcome {
     /// The voter's verdict over replica outputs.
     pub vote: VoteResult,
@@ -93,6 +110,10 @@ impl ReplicatedOutcome {
 /// `patches` are the currently loaded runtime patches; each replica's
 /// correcting allocator applies them, and any newly generated patches are
 /// merged into the returned table (ready for a hot reload).
+///
+/// This is a thin wrapper over a one-shot [`ReplicaPool`]; callers
+/// executing more than one input should keep a pool alive instead of
+/// paying a replica-set setup per call.
 pub fn run_replicated<W: Workload + Sync + ?Sized>(
     workload: &W,
     input: &WorkloadInput,
@@ -100,73 +121,13 @@ pub fn run_replicated<W: Workload + Sync + ?Sized>(
     patches: &PatchTable,
     config: &ReplicatedConfig,
 ) -> ReplicatedOutcome {
-    let n = config.replicas.max(1);
-    let seeds: Vec<u64> = (0..n)
-        .map(|i| {
-            config
-                .base_seed
-                .wrapping_add((i as u64 + 1).wrapping_mul(0xA5A5_1234_9E37_79B9))
-        })
-        .collect();
-
-    // One isolated allocator stack per replica, run in parallel threads —
-    // the stand-in for the paper's replica processes.
-    let records: Vec<_> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let run_config = RunConfig {
-                    heap_seed: seed,
-                    diefast: config.diefast.clone(),
-                    patches: patches.clone(),
-                    fault,
-                    breakpoint: None,
-                    halt_on_signal: false,
-                };
-                let input = input.clone();
-                scope.spawn(move || execute(&workload, &input, run_config))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replica thread panicked"))
-            .collect()
-    });
-
-    let outputs: Vec<Vec<u8>> = records.iter().map(|r| r.result.output.clone()).collect();
-    let vote = vote(&outputs);
-
-    let replicas: Vec<ReplicaSummary> = records
-        .iter()
-        .zip(&seeds)
-        .map(|(r, &seed)| ReplicaSummary {
-            seed,
-            completed: r.result.completed(),
-            failed: r.failed(),
-            signals: r.signals.len(),
-            output_len: r.result.output.len(),
-        })
-        .collect();
-
-    let any_failure = !vote.unanimous() || replicas.iter().any(|r| r.failed);
-    let mut merged = patches.clone();
-    let report = if any_failure {
-        let images: Vec<HeapImage> = records.into_iter().map(|r| r.image).collect();
-        let report = isolate_with(&images, config.options).unwrap_or_default();
-        // Escalate rather than max: deferrals isolated while patches were
-        // loaded are measured from the already-deferred free time (§6.2).
-        merged.escalate(&report.to_patches());
-        Some(report)
-    } else {
-        None
-    };
-
-    ReplicatedOutcome {
-        vote,
-        patches: merged,
-        report,
-        replicas,
-    }
+    std::thread::scope(|scope| {
+        let mut pool =
+            ReplicaPool::scoped(scope, workload, config.to_pool_config(), patches.clone());
+        let outcome = pool.run_one(input, fault).outcome;
+        pool.shutdown();
+        outcome
+    })
 }
 
 #[cfg(test)]
@@ -191,6 +152,9 @@ mod tests {
         assert!(outcome.patches.is_empty());
         assert_eq!(outcome.replicas.len(), 3);
         assert!(outcome.replicas.iter().all(|r| r.completed && !r.failed));
+        // All replicas produced the same output digest as the winner.
+        let digest = crate::voter::output_digest(&outcome.vote.winner);
+        assert!(outcome.replicas.iter().all(|r| r.output_digest == digest));
     }
 
     #[test]
@@ -259,9 +223,22 @@ mod tests {
     }
 
     #[test]
-    fn voter_reports_majority_on_divergence() {
+    fn voter_reports_clean_majority_output_on_divergence() {
         // Even when a fault only corrupts data (no crash), the voter's
-        // plurality output is the clean majority's.
+        // plurality output must be the *correct* one: byte-identical to a
+        // clean reference run of the same input. (The paper's §3.1 voter
+        // only releases output agreed by a plurality — agreeing on wrong
+        // output would defeat it.)
+        let input = WorkloadInput::with_seed(14);
+        let reference = crate::runner::execute(
+            &EspressoLike::new(),
+            &input,
+            crate::runner::RunConfig::with_seed(0x000C_1EA0),
+        );
+        assert!(
+            reference.result.completed() && !reference.failed(),
+            "reference run must be clean"
+        );
         let fault = FaultSpec {
             kind: FaultKind::BufferOverflow {
                 delta: 8,
@@ -271,7 +248,7 @@ mod tests {
         };
         let outcome = run_replicated(
             &EspressoLike::new(),
-            &WorkloadInput::with_seed(14),
+            &input,
             Some(fault),
             &PatchTable::new(),
             &ReplicatedConfig {
@@ -280,7 +257,16 @@ mod tests {
             },
         );
         assert_eq!(outcome.replicas.len(), 5);
-        // Regardless of which replicas got hit, a plurality winner exists.
-        assert!(!outcome.vote.winner.is_empty() || outcome.vote.agreeing.len() >= 3);
+        // A strict majority must agree, and the winner must be the clean
+        // output — not merely *some* plurality.
+        assert!(
+            outcome.vote.agreeing.len() >= 3,
+            "no majority among 5 replicas: {:?}",
+            outcome.vote.agreeing
+        );
+        assert_eq!(
+            outcome.vote.winner, reference.result.output,
+            "plurality output differs from the clean reference run"
+        );
     }
 }

@@ -43,8 +43,11 @@ impl RunConfig {
     }
 }
 
-/// Everything captured from one execution.
-#[derive(Clone, Debug)]
+/// Everything captured from one execution. Two records compare equal when
+/// the executions were observationally identical — result, signals, heap
+/// image, history, injection log, and clock (the reused-stack determinism
+/// tests rely on this).
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
     /// The workload's outcome and output.
     pub result: RunResult,
@@ -87,35 +90,116 @@ impl RunRecord {
     }
 }
 
+/// A reusable execution engine: holds a recycled [`Arena`](xt_arena::Arena)
+/// across runs, so a long-lived worker (a [`pool`](crate::pool) replica, a
+/// fleet-simulator client) builds translation structures once and *resets*
+/// them between inputs instead of rebuilding them — the paper's replicas
+/// are persistent processes, and persistent processes do not pay process
+/// startup per request.
+///
+/// One-shot callers use [`execute`]; repeated callers keep one
+/// `ReusableStack` and call [`execute_reusable`] (or drive
+/// [`ReusableStack::start`] / [`ActiveRun::finish`] directly when they
+/// need to observe the run's output before the heap image is captured).
+#[derive(Debug, Default)]
+pub struct ReusableStack {
+    arena: Option<xt_arena::Arena>,
+}
+
+impl ReusableStack {
+    /// Creates an engine with no recycled arena yet (the first run builds
+    /// one).
+    #[must_use]
+    pub fn new() -> Self {
+        ReusableStack::default()
+    }
+
+    /// Builds the allocator stack for one run — fault injector → correcting
+    /// allocator → DieFast → DieHard → arena — over the recycled address
+    /// space, and returns the run ready to execute.
+    pub fn start(&mut self, config: RunConfig) -> ActiveRun<'_> {
+        let mut diefast_config = config.diefast;
+        diefast_config.heap.seed = config.heap_seed;
+        let arena = self.arena.take().unwrap_or_default();
+        let mut diefast = DieFastHeap::with_arena(diefast_config, arena);
+        diefast.set_breakpoint(config.breakpoint);
+        diefast.set_halt_on_signal(config.halt_on_signal);
+        let correcting = CorrectingHeap::new(diefast, config.patches);
+        ActiveRun {
+            home: self,
+            stack: FaultyHeap::new(correcting, config.fault),
+            result: None,
+        }
+    }
+}
+
+/// One run in flight over a [`ReusableStack`]. After [`ActiveRun::run`]
+/// the heap is still standing: the replicated mode's streaming voter reads
+/// the output here, *before* [`ActiveRun::finish`] captures the heap image
+/// — so a vote verdict never waits on image capture.
+#[derive(Debug)]
+pub struct ActiveRun<'a> {
+    home: &'a mut ReusableStack,
+    stack: FaultyHeap<CorrectingHeap<DieFastHeap>>,
+    result: Option<RunResult>,
+}
+
+impl ActiveRun<'_> {
+    /// Executes the workload to completion (or crash) and returns its
+    /// result. The heap stays standing for [`ActiveRun::finish`].
+    pub fn run(&mut self, workload: &dyn Workload, input: &WorkloadInput) -> &RunResult {
+        let result = workload.run(&mut self.stack, input);
+        self.result.insert(result)
+    }
+
+    /// Captures the heap image, tears the stack down, and recycles the
+    /// arena back into the owning [`ReusableStack`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`ActiveRun::run`].
+    #[must_use]
+    pub fn finish(self) -> RunRecord {
+        let result = self.result.expect("finish() requires a completed run()");
+        let injected = self.stack.events().to_vec();
+        let diefast = self.stack.into_inner().into_inner();
+        let image = HeapImage::capture(&diefast);
+        let clock = diefast.inner().clock();
+        let history = diefast.inner().history().cloned();
+        let mut diefast = diefast;
+        let signals = diefast.take_signals();
+        self.home.arena = Some(diefast.into_inner().into_arena());
+        RunRecord {
+            result,
+            signals,
+            image,
+            history,
+            injected,
+            clock,
+        }
+    }
+}
+
 /// Executes one run of `workload` over a freshly built allocator stack:
 /// fault injector → correcting allocator → DieFast → DieHard → arena.
 #[must_use]
 pub fn execute(workload: &dyn Workload, input: &WorkloadInput, config: RunConfig) -> RunRecord {
-    let mut diefast_config = config.diefast.clone();
-    diefast_config.heap.seed = config.heap_seed;
-    let mut diefast = DieFastHeap::new(diefast_config);
-    diefast.set_breakpoint(config.breakpoint);
-    diefast.set_halt_on_signal(config.halt_on_signal);
-    let correcting = CorrectingHeap::new(diefast, config.patches);
-    let mut stack = FaultyHeap::new(correcting, config.fault);
+    execute_reusable(workload, input, config, &mut ReusableStack::new())
+}
 
-    let result = workload.run(&mut stack, input);
-
-    let injected = stack.events().to_vec();
-    let diefast = stack.into_inner().into_inner();
-    let image = HeapImage::capture(&diefast);
-    let clock = diefast.inner().clock();
-    let history = diefast.inner().history().cloned();
-    let mut diefast = diefast;
-    let signals = diefast.take_signals();
-    RunRecord {
-        result,
-        signals,
-        image,
-        history,
-        injected,
-        clock,
-    }
+/// Executes one run over `stack`'s recycled address space. Behaviour is
+/// byte-for-byte identical to [`execute`] with the same `config` (the
+/// determinism tests pin this); only the allocation cost differs.
+#[must_use]
+pub fn execute_reusable(
+    workload: &dyn Workload,
+    input: &WorkloadInput,
+    config: RunConfig,
+    stack: &mut ReusableStack,
+) -> RunRecord {
+    let mut active = stack.start(config);
+    active.run(workload, input);
+    active.finish()
 }
 
 /// Reproduces the paper's fault-selection methodology (§7.2): "we run the
@@ -227,6 +311,40 @@ mod tests {
             }
         }
         assert!(failures >= 3, "only {failures}/8 runs observed the fault");
+    }
+
+    /// The no-leak pin for pooled reuse: a run over a recycled arena (with
+    /// arbitrary prior state) is observationally identical to the same run
+    /// over a fresh stack — result, signals, image, history, clock.
+    #[test]
+    fn reused_stack_runs_are_identical_to_fresh_runs() {
+        let input = WorkloadInput::with_seed(11).intensity(2);
+        let config = || {
+            let mut c = RunConfig::with_seed(31337);
+            c.diefast = DieFastConfig::cumulative_with_seed(31337);
+            c.fault = Some(FaultSpec {
+                kind: FaultKind::BufferOverflow {
+                    delta: 20,
+                    fill: 0xEE,
+                },
+                trigger: AllocTime::from_raw(140),
+            });
+            c
+        };
+        let fresh = execute(&EspressoLike::new(), &input, config());
+        let mut stack = ReusableStack::new();
+        // Pollute the stack with two unrelated prior runs (different seed,
+        // different workload input, no fault) before the run under test.
+        for prior in 0..2 {
+            let _ = execute_reusable(
+                &EspressoLike::new(),
+                &WorkloadInput::with_seed(90 + prior),
+                RunConfig::with_seed(777 + prior),
+                &mut stack,
+            );
+        }
+        let reused = execute_reusable(&EspressoLike::new(), &input, config(), &mut stack);
+        assert_eq!(fresh, reused, "recycled arena leaked state into the run");
     }
 
     #[test]

@@ -54,12 +54,43 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.hi - self.size.lo) as u64;
         let len = self.size.lo + rng.below(span.max(1)) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    /// Length shrinking by halving search toward the minimum length
+    /// (shortest allowed prefix, half-length prefix, drop-last), then
+    /// element shrinking at every position — any element may be the one
+    /// keeping the failure alive, so each gets candidates (the greedy
+    /// runner's budget bounds the total work).
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        if len > self.size.lo {
+            out.push(value[..self.size.lo].to_vec());
+            let half = self.size.lo + (len - self.size.lo) / 2;
+            if half > self.size.lo && half < len {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 > self.size.lo && len - 1 != half {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }

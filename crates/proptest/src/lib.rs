@@ -8,11 +8,17 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports its case number and seed;
-//!   inputs are regenerated deterministically from the test name, so
-//!   failures still reproduce exactly on re-run.
+//! * **Greedy halving shrink instead of a value tree.** On failure the
+//!   runner re-tests simpler candidates proposed by
+//!   [`Strategy::shrink`] — a halving search toward each integer
+//!   strategy's minimum (and toward shorter vectors) — adopting any
+//!   candidate that still fails until none do, then reports both the
+//!   original and the minimal failing inputs. Unlike real proptest there
+//!   is no backtracking through a generation tree, and `prop_map`ped
+//!   strategies do not shrink (the transform cannot be inverted).
 //! * **Fixed derivation of randomness** (SplitMix64 keyed by test name),
-//!   rather than an OS-seeded RNG with a persisted failure file.
+//!   rather than an OS-seeded RNG with a persisted failure file; failures
+//!   reproduce exactly on re-run.
 
 pub mod collection;
 pub mod prelude;
@@ -52,13 +58,20 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                // All argument strategies as one tuple strategy, so values
+                // generate exactly as before (same rng consumption order)
+                // and shrinking can hold other arguments fixed while one
+                // shrinks.
+                let strategies = ($(($strat),)+);
+                let run_case = $crate::strategy::case_runner(&strategies, |values| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(values);
+                    (|| { $body ::std::result::Result::Ok(()) })()
+                });
                 let mut accepted = 0usize;
                 let mut rejected = 0usize;
                 while accepted < config.cases {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
-                    match outcome {
+                    let values = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    match run_case(&values) {
                         Ok(()) => accepted += 1,
                         Err($crate::test_runner::TestCaseError::Reject) => {
                             rejected += 1;
@@ -69,18 +82,55 @@ macro_rules! __proptest_impl {
                             );
                         }
                         Err($crate::test_runner::TestCaseError::Fail(msg)) => {
-                            // No shrinking in this stand-in, but generation
-                            // is deterministic per test name: the same case
-                            // index always regenerates the same inputs, so
-                            // the rerun path is one copy-paste.
+                            // Greedy halving shrink: keep adopting simpler
+                            // candidates while they still fail, so the
+                            // report names a minimal case, not just the
+                            // first one generated. Bounded so pathological
+                            // strategies cannot loop.
+                            let mut minimal = values;
+                            let mut minimal_msg = msg.clone();
+                            let mut steps = 0usize;
+                            let mut budget = 256usize;
+                            'shrink: loop {
+                                let candidates =
+                                    $crate::strategy::Strategy::shrink(&strategies, &minimal);
+                                if candidates.is_empty() {
+                                    break;
+                                }
+                                let mut advanced = false;
+                                for cand in candidates {
+                                    if budget == 0 {
+                                        break 'shrink;
+                                    }
+                                    budget -= 1;
+                                    if let Err($crate::test_runner::TestCaseError::Fail(m)) =
+                                        run_case(&cand)
+                                    {
+                                        minimal = cand;
+                                        minimal_msg = m;
+                                        steps += 1;
+                                        advanced = true;
+                                        break;
+                                    }
+                                }
+                                if !advanced {
+                                    break;
+                                }
+                            }
                             panic!(
                                 "property {name} failed at case {case}: {msg}\n\
-                                 inputs are regenerated deterministically from the test name \
-                                 (no shrinking); case {case} will recur at the same index.\n\
+                                 minimal failing inputs after {steps} shrink step(s) \
+                                 (halving search): {minimal:?}\n\
+                                 minimal case failure: {minimal_msg}\n\
+                                 inputs are regenerated deterministically from the test name; \
+                                 case {case} will recur at the same index.\n\
                                  rerun exactly:\n    cargo test -p {pkg} {name}",
                                 name = stringify!($name),
                                 case = accepted,
                                 msg = msg,
+                                minimal = minimal,
+                                minimal_msg = minimal_msg,
+                                steps = steps,
                                 pkg = env!("CARGO_PKG_NAME"),
                             );
                         }

@@ -7,14 +7,28 @@ use crate::test_runner::TestRng;
 
 /// A recipe for generating random values of one type.
 ///
-/// Unlike real proptest there is no value tree or shrinking: `generate`
-/// produces a finished value directly.
+/// Unlike real proptest there is no value tree: `generate` produces a
+/// finished value directly. Shrinking is a lightweight afterthought
+/// rather than a tree walk: [`Strategy::shrink`] proposes *smaller*
+/// candidate values (a halving search toward the strategy's minimum for
+/// integers, shorter prefixes for collections, per-component candidates
+/// for tuples), and the test runner greedily re-tests candidates while
+/// they keep failing.
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing `value`, most aggressive
+    /// first. An empty vector means this strategy cannot shrink (the
+    /// default — e.g. `prop_map`ped strategies, whose transform cannot be
+    /// inverted).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transforms generated values through `f`.
     fn prop_map<T, F>(self, f: F) -> Map<Self, F>
@@ -39,11 +53,27 @@ pub trait Strategy {
 /// A type-erased strategy.
 pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
 
+/// Ties a case-runner closure's argument type to `strategy`'s value type,
+/// so the `proptest!` macro can define the closure before the first value
+/// exists (plain `|values: &_|` closures cannot be inferred from their
+/// body alone).
+pub fn case_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), crate::test_runner::TestCaseError>,
+{
+    run
+}
+
 impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
 
     fn generate(&self, rng: &mut TestRng) -> V {
         (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
     }
 }
 
@@ -94,6 +124,54 @@ impl<V> Strategy for Union<V> {
     }
 }
 
+/// Halving-search shrink candidates for an integer `v` toward `lo`: the
+/// minimum itself, then the midpoint, then the predecessor. Greedy
+/// re-testing of these converges like a binary search on the smallest
+/// still-failing value. All arithmetic goes through [`ShrinkInt`] in
+/// `i128`, so signed ranges spanning zero (e.g. `-100i8..100`) cannot
+/// overflow.
+fn shrink_toward<T: ShrinkInt>(lo: T, v: T) -> Vec<T> {
+    let mut out = Vec::new();
+    if v <= lo {
+        return out;
+    }
+    out.push(lo);
+    let mid = T::midpoint_toward(lo, v);
+    if mid > lo && mid < v {
+        out.push(mid);
+    }
+    let prev = v.pred();
+    if prev > lo && prev != mid {
+        out.push(prev);
+    }
+    out
+}
+
+/// Overflow-safe integer helpers for [`shrink_toward`]. Every primitive
+/// integer the strategies cover fits in `i128`, so the midpoint is
+/// computed there.
+trait ShrinkInt: Copy + PartialOrd {
+    /// `lo + (v - lo) / 2`, computed without overflow.
+    fn midpoint_toward(lo: Self, v: Self) -> Self;
+    /// `self - 1`; callers guarantee `self > lo ≥ MIN`.
+    fn pred(self) -> Self;
+}
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl ShrinkInt for $t {
+            fn midpoint_toward(lo: Self, v: Self) -> Self {
+                ((lo as i128) + ((v as i128) - (lo as i128)) / 2) as $t
+            }
+            fn pred(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -101,8 +179,15 @@ macro_rules! int_range_strategy {
 
             fn generate(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty range strategy");
-                let width = (self.end as u128) - (self.start as u128);
-                self.start + (rng.below_u128(width) as $t)
+                // Width via i128 and offset via wrapping add, so ranges
+                // with a negative start (sign-extension under `as u128`)
+                // neither mis-size nor overflow.
+                let width = ((self.end as i128) - (self.start as i128)) as u128;
+                self.start.wrapping_add(rng.below_u128(width) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
             }
         }
 
@@ -112,8 +197,12 @@ macro_rules! int_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
-                let width = (hi as u128) - (lo as u128) + 1;
-                lo + (rng.below_u128(width) as $t)
+                let width = ((hi as i128) - (lo as i128)) as u128 + 1;
+                lo.wrapping_add(rng.below_u128(width) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value)
             }
         }
     )*};
@@ -139,11 +228,26 @@ impl Strategy for RangeInclusive<f64> {
 
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -173,6 +277,14 @@ macro_rules! any_int_strategy {
 
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                if *value > (0 as $t) {
+                    shrink_toward(0 as $t, *value)
+                } else {
+                    Vec::new()
+                }
             }
         }
     )*};

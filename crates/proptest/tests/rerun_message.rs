@@ -1,6 +1,6 @@
 //! The failure contract: a failing property names its deterministic case
-//! index and a copy-paste rerun command (ROADMAP: there is no shrinking,
-//! so the rerun path must be one paste).
+//! index, a *minimal* failing case found by the greedy halving shrink,
+//! and a copy-paste rerun command.
 
 use proptest::prelude::*;
 
@@ -45,4 +45,98 @@ proptest! {
     fn passing_properties_still_pass(x in 0u64..50) {
         prop_assert!(x < 50);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    // Deliberately not #[test]: invoked below under catch_unwind. Fails
+    // for every x >= 10, so the halving search must walk the failing
+    // value down to exactly 10.
+    fn fails_above_threshold(x in 0u64..1000, pad in 0u64..4) {
+        let _ = pad;
+        prop_assert!(x < 10, "x was {}", x);
+    }
+}
+
+#[test]
+fn failure_shrinks_to_the_minimal_case_by_halving() {
+    let panic = std::panic::catch_unwind(fails_above_threshold)
+        .expect_err("property must fail: most generated x are >= 10");
+    let msg = panic
+        .downcast_ref::<String>()
+        .expect("panic payload is the formatted message")
+        .clone();
+    assert!(
+        msg.contains("minimal failing inputs after"),
+        "missing shrink report: {msg}"
+    );
+    // The greedy halving search on `0..1000` terminates exactly at the
+    // threshold: 10 is the smallest failing value, so the minimal tuple
+    // is (10, 0).
+    assert!(
+        msg.contains("(halving search): (10, 0)"),
+        "shrink did not reach the minimal case: {msg}"
+    );
+    assert!(
+        msg.contains("minimal case failure: x was 10"),
+        "minimal case's own failure message missing: {msg}"
+    );
+}
+
+proptest! {
+    /// Signed ranges spanning zero must generate in-range (no
+    /// sign-extension mis-sizing, no overflow panic in debug builds).
+    #[test]
+    fn negative_start_ranges_generate_in_range(x in -100i8..100, y in -1000i64..=1000) {
+        prop_assert!((-100..100).contains(&x));
+        prop_assert!((-1000..=1000).contains(&y));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    // Not #[test]: invoked under catch_unwind. Shrinking over a signed
+    // range must halve toward the range *start* (-100), not toward zero,
+    // and must not overflow while doing so.
+    fn fails_above_signed_threshold(x in -100i8..100) {
+        prop_assert!(x < 50, "x was {}", x);
+    }
+}
+
+#[test]
+fn signed_ranges_shrink_to_the_threshold_without_overflow() {
+    let panic = std::panic::catch_unwind(fails_above_signed_threshold)
+        .expect_err("property must fail: some generated x is >= 50");
+    let msg = panic
+        .downcast_ref::<String>()
+        .expect("panic payload is the formatted message")
+        .clone();
+    assert!(
+        msg.contains("minimal case failure: x was 50"),
+        "signed shrink did not reach the threshold: {msg}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    // Not #[test]: vectors shrink toward their minimum length while the
+    // failure persists.
+    fn fails_on_long_vectors(v in proptest::collection::vec(any::<u8>(), 1..64)) {
+        prop_assert!(v.len() < 2, "len was {}", v.len());
+    }
+}
+
+#[test]
+fn vectors_shrink_toward_minimal_length() {
+    let panic = std::panic::catch_unwind(fails_on_long_vectors)
+        .expect_err("property must fail for any vector of length >= 2");
+    let msg = panic
+        .downcast_ref::<String>()
+        .expect("panic payload is the formatted message")
+        .clone();
+    // Minimal failing length is 2; elements shrink toward 0 as well.
+    assert!(
+        msg.contains("minimal case failure: len was 2"),
+        "vector did not shrink to the minimal failing length: {msg}"
+    );
 }

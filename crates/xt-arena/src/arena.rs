@@ -43,6 +43,11 @@ const HIGH_ADDR: u64 = 0x7fff_ffff_0000;
 /// Attempts at random placement before giving up.
 const PLACEMENT_ATTEMPTS: usize = 4096;
 
+/// Retired leaf tables kept for reuse across `reset` cycles (2 KiB each,
+/// so the pool tops out at 2 MiB — far more than any workload's working
+/// set of simultaneously mapped chunks).
+const SPARE_LEAF_CAP: usize = 1024;
+
 #[derive(Debug)]
 struct Region {
     base: u64,
@@ -140,6 +145,13 @@ pub struct Arena {
     tlb: [Cell<(u64, u32)>; TLB_ENTRIES],
     /// Total mapped bytes, maintained incrementally.
     total_mapped: usize,
+    /// Retired leaf tables (all entries `NO_REGION`) kept for reuse, so a
+    /// long-lived executor that resets the arena between inputs does not
+    /// pay a 2 KiB allocation per leaf per input. The boxes are the point:
+    /// they are the exact heap allocations `Leaf` uses, moved between this
+    /// pool and the directory without copying the 2 KiB table.
+    #[allow(clippy::vec_box)]
+    spare_leaves: Vec<Box<[u32; CHUNK_PAGES]>>,
 }
 
 impl Default for Arena {
@@ -159,6 +171,36 @@ impl Arena {
             by_base: BTreeMap::new(),
             tlb: std::array::from_fn(|_| Cell::new((INVALID_PAGE, 0))),
             total_mapped: 0,
+            spare_leaves: Vec::new(),
+        }
+    }
+
+    /// Unmaps everything, returning the arena to its freshly-created state
+    /// while *keeping* translation structures for reuse: leaf tables retire
+    /// to a spare pool and the slab/free-list vectors keep their capacity.
+    ///
+    /// This is what makes a long-lived replica worker cheap: between
+    /// inputs its address space is reset, not rebuilt, so the next input's
+    /// mappings recycle the previous input's page-table allocations — the
+    /// same way real hardware reuses page frames instead of re-fabricating
+    /// them. A reset arena is observationally identical to `Arena::new()`:
+    /// region ids restart at 0, every TLB entry is invalid, and no mapping
+    /// survives (the reuse property tests pin this).
+    pub fn reset(&mut self) {
+        for (_, mut leaf) in self.directory.drain() {
+            if self.spare_leaves.len() >= SPARE_LEAF_CAP {
+                break;
+            }
+            leaf.entries.fill(NO_REGION);
+            self.spare_leaves.push(leaf.entries);
+        }
+        self.directory.clear();
+        self.slab.clear();
+        self.free_ids.clear();
+        self.by_base.clear();
+        self.total_mapped = 0;
+        for entry in &self.tlb {
+            entry.set((INVALID_PAGE, 0));
         }
     }
 
@@ -246,7 +288,13 @@ impl Arena {
             leaf.entries[page as usize & (CHUNK_PAGES - 1)] = NO_REGION;
             leaf.mapped -= 1;
             if leaf.mapped == 0 {
-                self.directory.remove(&chunk);
+                // Every entry is NO_REGION again: retire the leaf's table
+                // to the spare pool instead of freeing it.
+                if let Some(leaf) = self.directory.remove(&chunk) {
+                    if self.spare_leaves.len() < SPARE_LEAF_CAP {
+                        self.spare_leaves.push(leaf.entries);
+                    }
+                }
             }
         }
         // Precise shootdown: drop only translations that named this region.
@@ -279,10 +327,14 @@ impl Arena {
         self.total_mapped += len;
         let first_page = base >> PAGE_SHIFT;
         for page in first_page..first_page + (len / PAGE_SIZE) as u64 {
+            let spare = &mut self.spare_leaves;
             let leaf = self
                 .directory
                 .entry(page >> CHUNK_SHIFT)
-                .or_insert_with(Leaf::new);
+                .or_insert_with(|| match spare.pop() {
+                    Some(entries) => Leaf { entries, mapped: 0 },
+                    None => Leaf::new(),
+                });
             debug_assert_eq!(
                 leaf.entries[page as usize & (CHUNK_PAGES - 1)],
                 NO_REGION,
@@ -842,6 +894,69 @@ mod tests {
         assert!(arena.read_u64(b).is_err() || b == d);
         assert_eq!(arena.read_u64(d).unwrap(), 0);
         assert_eq!(arena.read_u64(a).unwrap(), 0xA);
+    }
+
+    /// A reset arena must be observationally identical to a fresh one:
+    /// identical placement under the same RNG, no surviving mappings, no
+    /// stale TLB entries — the property pooled replica reuse stands on.
+    #[test]
+    fn reset_arena_replays_like_fresh() {
+        let mut reused = Arena::new();
+        // A first "input": map, write, unmap some, then reset.
+        let mut rng = Rng::new(5);
+        let bases: Vec<Addr> = (0..32)
+            .map(|_| reused.map(2 * PAGE_SIZE, &mut rng))
+            .collect();
+        for (i, &b) in bases.iter().enumerate() {
+            reused.write_u64(b, i as u64).unwrap();
+        }
+        for &b in bases.iter().step_by(2) {
+            reused.unmap(b).unwrap();
+        }
+        reused.reset();
+        assert_eq!(reused.mapped_bytes(), 0);
+        assert_eq!(reused.regions().count(), 0);
+        for &b in &bases {
+            assert!(reused.read_u8(b).is_err(), "mapping survived reset");
+        }
+        // A second "input" must replay exactly like a fresh arena under the
+        // same seed: same placements, same contents, zeroed memory.
+        let mut fresh = Arena::new();
+        let mut rng_a = Rng::new(77);
+        let mut rng_b = Rng::new(77);
+        for round in 0u64..64 {
+            let a = reused.map(PAGE_SIZE, &mut rng_a);
+            let b = fresh.map(PAGE_SIZE, &mut rng_b);
+            assert_eq!(a, b, "placement diverged at round {round}");
+            assert_eq!(reused.read_u64(a).unwrap(), 0, "stale bytes after reset");
+            reused.write_u64(a, round).unwrap();
+            fresh.write_u64(b, round).unwrap();
+        }
+        assert_eq!(reused.mapped_bytes(), fresh.mapped_bytes());
+    }
+
+    /// Repeated reset/map cycles recycle leaf tables rather than growing
+    /// the spare pool without bound.
+    #[test]
+    fn reset_recycles_leaves_across_cycles() {
+        let mut arena = Arena::new();
+        for cycle in 0u64..10 {
+            let mut rng = Rng::new(cycle + 1);
+            let bases: Vec<Addr> = (0..16).map(|_| arena.map(PAGE_SIZE, &mut rng)).collect();
+            for &b in &bases {
+                arena.write_u64(b, cycle).unwrap();
+                assert_eq!(arena.read_u64(b).unwrap(), cycle);
+            }
+            arena.reset();
+            assert!(
+                arena.spare_leaves.len() <= SPARE_LEAF_CAP,
+                "spare pool exceeded its cap"
+            );
+            assert!(
+                cycle == 0 || !arena.spare_leaves.is_empty(),
+                "reset retired no leaves for reuse"
+            );
+        }
     }
 
     /// Two regions whose pages collide in the direct-mapped TLB must evict

@@ -30,13 +30,22 @@ impl DieFastHeap {
     /// Creates a DieFast heap.
     #[must_use]
     pub fn new(config: DieFastConfig) -> Self {
+        DieFastHeap::with_arena(config, Arena::new())
+    }
+
+    /// Creates a DieFast heap over a donated (typically recycled) address
+    /// space — see [`DieHardHeap::with_arena`]. Identical behaviour to
+    /// [`DieFastHeap::new`], minus the per-run translation-structure
+    /// allocations.
+    #[must_use]
+    pub fn with_arena(config: DieFastConfig, arena: Arena) -> Self {
         // Independent streams for placement vs. canary decisions: both are
         // derived from the seed, so runs remain reproducible.
         let mut seeder = Rng::new(config.heap.seed ^ 0xD1EF_A57D_1EFA_57D1);
         let canary = seeder.next_u32() | 1;
         let coin = seeder.fork();
         DieFastHeap {
-            inner: DieHardHeap::new(config.heap.clone()),
+            inner: DieHardHeap::with_arena(config.heap.clone(), arena),
             canary,
             fill_probability: config.fill_probability,
             zero_fill: config.zero_fill,
@@ -44,6 +53,13 @@ impl DieFastHeap {
             signals: Vec::new(),
             halt_on_signal: false,
         }
+    }
+
+    /// Consumes the wrapper, returning the underlying DieHard heap (from
+    /// which [`DieHardHeap::into_arena`] recovers the arena for reuse).
+    #[must_use]
+    pub fn into_inner(self) -> DieHardHeap {
+        self.inner
     }
 
     /// When enabled, the first error signal stops the run: the next

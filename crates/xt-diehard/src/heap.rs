@@ -85,11 +85,23 @@ impl DieHardHeap {
     /// Creates an empty heap; miniheaps are mapped lazily per size class.
     #[must_use]
     pub fn new(config: DieHardConfig) -> Self {
+        DieHardHeap::with_arena(config, Arena::new())
+    }
+
+    /// Creates an empty heap over a donated (typically recycled) address
+    /// space. The arena is reset first, so a heap built this way behaves
+    /// byte-for-byte like one built by [`DieHardHeap::new`] — but reuses
+    /// the donor's page-table allocations. Long-lived replica workers pair
+    /// this with [`DieHardHeap::into_arena`] to run many inputs over one
+    /// arena instead of rebuilding translation structures per input.
+    #[must_use]
+    pub fn with_arena(config: DieHardConfig, mut arena: Arena) -> Self {
+        arena.reset();
         let n_classes = (config.max_size_log2 - crate::MIN_SIZE_LOG2 + 1) as usize;
         let mut classes = Vec::with_capacity(n_classes);
         classes.resize_with(n_classes, ClassHeap::default);
         DieHardHeap {
-            arena: Arena::new(),
+            arena,
             rng: Rng::new(config.seed),
             history: config.track_history.then(ObjectLog::new),
             config,
@@ -99,6 +111,15 @@ impl DieHardHeap {
             live_objects: 0,
             breakpoint: None,
         }
+    }
+
+    /// Tears the heap down, releasing its arena (already reset) for reuse
+    /// by the next heap built over it.
+    #[must_use]
+    pub fn into_arena(self) -> Arena {
+        let mut arena = self.arena;
+        arena.reset();
+        arena
     }
 
     /// The heap's configuration.

@@ -70,6 +70,14 @@ pub struct ObjectLog {
     by_id: HashMap<ObjectId, usize>,
 }
 
+/// Two logs are equal when they recorded the same history; the id index is
+/// derived state.
+impl PartialEq for ObjectLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
+}
+
 impl ObjectLog {
     /// Creates an empty log.
     #[must_use]

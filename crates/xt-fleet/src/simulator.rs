@@ -8,13 +8,21 @@
 //! reports arrive — nobody has to crash 30 times themselves.
 //!
 //! [`FleetSimulator`] reproduces that loop. It spawns one scoped thread
-//! per simulated client; each client repeatedly
+//! per simulated client; each client is a *persistent executor* — it owns
+//! one [`ReusableStack`](exterminator::runner::ReusableStack) whose
+//! simulated address space is reset (not rebuilt) between rounds, exactly
+//! like the replica workers of [`exterminator::pool`] — and repeatedly
 //!
-//! 1. polls [`FleetService::latest`] for the current patch epoch,
+//! 1. polls [`FleetService::latest`] for the current patch epoch (the
+//!    same hot-reload a long-lived [`ReplicaPool`] applies via
+//!    `load_epoch`),
 //! 2. executes the workload under those patches with its injected fault
-//!    and a fresh DieHard heap seed ([`exterminator::summarized_run`]),
+//!    and a fresh DieHard heap seed
+//!    ([`exterminator::summarized_run_reusable`]),
 //! 3. encodes the run's [`RunSummary`](xt_isolate::cumulative::RunSummary)
 //!    as a wire [`RunReport`] and submits it.
+//!
+//! [`ReplicaPool`]: exterminator::pool::ReplicaPool
 //!
 //! A monitor watches each newly published epoch and probes whether the
 //! epoch's patch table actually corrects each injected fault (independent
@@ -27,8 +35,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use exterminator::cumulative::{CumulativeMode, CumulativeModeConfig};
-use exterminator::runner::{execute, find_manifesting_fault, RunConfig};
-use exterminator::summarized_run;
+use exterminator::runner::{execute, find_manifesting_fault, ReusableStack, RunConfig};
+use exterminator::summarized_run_reusable;
 use xt_alloc::ObjectId;
 use xt_diefast::DieFastConfig;
 use xt_faults::{FaultKind, FaultSpec};
@@ -182,12 +190,17 @@ impl<'a, W: Workload + Sync> FleetSimulator<'a, W> {
                 let (service, stop, total_runs, finished) =
                     (&service, &stop, &total_runs, &finished);
                 scope.spawn(move || {
+                    // One reusable allocator stack for this client's whole
+                    // lifetime: rounds reset the address space instead of
+                    // rebuilding it (behaviour is identical either way —
+                    // the core determinism tests pin that).
+                    let mut stack = ReusableStack::new();
                     for round in 0..self.config.max_rounds {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
                         let epoch = service.latest();
-                        let run = summarized_run(
+                        let run = summarized_run_reusable(
                             self.workload,
                             &self.input,
                             fault,
@@ -195,6 +208,7 @@ impl<'a, W: Workload + Sync> FleetSimulator<'a, W> {
                             self.heap_seed(client, round),
                             fill,
                             self.config.multiplier,
+                            &mut stack,
                         );
                         total_runs.fetch_add(1, Ordering::Relaxed);
                         let report =

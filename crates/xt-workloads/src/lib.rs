@@ -36,7 +36,10 @@ pub use ctx::{fnv1a, Abort, Ctx};
 pub use espresso::EspressoLike;
 pub use mozilla::{attack_browsing_session, benign_browsing_session, MozillaLike};
 pub use profile::{AllocProfile, ProfileWorkload};
-pub use squid::{benign_requests, overflow_requests, SquidLike};
+pub use squid::{
+    attack_request, benign_request_window, benign_requests, overflow_requests, server_session,
+    SquidLike,
+};
 
 use xt_alloc::{Heap, HeapError, MemFault};
 

@@ -167,12 +167,71 @@ impl Workload for SquidLike {
 /// cache entries span several size classes, like real responses.
 #[must_use]
 pub fn benign_requests(n: usize) -> Vec<u8> {
+    benign_request_window(0, n)
+}
+
+/// `n` benign requests starting at request ordinal `start` — a window of
+/// the same infinite deterministic request stream [`benign_requests`]
+/// prefixes.
+#[must_use]
+pub fn benign_request_window(start: usize, n: usize) -> Vec<u8> {
     let mut out = Vec::new();
-    for i in 0..n {
+    for i in start..start + n {
         let pad = "x".repeat((i * 7) % 70);
         out.extend_from_slice(format!("GET /static/page-{i}/{pad}index.html\n").as_bytes());
     }
     out
+}
+
+/// The single crafted `GET` line that triggers the 6-byte overflow (the
+/// attack request [`overflow_requests`] embeds in a batch).
+#[must_use]
+pub fn attack_request() -> Vec<u8> {
+    // "/" + 52 ASCII bytes + "%20" (decodes to 1) + 2 more = 56 decoded
+    // bytes: the buggy allocation requests 8 + 56 = 64 — exactly a size
+    // class — so the 6-byte trailer lands in the next slot.
+    let mut evil = String::from("GET /");
+    evil.push_str(&"a".repeat(52));
+    evil.push_str("%20ab");
+    debug_assert_eq!(SquidLike::decode(&evil.as_bytes()[4..]).0.len(), 56);
+    evil.push('\n');
+    evil.into_bytes()
+}
+
+/// A streaming multi-request server session: the request stream of a
+/// long-running cache, cut into per-request-batch [`WorkloadInput`]s for a
+/// persistent executor (one input = one batch broadcast to every replica
+/// of a `ReplicaPool`-served cache — see `exterminator::pool`). Batch `i`
+/// serves a sliding window of the deterministic benign stream, so
+/// consecutive batches share cache keys the way consecutive real requests
+/// revisit hot URLs; if `attack_every = Some(k)`, every `k`-th batch also
+/// carries the malformed escaped URL — the paper's §7.2 "certain inputs
+/// cause Squid to crash" moment arriving in live traffic.
+///
+/// Each input is a pure function of `(i, requests_per_batch,
+/// attack_every)`: replicas stay voteable and whole sessions replay
+/// byte-identically.
+#[must_use]
+pub fn server_session(
+    batches: usize,
+    requests_per_batch: usize,
+    attack_every: Option<usize>,
+) -> Vec<WorkloadInput> {
+    let per = requests_per_batch.max(1);
+    (0..batches)
+        .map(|i| {
+            let mut payload = benign_request_window(i * per / 2, per);
+            if let Some(k) = attack_every {
+                if k > 0 && i % k == k - 1 {
+                    payload.extend_from_slice(&attack_request());
+                    // Post-attack traffic keeps the cache churning so the
+                    // corruption is visited, as in `overflow_requests`.
+                    payload.extend_from_slice(&benign_request_window(i * per / 2 + per, per));
+                }
+            }
+            WorkloadInput::with_seed(i as u64).payload(payload)
+        })
+        .collect()
 }
 
 /// The crafted request stream that triggers the 6-byte overflow.
@@ -185,14 +244,7 @@ pub fn benign_requests(n: usize) -> Vec<u8> {
 #[must_use]
 pub fn overflow_requests(n_benign: usize) -> Vec<u8> {
     let mut out = benign_requests(n_benign);
-    // "/" + 52 ASCII bytes + "%20" (decodes to 1) + 2 more = 56 decoded
-    // bytes.
-    let mut evil = String::from("GET /");
-    evil.push_str(&"a".repeat(52));
-    evil.push_str("%20ab");
-    debug_assert_eq!(SquidLike::decode(&evil.as_bytes()[4..]).0.len(), 56);
-    evil.push('\n');
-    out.extend_from_slice(evil.as_bytes());
+    out.extend_from_slice(&attack_request());
     out.extend_from_slice(&benign_requests(n_benign.max(24)));
     out
 }
@@ -211,6 +263,34 @@ mod tests {
         assert!(!SquidLike::decode(b"/plain").1);
         // Malformed escapes pass through untouched.
         assert_eq!(SquidLike::decode(b"/x%zz").0, b"/x%zz");
+    }
+
+    #[test]
+    fn server_session_is_deterministic_and_layout_independent() {
+        assert_eq!(
+            server_session(12, 4, Some(3)),
+            server_session(12, 4, Some(3)),
+            "session generation must be pure"
+        );
+        let session = server_session(6, 4, None);
+        assert_eq!(session.len(), 6);
+        // Every benign batch completes with identical output on two
+        // differently-seeded heaps: the stream is voteable.
+        for input in &session {
+            let mut h1 = DieFastHeap::new(DieFastConfig::with_seed(5));
+            let mut h2 = DieFastHeap::new(DieFastConfig::with_seed(17));
+            let r1 = SquidLike::new().run(&mut h1, input);
+            let r2 = SquidLike::new().run(&mut h2, input);
+            assert!(r1.completed(), "{:?}", r1.outcome);
+            assert_eq!(r1.output, r2.output, "output depends on heap layout");
+            assert!(!h1.has_signals() && !h2.has_signals());
+        }
+        // Attack batches carry the crafted escape; benign ones don't.
+        let attacked = server_session(6, 4, Some(2));
+        for (i, input) in attacked.iter().enumerate() {
+            let has_escape = input.payload.windows(3).any(|w| w == b"%20");
+            assert_eq!(has_escape, i % 2 == 1, "attack cadence wrong at {i}");
+        }
     }
 
     #[test]
