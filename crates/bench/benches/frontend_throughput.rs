@@ -1,0 +1,183 @@
+//! Pool front-end benchmarks: what the queue/ticket layer costs, and what
+//! sharding over several pools buys.
+//!
+//! ```text
+//! cargo bench -p bench --bench frontend_throughput
+//! ```
+//!
+//! Three claims measured, written to `BENCH_frontend.json`:
+//!
+//! 1. **Queue-layer overhead.** The same 32-input squid session through a
+//!    bare [`ReplicaPool::run_batch`] (the `BENCH_pool.json`
+//!    `batch32/pool` floor) vs. through a 1-pool [`PoolFrontend`] —
+//!    identical replica executions, so the delta is purely the bounded
+//!    queue, the driver thread, and the ticket handshake. The acceptance
+//!    bar is ~1.0x: the front door must not tax the pool.
+//! 2. **Pool sharding.** The same session through 2- and 4-pool
+//!    front-ends (total inputs unchanged, spread round-robin). On
+//!    multi-core hardware this is the scaling axis; on a 1-CPU container
+//!    it can only measure the extra thread traffic — see the `env/cores`
+//!    record and the ROADMAP caveat before reading anything into it.
+//! 3. **Concurrent submitters.** Four client threads each submitting
+//!    their own session slice (`multi_client_sessions`) against a 2-pool
+//!    front-end — the MPMC path with real contention, reported as
+//!    µs/input end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{workspace_root, write_bench_json, BenchRecord};
+use exterminator::frontend::{FrontendConfig, PoolFrontend};
+use exterminator::pool::{PoolConfig, ReplicaPool};
+use xt_patch::PatchTable;
+use xt_workloads::{multi_client_sessions, server_session, SquidLike, WorkloadInput};
+
+/// Inputs per measured iteration (matches `replica_pool`'s batch).
+const BATCH: usize = 32;
+
+/// Replicas per pool (the paper's deployment count).
+const REPLICAS: usize = 3;
+
+/// Requests per batch input (matches `replica_pool`).
+const REQUESTS: usize = 6;
+
+/// Concurrent submitter threads for the MPMC case.
+const SUBMITTERS: usize = 4;
+
+fn session() -> Vec<WorkloadInput> {
+    server_session(BATCH, REQUESTS, None)
+}
+
+fn pool_config() -> PoolConfig {
+    PoolConfig {
+        replicas: REPLICAS,
+        ..PoolConfig::default()
+    }
+}
+
+fn frontend_config(pools: usize) -> FrontendConfig {
+    FrontendConfig {
+        pools,
+        pool: pool_config(),
+        ..FrontendConfig::default()
+    }
+}
+
+fn throughput(c: &mut Criterion) {
+    let workload = SquidLike::new();
+    let inputs = session();
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(10);
+
+    // The floor: a bare pool driven by its owner thread (the
+    // `BENCH_pool.json` configuration).
+    std::thread::scope(|scope| {
+        let mut pool = ReplicaPool::scoped(scope, &workload, pool_config(), PatchTable::new());
+        group.bench_function("batch32_pool_direct", |b| {
+            b.iter(|| {
+                let outcomes = pool.run_batch(&inputs, None);
+                assert!(outcomes.iter().all(|o| o.outcome.vote.unanimous()));
+            });
+        });
+        pool.shutdown();
+    });
+
+    // The same executions through the front door, at 1/2/4 pools.
+    for pools in [1usize, 2, 4] {
+        std::thread::scope(|scope| {
+            let frontend =
+                PoolFrontend::scoped(scope, &workload, frontend_config(pools), PatchTable::new());
+            group.bench_function(format!("batch32_frontend_k{pools}"), |b| {
+                b.iter(|| {
+                    let outcomes = frontend.run_all(&inputs, None);
+                    assert!(outcomes.iter().all(|o| o.outcome.vote.unanimous()));
+                });
+            });
+            frontend.shutdown();
+        });
+    }
+
+    // MPMC: concurrent submitters with their own sessions (8 inputs each,
+    // 32 total per iteration).
+    let sessions = multi_client_sessions(SUBMITTERS, BATCH / SUBMITTERS, REQUESTS, None);
+    std::thread::scope(|scope| {
+        let frontend =
+            PoolFrontend::scoped(scope, &workload, frontend_config(2), PatchTable::new());
+        group.bench_function("batch32_concurrent_submitters_k2", |b| {
+            b.iter(|| {
+                std::thread::scope(|clients| {
+                    for client_session in &sessions {
+                        let frontend = &frontend;
+                        clients.spawn(move || {
+                            for input in client_session {
+                                let out = frontend.submit(input, None).wait();
+                                assert!(out.outcome.vote.unanimous());
+                            }
+                        });
+                    }
+                });
+            });
+        });
+        frontend.shutdown();
+    });
+    group.finish();
+}
+
+fn emit_json(c: &mut Criterion) {
+    let find = |id: String| c.results().iter().find(|r| r.id == id).map(|r| r.min_ns);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut records = Vec::new();
+    // Environment record: the k>1 and concurrent series are only
+    // meaningful relative to this core count (same caveat as
+    // BENCH_fleet.json).
+    records.push(BenchRecord {
+        name: "env/cores".into(),
+        ns_per_op: cores as f64,
+        ops_per_sec: 0.0,
+    });
+    println!("host cores: {cores}");
+
+    let per_input = |ns_iter: f64| ns_iter / BATCH as f64;
+    let direct = find("frontend/batch32_pool_direct".into()).map(per_input);
+    if let Some(direct) = direct {
+        println!(
+            "pool direct: {:.0} µs/input (the BENCH_pool floor)",
+            direct / 1e3
+        );
+        records.push(BenchRecord::from_ns("batch32/pool_direct", direct));
+    }
+    for pools in [1usize, 2, 4] {
+        let Some(ns) = find(format!("frontend/batch32_frontend_k{pools}")).map(per_input) else {
+            continue;
+        };
+        println!("frontend k={pools}: {:.0} µs/input", ns / 1e3);
+        records.push(BenchRecord::from_ns(
+            format!("batch32/frontend_k{pools}"),
+            ns,
+        ));
+        if let (1, Some(direct)) = (pools, direct) {
+            // The acceptance ratio: <= ~1.0x means the queue layer is
+            // free relative to the bare pool.
+            let overhead = ns / direct;
+            println!("queue-layer overhead (k=1 vs direct): {overhead:.3}x");
+            records.push(BenchRecord {
+                name: "batch32/frontend_overhead_vs_pool".into(),
+                ns_per_op: overhead,
+                ops_per_sec: 0.0,
+            });
+        }
+    }
+    if let Some(ns) = find("frontend/batch32_concurrent_submitters_k2".into()).map(per_input) {
+        println!(
+            "concurrent submitters ({SUBMITTERS} threads, k=2): {:.0} µs/input",
+            ns / 1e3
+        );
+        records.push(BenchRecord::from_ns("batch32/concurrent_submitters_k2", ns));
+    }
+
+    let path = workspace_root().join("BENCH_frontend.json");
+    write_bench_json(&path, "frontend_throughput", &records).expect("write BENCH_frontend.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, throughput, emit_json);
+criterion_main!(benches);

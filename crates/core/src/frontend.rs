@@ -1,0 +1,872 @@
+//! The concurrent pool front-end: replicated execution as a *server*.
+//!
+//! A [`ReplicaPool`](crate::pool::ReplicaPool) is a single-caller object —
+//! every submission is broadcast synchronously from the owning thread, and
+//! outcomes are collected by the same thread in submission order. That is
+//! the right shape for one driver loop, but the paper deploys Exterminator
+//! as an always-on service (§6.4's collaborative loop, Fig. 5's replicated
+//! runtime): many clients submit concurrently, and the runtime is expected
+//! to stay up for the life of the process. [`PoolFrontend`] is that layer:
+//!
+//! * **K pools, one front door.** The front-end owns `pools` independent
+//!   [`ReplicaPool`]s, each driven by its own thread inside its own worker
+//!   scope. Submissions are routed pool-per-shard by input hash
+//!   ([`RouteBy::InputHash`] — affinity for repeated inputs) or spread
+//!   round-robin ([`RouteBy::RoundRobin`], the default).
+//! * **Bounded queues, real backpressure.** Each pool sits behind a
+//!   bounded MPMC job queue. [`PoolFrontend::submit`] blocks while the
+//!   target queue is full, so a burst of clients cannot grow the in-flight
+//!   set without bound — the service degrades to waiting, never to OOM.
+//! * **Tickets instead of a caller loop.** `submit` returns a
+//!   [`JobTicket`]; the submitting thread overlaps its own work with the
+//!   replicas' and picks the outcome up via [`JobTicket::try_poll`] /
+//!   [`JobTicket::wait`], or grabs the streaming quorum verdict early via
+//!   [`JobTicket::wait_verdict`] — the §3.1 moment, surfaced per job to
+//!   whichever thread submitted it.
+//! * **One epoch, K pools.** [`PoolFrontend::load_epoch`] advances a
+//!   single front-end-wide epoch version; every pool picks the table up
+//!   before its next submission, so no job dispatched after `load_epoch`
+//!   returns can run under the older table on *any* pool. Patches a pool
+//!   isolates from its own failures fan out to the sibling pools the same
+//!   way (see [`FrontendConfig::share_isolated`]).
+//!
+//! Determinism: a job's outcome is a pure function of `(pool config,
+//! global sequence number, input, fault, patch table at dispatch)` — the
+//! global sequence rides into the pool via
+//! [`ReplicaPool::submit_seeded`](crate::pool::ReplicaPool::submit_seeded),
+//! so *which* pool executed a job and how submissions interleaved with
+//! stragglers cannot change a single outcome byte. Running the same inputs
+//! serially through one `ReplicaPool` reproduces a front-end's outcomes
+//! exactly (pinned by `tests/frontend.rs`). Only wall-clock
+//! [`VoteTiming`](crate::pool::VoteTiming) observations vary — and, when
+//! `share_isolated`/`auto_patch` are left on, the moment at which isolated
+//! patches become visible to later jobs, exactly as for a single pool.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{Scope, ScopedJoinHandle};
+
+use xt_faults::FaultSpec;
+use xt_patch::{PatchEpoch, PatchTable};
+use xt_workloads::{fnv1a, Workload, WorkloadInput};
+
+use crate::pool::{EarlyVerdict, PoolConfig, PoolOutcome, ReplicaPool};
+
+/// Configuration for a [`PoolFrontend`].
+#[derive(Clone, Debug)]
+pub struct FrontendConfig {
+    /// Number of independent replica pools (shards) behind the front door.
+    pub pools: usize,
+    /// Configuration every pool is built with (replica count, seeds,
+    /// isolation tuning — see [`PoolConfig`]).
+    pub pool: PoolConfig,
+    /// Capacity of each pool's job queue. A full queue blocks submitters
+    /// (backpressure) instead of growing without bound.
+    pub queue_capacity: usize,
+    /// How many jobs a driver keeps in flight inside its pool at once —
+    /// the pipelining depth downstream of the queue. Deep enough that the
+    /// replica workers never starve while the driver finalizes the front
+    /// job (a shallow pipeline measurably costs throughput: finalization
+    /// includes image capture, and workers idle once they drain what was
+    /// broadcast); shallow enough to bound the work lost on shutdown.
+    pub max_inflight: usize,
+    /// How submissions pick a pool.
+    pub route: RouteBy,
+    /// Fan patches isolated by one pool's failures out to the sibling
+    /// pools (via the shared table every driver syncs before submitting).
+    /// Requires `pool.auto_patch`; disable for measurement runs that must
+    /// keep pools independent.
+    pub share_isolated: bool,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            pools: 2,
+            pool: PoolConfig::default(),
+            queue_capacity: 64,
+            max_inflight: 32,
+            route: RouteBy::RoundRobin,
+            share_isolated: true,
+        }
+    }
+}
+
+/// Submission routing policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteBy {
+    /// Spread submissions over pools in global submission order.
+    RoundRobin,
+    /// Shard by a hash of the input (seed, intensity, payload): repeated
+    /// inputs land on the same pool, like connection affinity in a
+    /// sharded server.
+    InputHash,
+}
+
+/// Aggregate front-end counters (all monotone; read via
+/// [`PoolFrontend::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Jobs fully finalized (outcome posted to its ticket).
+    pub completed: u64,
+    /// Finalized jobs whose outcome observed an error (failure or
+    /// divergence).
+    pub failures: u64,
+    /// Times a submitter blocked on a full queue.
+    pub backpressure_waits: u64,
+}
+
+/// One queued submission. The input is shared, not copied: the only real
+/// copy is made once at [`PoolFrontend::submit`], and the pool broadcast
+/// downstream is reference bumps all the way.
+struct Job {
+    seq: u64,
+    input: Arc<WorkloadInput>,
+    fault: Option<FaultSpec>,
+    slot: Arc<TicketSlot>,
+}
+
+/// What the ticket holder eventually receives.
+#[derive(Default)]
+struct TicketCell {
+    /// `Some(verdict)` once the streaming vote resolved: `Some(Some(_))`
+    /// for a quorum, `Some(None)` when the job completed with all replicas
+    /// mutually diverged.
+    verdict: Option<Option<EarlyVerdict>>,
+    outcome: Option<PoolOutcome>,
+    /// The driver serving this job died; waiting any longer is hopeless.
+    dead: bool,
+    /// A thread is blocked on `ready` (set under the lock before every
+    /// wait, so posts skip the futex wake when nobody listens — most
+    /// tickets are collected after completion, where every wake is pure
+    /// syscall overhead on the driver's critical path).
+    waiting: bool,
+}
+
+struct TicketSlot {
+    cell: Mutex<TicketCell>,
+    ready: Condvar,
+}
+
+impl TicketSlot {
+    fn new() -> Self {
+        TicketSlot {
+            cell: Mutex::new(TicketCell::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn post_verdict(&self, verdict: Option<EarlyVerdict>) {
+        let mut cell = self.cell.lock().expect("ticket lock poisoned");
+        cell.verdict = Some(verdict);
+        if cell.waiting {
+            self.ready.notify_all();
+        }
+    }
+
+    fn post_outcome(&self, outcome: PoolOutcome) {
+        let mut cell = self.cell.lock().expect("ticket lock poisoned");
+        cell.outcome = Some(outcome);
+        if cell.waiting {
+            self.ready.notify_all();
+        }
+    }
+
+    fn kill(&self) {
+        let mut cell = self.cell.lock().expect("ticket lock poisoned");
+        cell.dead = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A per-job completion handle returned by [`PoolFrontend::submit`]. The
+/// submitting thread keeps working while the replicas execute, then polls
+/// or blocks at its convenience. Dropping a ticket abandons the outcome
+/// (the job still runs to completion — its evidence and patches are not
+/// lost, only the caller's copy of the outcome).
+///
+/// # Panics
+///
+/// All waiting methods panic if the driver thread serving this job died;
+/// the underlying worker panic propagates from
+/// [`PoolFrontend::shutdown`] (or the front-end's drop).
+pub struct JobTicket {
+    job: u64,
+    slot: Arc<TicketSlot>,
+}
+
+impl JobTicket {
+    /// The front-end-wide sequence number assigned to this submission
+    /// (also the seed index its replicas derive heap seeds from).
+    #[must_use]
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    /// The finalized outcome, if it is already available.
+    #[must_use]
+    pub fn try_poll(&self) -> Option<PoolOutcome> {
+        let cell = self.slot.cell.lock().expect("ticket lock poisoned");
+        assert!(!cell.dead, "pool front-end driver died serving this job");
+        cell.outcome.clone()
+    }
+
+    /// Blocks until the job has fully completed on every replica and
+    /// returns the finalized outcome.
+    #[must_use]
+    pub fn wait(self) -> PoolOutcome {
+        let mut cell = self.slot.cell.lock().expect("ticket lock poisoned");
+        loop {
+            assert!(!cell.dead, "pool front-end driver died serving this job");
+            if let Some(outcome) = cell.outcome.take() {
+                cell.waiting = false;
+                return outcome;
+            }
+            cell.waiting = true;
+            cell = self.slot.ready.wait(cell).expect("ticket lock poisoned");
+        }
+    }
+
+    /// Blocks until the streaming voter resolved for this job: the quorum
+    /// verdict the paper's voter would release to the user while
+    /// stragglers are still executing, or `None` if the job completed with
+    /// every replica disagreeing.
+    #[must_use]
+    pub fn wait_verdict(&self) -> Option<EarlyVerdict> {
+        let mut cell = self.slot.cell.lock().expect("ticket lock poisoned");
+        loop {
+            assert!(!cell.dead, "pool front-end driver died serving this job");
+            if let Some(verdict) = &cell.verdict {
+                let verdict = verdict.clone();
+                cell.waiting = false;
+                return verdict;
+            }
+            cell.waiting = true;
+            cell = self.slot.ready.wait(cell).expect("ticket lock poisoned");
+        }
+    }
+}
+
+/// One pool's bounded job queue.
+struct PoolQueue {
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Shutdown requested: no further submissions, drivers drain and exit.
+    closed: bool,
+    /// The serving driver died; submissions and queued jobs must fail
+    /// fast instead of waiting forever.
+    dead: bool,
+    /// The driver is blocked on `not_empty` (maintained under the lock so
+    /// pushes skip the futex wake while the driver is busy executing).
+    consumer_waiting: bool,
+    /// Submitters blocked on `not_full` (backpressure).
+    producers_waiting: usize,
+}
+
+impl PoolQueue {
+    fn new() -> Self {
+        PoolQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+                dead: false,
+                consumer_waiting: false,
+                producers_waiting: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+}
+
+/// The live patch state shared by every pool.
+struct PatchState {
+    table: PatchTable,
+    /// Highest fleet epoch loaded (the single epoch version of the whole
+    /// front-end).
+    epoch: u64,
+    /// Bumped on every table change; drivers compare against their local
+    /// copy before each dispatch.
+    version: u64,
+}
+
+/// State shared between submitters and drivers.
+struct Shared {
+    queues: Vec<PoolQueue>,
+    capacity: usize,
+    patches: Mutex<PatchState>,
+    /// Mirror of `patches.version` readable without the lock: drivers
+    /// check it per dispatch and only take the lock on a change.
+    patch_version: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failures: AtomicU64,
+    backpressure_waits: AtomicU64,
+}
+
+impl Shared {
+    /// Blocking bounded push (the backpressure point).
+    fn push(&self, target: usize, job: Job) {
+        let q = &self.queues[target];
+        let mut st = q.state.lock().expect("queue lock poisoned");
+        if st.jobs.len() >= self.capacity && !st.dead && !st.closed {
+            // Counted once per blocked push, not once per wakeup — a
+            // notify_all that races eight producers for one slot is still
+            // one backpressure episode each.
+            self.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        while st.jobs.len() >= self.capacity && !st.dead && !st.closed {
+            st.producers_waiting += 1;
+            st = q.not_full.wait(st).expect("queue lock poisoned");
+            st.producers_waiting -= 1;
+        }
+        assert!(!st.dead, "pool front-end driver died; submission rejected");
+        assert!(!st.closed, "submit on a front-end that is shutting down");
+        st.jobs.push_back(job);
+        if st.consumer_waiting {
+            q.not_empty.notify_one();
+        }
+    }
+
+    /// Driver-side refill: takes up to `max` queued jobs in one lock
+    /// acquisition. When `block` is set and the queue is open but empty,
+    /// waits until a job arrives; an empty result from a blocking refill
+    /// therefore means the queue is closed and fully drained.
+    fn refill(&self, index: usize, max: usize, block: bool) -> Vec<Job> {
+        let q = &self.queues[index];
+        let mut st = q.state.lock().expect("queue lock poisoned");
+        loop {
+            if !st.jobs.is_empty() {
+                let take = st.jobs.len().min(max);
+                let jobs: Vec<Job> = st.jobs.drain(..take).collect();
+                if st.producers_waiting > 0 {
+                    q.not_full.notify_all();
+                }
+                return jobs;
+            }
+            if st.closed || !block {
+                return Vec::new();
+            }
+            st.consumer_waiting = true;
+            st = q.not_empty.wait(st).expect("queue lock poisoned");
+            st.consumer_waiting = false;
+        }
+    }
+
+    /// Marks queue `index` dead after its driver died: pending jobs'
+    /// tickets are killed and future submitters routed here fail fast.
+    fn kill_queue(&self, index: usize) {
+        let q = &self.queues[index];
+        let mut st = q.state.lock().expect("queue lock poisoned");
+        st.dead = true;
+        for job in st.jobs.drain(..) {
+            job.slot.kill();
+        }
+        q.not_empty.notify_all();
+        q.not_full.notify_all();
+    }
+
+    /// Merges `table` into the shared live table, bumping the version only
+    /// if anything actually changed (the patch lattice makes re-merges
+    /// no-ops, and `merge` reports change for free — no clone-and-compare
+    /// under this contended lock).
+    fn fold_patches(&self, table: &PatchTable) {
+        let mut st = self.patches.lock().expect("patch lock poisoned");
+        if st.table.merge(table) {
+            st.version += 1;
+            self.patch_version.store(st.version, Ordering::Release);
+        }
+    }
+}
+
+/// The concurrent multi-pool executor. Like the pool it wraps, it is
+/// created inside a [`std::thread::scope`] so replica workers may borrow
+/// the workload; unlike the pool, every method takes `&self` — share one
+/// front-end across all submitter threads.
+///
+/// ```
+/// use exterminator::frontend::{FrontendConfig, PoolFrontend};
+/// use xt_patch::PatchTable;
+/// use xt_workloads::{EspressoLike, WorkloadInput};
+///
+/// let workload = EspressoLike::new();
+/// std::thread::scope(|scope| {
+///     let frontend = PoolFrontend::scoped(
+///         scope,
+///         &workload,
+///         FrontendConfig::default(),
+///         PatchTable::new(),
+///     );
+///     // Submit without blocking on the replicas...
+///     let tickets: Vec<_> = (0..4)
+///         .map(|seed| frontend.submit(&WorkloadInput::with_seed(seed), None))
+///         .collect();
+///     // ...then collect at leisure.
+///     for ticket in tickets {
+///         assert!(ticket.wait().outcome.vote.unanimous());
+///     }
+///     frontend.shutdown();
+/// });
+/// ```
+pub struct PoolFrontend<'scope> {
+    shared: Arc<Shared>,
+    drivers: Vec<ScopedJoinHandle<'scope, ()>>,
+    route: RouteBy,
+    next_seq: AtomicU64,
+}
+
+impl<'scope> PoolFrontend<'scope> {
+    /// Spawns `config.pools` driver threads, each owning one
+    /// [`ReplicaPool`] built from `config.pool`, with `patches` as the
+    /// initially shared table.
+    pub fn scoped<'env, W>(
+        scope: &'scope Scope<'scope, 'env>,
+        workload: &'env W,
+        config: FrontendConfig,
+        patches: PatchTable,
+    ) -> PoolFrontend<'scope>
+    where
+        W: Workload + Sync + ?Sized,
+    {
+        let pools = config.pools.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..pools).map(|_| PoolQueue::new()).collect(),
+            capacity: config.queue_capacity.max(1),
+            patches: Mutex::new(PatchState {
+                table: patches,
+                epoch: 0,
+                version: 0,
+            }),
+            patch_version: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            backpressure_waits: AtomicU64::new(0),
+        });
+        let share_isolated = config.share_isolated && config.pool.auto_patch;
+        let max_inflight = config.max_inflight.max(1);
+        let mut drivers = Vec::with_capacity(pools);
+        for index in 0..pools {
+            let shared = Arc::clone(&shared);
+            let pool_config = config.pool.clone();
+            drivers.push(scope.spawn(move || {
+                drive(
+                    workload,
+                    pool_config,
+                    &shared,
+                    index,
+                    max_inflight,
+                    share_isolated,
+                );
+            }));
+        }
+        PoolFrontend {
+            shared,
+            drivers,
+            route: config.route,
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pools behind the front door.
+    #[must_use]
+    pub fn pools(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Front-end counters.
+    #[must_use]
+    pub fn stats(&self) -> FrontendStats {
+        FrontendStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failures: self.shared.failures.load(Ordering::Relaxed),
+            backpressure_waits: self.shared.backpressure_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The highest fleet epoch loaded so far (one version for all pools).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.shared
+            .patches
+            .lock()
+            .expect("patch lock poisoned")
+            .epoch
+    }
+
+    /// A snapshot of the shared live patch table (epoch patches plus
+    /// whatever the pools isolated and shared).
+    #[must_use]
+    pub fn patches(&self) -> PatchTable {
+        self.shared
+            .patches
+            .lock()
+            .expect("patch lock poisoned")
+            .table
+            .clone()
+    }
+
+    /// Joins `table` into the shared live table. Every pool picks it up
+    /// before its next dispatch; jobs submitted after this returns run
+    /// under it on whichever pool they land.
+    pub fn load_patches(&self, table: &PatchTable) {
+        self.shared.fold_patches(table);
+    }
+
+    /// Loads a fleet [`PatchEpoch`] if it is newer than the last one
+    /// loaded — atomically for the whole front-end: one epoch version
+    /// guards all K pools, so no torn state where some pools run epoch
+    /// `n + 1` while the front-end still reports `n`. Returns `true` if
+    /// the live table advanced.
+    pub fn load_epoch(&self, epoch: &PatchEpoch) -> bool {
+        let mut st = self.shared.patches.lock().expect("patch lock poisoned");
+        if epoch.number <= st.epoch {
+            return false;
+        }
+        st.epoch = epoch.number;
+        st.table.merge(&epoch.patches);
+        st.version += 1;
+        self.shared
+            .patch_version
+            .store(st.version, Ordering::Release);
+        true
+    }
+
+    /// Routes one input to its pool and enqueues it, blocking while that
+    /// pool's queue is full (backpressure). Returns the job's ticket;
+    /// callers overlap their own work with the replicas and collect via
+    /// the ticket.
+    pub fn submit(&self, input: &WorkloadInput, fault: Option<FaultSpec>) -> JobTicket {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let target = match self.route {
+            RouteBy::RoundRobin => (seq % self.shared.queues.len() as u64) as usize,
+            RouteBy::InputHash => input_shard(input, self.shared.queues.len()),
+        };
+        let slot = Arc::new(TicketSlot::new());
+        // Counted before the job becomes visible to a driver, so readers
+        // of the aggregate stats never observe completed > submitted.
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.push(
+            target,
+            Job {
+                seq,
+                input: Arc::new(input.clone()),
+                fault,
+                slot: Arc::clone(&slot),
+            },
+        );
+        JobTicket { job: seq, slot }
+    }
+
+    /// Submits a whole batch and blocks for all outcomes, returned in
+    /// submission order — the front-end equivalent of
+    /// [`ReplicaPool::run_batch`](crate::pool::ReplicaPool::run_batch).
+    ///
+    /// Collection runs newest-ticket-first: each pool finalizes its jobs
+    /// in FIFO order, so once a pool's newest job has completed, the
+    /// waits for its older tickets return without ever blocking — the
+    /// whole batch costs at most one sleep/wake round trip per pool
+    /// instead of one per job.
+    pub fn run_all(&self, inputs: &[WorkloadInput], fault: Option<FaultSpec>) -> Vec<PoolOutcome> {
+        let tickets: Vec<JobTicket> = inputs.iter().map(|i| self.submit(i, fault)).collect();
+        let mut outcomes: Vec<PoolOutcome> =
+            tickets.into_iter().rev().map(JobTicket::wait).collect();
+        outcomes.reverse();
+        outcomes
+    }
+
+    /// Closes the queues, lets every driver drain its backlog, shuts the
+    /// pools down, and joins the drivers. Equivalent to dropping the
+    /// front-end; this form marks the teardown point explicitly.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        for q in &self.shared.queues {
+            let mut st = q.state.lock().expect("queue lock poisoned");
+            st.closed = true;
+            q.not_empty.notify_all();
+            q.not_full.notify_all();
+        }
+        let mut driver_panic = None;
+        for handle in self.drivers.drain(..) {
+            if let Err(payload) = handle.join() {
+                driver_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = driver_panic {
+            if !std::thread::panicking() {
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Dropping the front-end performs the same teardown as
+/// [`PoolFrontend::shutdown`]: queued jobs drain, pools join their
+/// workers, and a driver panic propagates (unless already unwinding).
+impl Drop for PoolFrontend<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Shard selection for [`RouteBy::InputHash`]: FNV-1a over the input's
+/// identity, spread by multiply-shift.
+fn input_shard(input: &WorkloadInput, pools: usize) -> usize {
+    let mut h = fnv1a(0, &input.seed.to_le_bytes());
+    h = fnv1a(h, &input.intensity.to_le_bytes());
+    h = fnv1a(h, &input.payload);
+    (((h ^ (h >> 32)).wrapping_mul(0x9E37_79B9) >> 32) as usize) % pools
+}
+
+/// One driver thread: owns one [`ReplicaPool`] and marshals between the
+/// front-end's queue/tickets and the pool's synchronous caller API. Jobs
+/// are kept pipelined in the pool up to `max_inflight` deep and finalized
+/// in FIFO order; the streaming verdict is posted to each job's ticket
+/// before paying for the stragglers' image capture.
+fn drive<W: Workload + Sync + ?Sized>(
+    workload: &W,
+    pool_config: PoolConfig,
+    shared: &Shared,
+    index: usize,
+    max_inflight: usize,
+    share_isolated: bool,
+) {
+    let (mut local_version, initial) = {
+        let st = shared.patches.lock().expect("patch lock poisoned");
+        (st.version, st.table.clone())
+    };
+    std::thread::scope(|scope| {
+        let mut pool = ReplicaPool::scoped(scope, workload, pool_config, initial);
+        let mut inflight: VecDeque<Inflight> = VecDeque::new();
+        let served = catch_unwind(AssertUnwindSafe(|| {
+            loop {
+                // Top the pool's pipeline up from the queue — one lock
+                // acquisition per refill, not per job — blocking only
+                // when the pool has nothing to do at all.
+                if inflight.len() < max_inflight {
+                    let jobs =
+                        shared.refill(index, max_inflight - inflight.len(), inflight.is_empty());
+                    if !jobs.is_empty() {
+                        sync_patches(shared, &mut pool, &mut local_version);
+                    }
+                    for job in jobs {
+                        let pool_job = pool.submit_shared(job.input, job.fault, job.seq);
+                        inflight.push_back(Inflight {
+                            pool_job,
+                            seq: job.seq,
+                            slot: job.slot,
+                            verdict_posted: false,
+                        });
+                    }
+                }
+                // Empty after a (blocking-when-empty) top-up means the
+                // queue is closed and drained. The front job stays in
+                // `inflight` until its outcome is posted: if finalizing
+                // panics, the Err path below must still see (and kill)
+                // its ticket.
+                let Some(front) = inflight.front() else {
+                    break;
+                };
+                let (pool_job, seq) = (front.pool_job, front.seq);
+                let slot = Arc::clone(&front.slot);
+                if !front.verdict_posted {
+                    slot.post_verdict(pool.wait_verdict(pool_job));
+                    inflight[0].verdict_posted = true;
+                }
+                // Quorums for pipelined successors form while the front
+                // job's events are pumped; post them now rather than
+                // head-of-line blocking each behind its predecessors'
+                // full finalization. (A quorum forming *during* the
+                // next_outcome below is still posted one finalization
+                // late — eliminating that would need a pump hook.)
+                post_ready_verdicts(&pool, &mut inflight);
+                let mut outcome = pool.next_outcome().expect("front job in flight");
+                debug_assert_eq!(outcome.job, pool_job, "pool finalized out of order");
+                // Tickets speak the front-end's global sequence, not the
+                // pool-local job counter.
+                outcome.job = seq;
+                if outcome.outcome.error_observed() {
+                    shared.failures.fetch_add(1, Ordering::Relaxed);
+                }
+                if share_isolated && outcome.outcome.report.is_some() {
+                    // The pool just escalated its own isolated patches
+                    // into its live table; fan them out to the siblings.
+                    shared.fold_patches(pool.patches());
+                }
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                slot.post_outcome(outcome);
+                inflight.pop_front();
+                post_ready_verdicts(&pool, &mut inflight);
+            }
+        }));
+        if let Err(payload) = served {
+            // Fail fast for everyone still waiting on this driver, then
+            // let the panic propagate to the front-end's join.
+            for entry in inflight.drain(..) {
+                entry.slot.kill();
+            }
+            shared.kill_queue(index);
+            resume_unwind(payload);
+        }
+        pool.shutdown();
+    });
+}
+
+/// One job the driver has submitted into its pool and not yet finalized.
+struct Inflight {
+    pool_job: u64,
+    seq: u64,
+    slot: Arc<TicketSlot>,
+    verdict_posted: bool,
+}
+
+/// Posts the streaming verdict of every in-flight job whose quorum has
+/// already formed (non-blocking; at most one `poll_verdict` per unposted
+/// job).
+fn post_ready_verdicts(pool: &ReplicaPool<'_>, inflight: &mut VecDeque<Inflight>) {
+    for entry in inflight.iter_mut().filter(|e| !e.verdict_posted) {
+        if let Some(verdict) = pool.poll_verdict(entry.pool_job) {
+            entry.slot.post_verdict(Some(verdict));
+            entry.verdict_posted = true;
+        }
+    }
+}
+
+/// Brings `pool`'s live table up to the shared version, if it moved.
+fn sync_patches(shared: &Shared, pool: &mut ReplicaPool<'_>, local_version: &mut u64) {
+    if shared.patch_version.load(Ordering::Acquire) == *local_version {
+        return;
+    }
+    let st = shared.patches.lock().expect("patch lock poisoned");
+    *local_version = st.version;
+    pool.load_patches(&st.table);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_workloads::EspressoLike;
+
+    #[test]
+    fn frontend_serves_many_submitters() {
+        let workload = EspressoLike::new();
+        std::thread::scope(|scope| {
+            let frontend = PoolFrontend::scoped(
+                scope,
+                &workload,
+                FrontendConfig {
+                    pools: 2,
+                    queue_capacity: 2,
+                    ..FrontendConfig::default()
+                },
+                PatchTable::new(),
+            );
+            std::thread::scope(|clients| {
+                for t in 0..3u64 {
+                    let frontend = &frontend;
+                    clients.spawn(move || {
+                        for i in 0..4 {
+                            let out = frontend
+                                .submit(&WorkloadInput::with_seed(t * 100 + i), None)
+                                .wait();
+                            assert!(out.outcome.vote.unanimous());
+                        }
+                    });
+                }
+            });
+            let stats = frontend.stats();
+            assert_eq!(stats.submitted, 12);
+            assert_eq!(stats.completed, 12);
+            assert_eq!(stats.failures, 0);
+            frontend.shutdown();
+        });
+    }
+
+    #[test]
+    fn ticket_try_poll_and_verdict() {
+        let workload = EspressoLike::new();
+        std::thread::scope(|scope| {
+            let frontend = PoolFrontend::scoped(
+                scope,
+                &workload,
+                FrontendConfig {
+                    pools: 1,
+                    ..FrontendConfig::default()
+                },
+                PatchTable::new(),
+            );
+            let ticket = frontend.submit(&WorkloadInput::with_seed(7), None);
+            let verdict = ticket.wait_verdict().expect("clean replicas reach quorum");
+            assert!(!verdict.output.is_empty());
+            // try_poll eventually observes the outcome without blocking
+            // forever; wait() then consumes it.
+            let outcome = loop {
+                if let Some(out) = ticket.try_poll() {
+                    break out;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(outcome.job, ticket.job());
+            assert_eq!(ticket.wait().outcome, outcome.outcome);
+            frontend.shutdown();
+        });
+    }
+
+    #[test]
+    fn input_hash_routing_is_stable_and_in_range() {
+        let a = WorkloadInput::with_seed(1).payload(b"abc".to_vec());
+        let b = WorkloadInput::with_seed(2);
+        for pools in 1..5 {
+            assert_eq!(input_shard(&a, pools), input_shard(&a, pools));
+            assert!(input_shard(&a, pools) < pools);
+            assert!(input_shard(&b, pools) < pools);
+        }
+    }
+
+    /// Driver death must not hang waiting submitters: tickets fail fast.
+    #[test]
+    fn dead_driver_fails_tickets_fast() {
+        struct Panicker;
+        impl Workload for Panicker {
+            fn name(&self) -> &'static str {
+                "panicker"
+            }
+            fn run(
+                &self,
+                _heap: &mut dyn xt_alloc::Heap,
+                _input: &WorkloadInput,
+            ) -> xt_workloads::RunResult {
+                panic!("simulated replica crash outside the heap sandbox")
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let frontend = PoolFrontend::scoped(
+                    scope,
+                    &Panicker,
+                    FrontendConfig {
+                        pools: 1,
+                        ..FrontendConfig::default()
+                    },
+                    PatchTable::new(),
+                );
+                let ticket = frontend.submit(&WorkloadInput::with_seed(1), None);
+                let _ = ticket.wait(); // panics: driver died
+            });
+        }));
+        assert!(result.is_err(), "a dead driver left its ticket hanging");
+    }
+}

@@ -19,7 +19,10 @@
 //!   hot-patch the survivors. `run_replicated` is the one-shot entry; the
 //!   deployment shape — replicas that *stay up* across inputs, a streaming
 //!   voter that answers before stragglers finish, and fleet patch epochs
-//!   hot-reloaded between inputs — is the persistent [`pool`].
+//!   hot-reloaded between inputs — is the persistent [`pool`]; the
+//!   *server* shape — many concurrent submitters over several pools,
+//!   bounded queues with backpressure, per-job completion tickets, and one
+//!   atomically fanned-out epoch version — is the [`frontend`].
 //! * [`cumulative`] — for deployed, nondeterministic programs: reduce each
 //!   run to per-site summary statistics and let a Bayesian classifier
 //!   accumulate evidence across runs until the buggy sites cross the
@@ -45,6 +48,7 @@
 //! ```
 
 pub mod cumulative;
+pub mod frontend;
 pub mod iterative;
 pub mod pool;
 pub mod replicated;
@@ -55,6 +59,7 @@ pub use cumulative::{
     summarized_run, summarized_run_reusable, CumulativeMode, CumulativeModeConfig,
     CumulativeOutcome, SummarizedRun,
 };
+pub use frontend::{FrontendConfig, FrontendStats, JobTicket, PoolFrontend, RouteBy};
 pub use iterative::{FailureKind, IterativeConfig, IterativeMode, IterativeOutcome, RoundReport};
 pub use pool::{EarlyVerdict, PoolConfig, PoolOutcome, ReplicaPool, Straggler, VoteTiming};
 pub use replicated::{run_replicated, ReplicaSummary, ReplicatedConfig, ReplicatedOutcome};

@@ -30,13 +30,25 @@
 //!   the same way — the running workers pick them up on their next input,
 //!   no restart.
 //!
-//! Determinism: a job's outcome depends only on (config seeds, job index,
-//! input, fault, patch table at submit time) — never on thread scheduling.
-//! The patch table rides inside each job's broadcast message, the vote
-//! partition is computed over the full replica set, and isolation sees
-//! images in replica order. Two pools with identical configs fed identical
-//! submissions produce byte-identical outcomes (pinned by the determinism
-//! tests); only the [`VoteTiming`] wall-clock observations vary.
+//! Determinism: a job's outcome depends only on (config seeds, seed
+//! index, input, fault, patch table at submit time) — never on thread
+//! scheduling. The patch table rides inside each job's broadcast message,
+//! the vote partition is computed over the full replica set, and isolation
+//! sees images in replica order. Two pools with identical configs fed
+//! identical submissions produce byte-identical outcomes (pinned by the
+//! determinism tests); only the [`VoteTiming`] wall-clock observations
+//! vary. [`ReplicaPool::submit`] uses the pool-local job index as the seed
+//! index; [`ReplicaPool::submit_seeded`] lets a caller that owns a global
+//! submission order — the multi-pool [`PoolFrontend`] — pass its own, so a
+//! job's outcome is independent of which pool of a sharded front-end it
+//! landed on.
+//!
+//! One pool serves one caller thread. For many concurrent submitters,
+//! several pools, and non-blocking completion tickets, see
+//! [`PoolFrontend`](crate::frontend::PoolFrontend) — the server front-end
+//! layered on this type.
+//!
+//! [`PoolFrontend`]: crate::frontend::PoolFrontend
 
 use std::collections::VecDeque;
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -201,6 +213,10 @@ fn replica_seed(base: u64, worker: usize, job: u64) -> u64 {
 /// One job's in-flight state on the collector side.
 struct JobState {
     job: u64,
+    /// Seed index the replicas derive their heap seeds from — equal to
+    /// `job` for plain [`ReplicaPool::submit`] calls, caller-supplied for
+    /// [`ReplicaPool::submit_seeded`].
+    seed_job: u64,
     submitted_at: Instant,
     input: Arc<WorkloadInput>,
     fault: Option<FaultSpec>,
@@ -215,6 +231,7 @@ struct JobState {
 impl JobState {
     fn new(
         job: u64,
+        seed_job: u64,
         input: Arc<WorkloadInput>,
         fault: Option<FaultSpec>,
         patches: Arc<PatchTable>,
@@ -222,6 +239,7 @@ impl JobState {
     ) -> Self {
         JobState {
             job,
+            seed_job,
             submitted_at: Instant::now(),
             input,
             fault,
@@ -361,16 +379,46 @@ impl<'scope> ReplicaPool<'scope> {
     /// waiting. Jobs complete in submission order via
     /// [`ReplicaPool::next_outcome`].
     pub fn submit(&mut self, input: &WorkloadInput, fault: Option<FaultSpec>) -> u64 {
+        let seed_index = self.next_job;
+        self.submit_seeded(input, fault, seed_index)
+    }
+
+    /// [`ReplicaPool::submit`] with a caller-chosen seed index: replica `i`
+    /// derives its heap seed from `(base_seed, i, seed_index)` instead of
+    /// the pool-local job counter. This is the submission half of the
+    /// split API the multi-pool [`PoolFrontend`] stands on — a front-end
+    /// assigns one global sequence across K pools, so a job's outcome is a
+    /// function of `(input, fault, seed_index, patches)` alone, identical
+    /// no matter which pool executed it.
+    ///
+    /// [`PoolFrontend`]: crate::frontend::PoolFrontend
+    pub fn submit_seeded(
+        &mut self,
+        input: &WorkloadInput,
+        fault: Option<FaultSpec>,
+        seed_index: u64,
+    ) -> u64 {
+        // One real copy of the input per job; the broadcast itself is N
+        // reference bumps.
+        self.submit_shared(Arc::new(input.clone()), fault, seed_index)
+    }
+
+    /// [`ReplicaPool::submit_seeded`] for a caller that already holds the
+    /// input in an `Arc` (the front-end's queue does): no further copy of
+    /// the payload is made.
+    pub fn submit_shared(
+        &mut self,
+        input: Arc<WorkloadInput>,
+        fault: Option<FaultSpec>,
+        seed_index: u64,
+    ) -> u64 {
         let job = self.next_job;
         self.next_job += 1;
-        // One real copy of the input and the patch snapshot per job; the
-        // broadcast itself is N reference bumps.
-        let input = Arc::new(input.clone());
         let patches = Arc::new(self.patches.clone());
         for tx in &self.txs {
             tx.send(WorkerMsg::Exec {
                 job,
-                seed_job: job,
+                seed_job: seed_index,
                 input: Arc::clone(&input),
                 fault,
                 breakpoint: None,
@@ -378,9 +426,34 @@ impl<'scope> ReplicaPool<'scope> {
             })
             .expect("replica worker exited before shutdown");
         }
-        self.inflight
-            .push_back(JobState::new(job, input, fault, patches, self.txs.len()));
+        self.inflight.push_back(JobState::new(
+            job,
+            seed_index,
+            input,
+            fault,
+            patches,
+            self.txs.len(),
+        ));
         job
+    }
+
+    /// Non-blocking: the streaming verdict for an in-flight job, if its
+    /// quorum has already formed from the events pumped so far. `None`
+    /// means "no quorum yet (or no such job)" — use
+    /// [`ReplicaPool::wait_verdict`] to distinguish by blocking.
+    #[must_use]
+    pub fn poll_verdict(&self, job: u64) -> Option<EarlyVerdict> {
+        let state = self.inflight.iter().find(|s| s.job == job)?;
+        let verdict = state.voter.verdict()?;
+        let rep = verdict.agreeing[0];
+        Some(EarlyVerdict {
+            digest: verdict.digest,
+            agreeing: verdict.agreeing.clone(),
+            outstanding: verdict.outstanding,
+            output: state.outputs[rep]
+                .clone()
+                .expect("agreeing replica published its output"),
+        })
     }
 
     /// Blocks until the streaming voter reaches a quorum for `job` (or the
@@ -390,16 +463,8 @@ impl<'scope> ReplicaPool<'scope> {
     pub fn wait_verdict(&mut self, job: u64) -> Option<EarlyVerdict> {
         loop {
             let state = self.inflight.iter().find(|s| s.job == job)?;
-            if let Some(verdict) = state.voter.verdict() {
-                let rep = verdict.agreeing[0];
-                return Some(EarlyVerdict {
-                    digest: verdict.digest,
-                    agreeing: verdict.agreeing.clone(),
-                    outstanding: verdict.outstanding,
-                    output: state.outputs[rep]
-                        .clone()
-                        .expect("agreeing replica published its output"),
-                });
+            if state.voter.verdict().is_some() {
+                return self.poll_verdict(job);
             }
             if state.complete() {
                 return None;
@@ -449,19 +514,32 @@ impl<'scope> ReplicaPool<'scope> {
     }
 
     /// Stops the workers (after they drain any queued inputs) and joins
-    /// them. Outcomes of jobs still in flight are discarded.
-    pub fn shutdown(self) {
-        let ReplicaPool {
-            txs,
-            events,
-            handles,
-            ..
-        } = self;
-        drop(txs);
-        for handle in handles {
-            handle.join().expect("replica worker panicked");
+    /// them. Outcomes of jobs still in flight are discarded. Equivalent to
+    /// dropping the pool; this form exists so callers can mark the
+    /// teardown point explicitly.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    /// Teardown shared by [`ReplicaPool::shutdown`] and `Drop`: closes the
+    /// broadcast channels (workers drain whatever is queued, then exit)
+    /// and joins every worker thread. A worker panic is re-raised — unless
+    /// this thread is already unwinding, in which case raising again would
+    /// abort the process, so the payload is dropped and the original
+    /// panic keeps propagating.
+    fn close(&mut self) {
+        self.txs.clear();
+        let mut worker_panic = None;
+        for handle in self.handles.drain(..) {
+            if let Err(payload) = handle.join() {
+                worker_panic.get_or_insert(payload);
+            }
         }
-        drop(events);
+        if let Some(payload) = worker_panic {
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 
     /// Receives and applies one worker event. If a worker thread dies
@@ -550,7 +628,7 @@ impl<'scope> ReplicaPool<'scope> {
             .iter()
             .enumerate()
             .map(|(i, r)| ReplicaSummary {
-                seed: replica_seed(self.config.base_seed, i, state.job),
+                seed: replica_seed(self.config.base_seed, i, state.seed_job),
                 completed: r.result.completed(),
                 failed: r.failed(),
                 signals: r.signals.len(),
@@ -627,7 +705,7 @@ impl<'scope> ReplicaPool<'scope> {
         for tx in &self.txs {
             tx.send(WorkerMsg::Exec {
                 job: replay,
-                seed_job: state.job,
+                seed_job: state.seed_job,
                 input: Arc::clone(&state.input),
                 fault: state.fault,
                 breakpoint: Some(breakpoint),
@@ -637,6 +715,7 @@ impl<'scope> ReplicaPool<'scope> {
         }
         self.inflight.push_back(JobState::new(
             replay,
+            state.seed_job,
             Arc::clone(&state.input),
             state.fault,
             Arc::clone(&state.patches),
@@ -662,6 +741,20 @@ impl<'scope> ReplicaPool<'scope> {
             .into_iter()
             .map(|r| r.expect("replay complete").image)
             .collect()
+    }
+}
+
+/// Dropping a pool without [`ReplicaPool::shutdown`] must not detach its
+/// workers: before this impl existed, the senders died silently, the
+/// workers kept executing whatever was queued with nobody joining them
+/// until the enclosing scope's implicit join, and a worker panic surfaced
+/// (if ever) far from the pool that owned it. Drop now performs the same
+/// teardown as `shutdown`: drain the channels, join every worker, and
+/// propagate a worker panic — unless this drop is itself part of an
+/// unwind, where propagating would abort.
+impl Drop for ReplicaPool<'_> {
+    fn drop(&mut self) {
+        self.close();
     }
 }
 
@@ -887,6 +980,96 @@ mod tests {
             }
         }
         assert!(corrected, "no candidate fault was isolated and repaired");
+    }
+
+    /// Dropping a pool without `shutdown` must behave like `shutdown`:
+    /// block until every worker has drained its queue and exited. A
+    /// deliberately slow workload pins the ordering — if Drop detached the
+    /// workers, it would return while executions were still running.
+    #[test]
+    fn drop_joins_workers_and_leaves_no_live_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Slow {
+            in_flight: AtomicUsize,
+            started: AtomicUsize,
+        }
+        impl xt_workloads::Workload for Slow {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn run(
+                &self,
+                heap: &mut dyn xt_alloc::Heap,
+                input: &WorkloadInput,
+            ) -> xt_workloads::RunResult {
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+                self.started.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(20));
+                let result = EspressoLike::new().run(heap, input);
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                result
+            }
+        }
+
+        let workload = Slow {
+            in_flight: AtomicUsize::new(0),
+            started: AtomicUsize::new(0),
+        };
+        std::thread::scope(|scope| {
+            let mut pool =
+                ReplicaPool::scoped(scope, &workload, PoolConfig::default(), PatchTable::new());
+            pool.submit(&WorkloadInput::with_seed(1), None);
+            pool.submit(&WorkloadInput::with_seed(2), None);
+            let started = Instant::now();
+            drop(pool);
+            // Drop returned only after the workers drained both queued
+            // jobs (2 jobs x 20 ms per worker; the first may have started
+            // before the clock) and exited.
+            assert!(
+                started.elapsed() >= Duration::from_millis(30),
+                "drop returned before the queued work drained"
+            );
+        });
+        assert_eq!(
+            workload.in_flight.load(Ordering::SeqCst),
+            0,
+            "a replica execution outlived the pool"
+        );
+        assert_eq!(
+            workload.started.load(Ordering::SeqCst),
+            2 * 3,
+            "queued jobs were discarded instead of drained"
+        );
+    }
+
+    /// A worker that panicked must not die silently when the pool is
+    /// dropped without ever collecting an outcome: Drop joins the worker
+    /// and re-raises its panic (when not already unwinding).
+    #[test]
+    fn drop_propagates_a_worker_panic() {
+        struct Panicker;
+        impl xt_workloads::Workload for Panicker {
+            fn name(&self) -> &'static str {
+                "panicker"
+            }
+            fn run(
+                &self,
+                _heap: &mut dyn xt_alloc::Heap,
+                _input: &WorkloadInput,
+            ) -> xt_workloads::RunResult {
+                panic!("simulated replica crash outside the heap sandbox")
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let mut pool =
+                    ReplicaPool::scoped(scope, &Panicker, PoolConfig::default(), PatchTable::new());
+                pool.submit(&WorkloadInput::with_seed(1), None);
+                // Dropped with the job still in flight — never pumped.
+            });
+        }));
+        assert!(result.is_err(), "dropping a crashed pool hid the panic");
     }
 
     #[test]

@@ -32,11 +32,29 @@
 //!    the paper's cumulative-mode convergence (Fig. 6's runs-to-isolation
 //!    curves) at population scale — the fleet corrects an overflow and a
 //!    dangling bug for everyone after enough reports arrive from anyone.
+//! 5. **The bridge** (module [`bridge`]) closes the same loop *inside one
+//!    process*: failures a replicated
+//!    [`PoolFrontend`](exterminator::frontend::PoolFrontend) observes are
+//!    re-run under cumulative instrumentation and submitted through the
+//!    identical wire path, and published epochs fan back out to every
+//!    pool of the front-end.
 
+pub mod bridge;
+pub mod delivery;
 pub mod service;
 pub mod simulator;
 pub mod wire;
 
+/// SplitMix64 finalizer — the one mixer behind every seed derivation in
+/// this crate (simulator client seeds, bridge probe seeds), so a future
+/// change to seed mixing cannot silently diverge between them.
+pub(crate) fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub use delivery::{Delivery, ReplayWindow};
 pub use service::{FleetConfig, FleetMetrics, FleetService, IngestReceipt};
 pub use simulator::{FaultConvergence, FleetOutcome, FleetSimulator, SimConfig};
 pub use wire::{RunReport, WireError};

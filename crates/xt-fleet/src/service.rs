@@ -24,19 +24,35 @@
 //!   without touching any shard lock — readers never block ingestion.
 //! * **Delivery dedup** — reports are identified by `(client, seq)`;
 //!   redelivery (at-least-once transports, client retries) is dropped, so
-//!   ingestion is idempotent at the service level. The property tests in
+//!   ingestion is idempotent at the service level. Dedup state is a
+//!   per-client [`ReplayWindow`](crate::delivery::ReplayWindow) — a
+//!   high-water mark plus a 128-bit out-of-order window — so memory is
+//!   O(clients), not O(reports ever ingested). The property tests in
 //!   `tests/properties.rs` verify order-insensitivity and idempotence
 //!   against a sequential reference.
+//! * **Long-haul survival** — a panicking ingest thread used to poison a
+//!   shard mutex and turn every later ingest into a panic, killing the
+//!   service forever. Locks are now recovered: every shard mutation is a
+//!   sequence of self-contained `observe_*`/`hint_*` calls that each
+//!   leave the evidence table consistent (the splitting work happens
+//!   outside the lock), so `PoisonError::into_inner` is sound — at worst
+//!   the interrupted report's remaining observations are lost (its seq
+//!   was recorded by dedup on the way in, so a redelivery is dropped,
+//!   not re-folded). A bounded loss of one report's evidence is exactly
+//!   what cumulative mode is built to absorb — §5 classifies over report
+//!   *populations* — whereas the drop direction preserves idempotence.
+//!   Each recovery is counted in [`FleetMetrics::lock_recoveries`].
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use xt_alloc::{SiteHash, SitePair};
 use xt_isolate::cumulative::CumulativeConfig;
 use xt_isolate::evidence::EvidenceTable;
 use xt_patch::{PatchEpoch, PatchTable};
 
+use crate::delivery::ReplayWindow;
 use crate::wire::{RunReport, WireError};
 
 /// Service configuration.
@@ -99,6 +115,13 @@ pub struct FleetMetrics {
     pub n_sites: usize,
     /// Configured shard count.
     pub shards: usize,
+    /// Clients with live delivery-dedup state — the dedup memory bound is
+    /// O(this), independent of how many reports each client ever sent.
+    pub dedup_clients: usize,
+    /// Poisoned locks recovered after a panicking thread (see the module
+    /// docs); a nonzero value means the service survived a crash that
+    /// would previously have been fatal forever.
+    pub lock_recoveries: u64,
 }
 
 /// The sharded collaborative-correction service. All methods take `&self`;
@@ -108,9 +131,11 @@ pub struct FleetService {
     config: FleetConfig,
     /// Per-shard evidence, each behind an independent lock.
     shards: Vec<Mutex<EvidenceTable>>,
-    /// Delivery-dedup sets, sharded by client hash (a different axis than
-    /// the evidence shards: one report checks exactly one dedup shard).
-    seen: Vec<Mutex<HashSet<(u64, u32)>>>,
+    /// Delivery-dedup state, sharded by client hash (a different axis
+    /// than the evidence shards: one report checks exactly one dedup
+    /// shard). One bounded [`ReplayWindow`] per client — O(clients)
+    /// memory for the life of the service.
+    seen: Vec<Mutex<HashMap<u64, ReplayWindow>>>,
     /// Global site-population maximum (`N` of the `cN − 1` threshold).
     n_sites: AtomicUsize,
     reports: AtomicU64,
@@ -118,6 +143,8 @@ pub struct FleetService {
     duplicates: AtomicU64,
     /// Reports since the last publish (drives auto-publish).
     pending: AtomicU64,
+    /// Poisoned locks recovered (panicking ingest/publish threads).
+    lock_recoveries: AtomicU64,
     /// Serializes publishers; ingestion never takes it.
     publish_lock: Mutex<()>,
     /// The current epoch snapshot, paired with the report count at its
@@ -140,13 +167,14 @@ impl FleetService {
                 .map(|_| Mutex::new(EvidenceTable::new(config.isolator)))
                 .collect(),
             seen: (0..config.shards.max(4))
-                .map(|_| Mutex::new(HashSet::new()))
+                .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             n_sites: AtomicUsize::new(1),
             reports: AtomicU64::new(0),
             failed_reports: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
             pending: AtomicU64::new(0),
+            lock_recoveries: AtomicU64::new(0),
             publish_lock: Mutex::new(()),
             epoch: RwLock::new((Arc::new(PatchEpoch::genesis()), 0)),
             config,
@@ -166,6 +194,32 @@ impl FleetService {
         ((h * self.shards.len() as u64) >> 32) as usize
     }
 
+    /// Locks `mutex`, recovering (and counting) a poisoning left behind by
+    /// a panicked thread instead of propagating it — the module docs argue
+    /// why `into_inner` is sound for every lock in this service.
+    fn lock_recovering<'a, T>(&self, mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        mutex.lock().unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// [`FleetService::lock_recovering`] for the epoch lock's read side.
+    fn epoch_read(&self) -> RwLockReadGuard<'_, (Arc<PatchEpoch>, u64)> {
+        self.epoch.read().unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// [`FleetService::lock_recovering`] for the epoch lock's write side.
+    fn epoch_write(&self) -> RwLockWriteGuard<'_, (Arc<PatchEpoch>, u64)> {
+        self.epoch.write().unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
     /// Decodes and ingests one wire report.
     ///
     /// # Errors
@@ -180,14 +234,16 @@ impl FleetService {
     pub fn ingest_report(&self, report: &RunReport) -> IngestReceipt {
         if self.config.dedup_delivery {
             let dedup_shard = (report.client as usize) % self.seen.len();
-            let fresh = self
-                .seen
-                .get(dedup_shard)
-                .expect("dedup shard index in range")
-                .lock()
-                .expect("dedup lock poisoned")
-                .insert((report.client, report.seq));
-            if !fresh {
+            let delivery = self
+                .lock_recovering(
+                    self.seen
+                        .get(dedup_shard)
+                        .expect("dedup shard index in range"),
+                )
+                .entry(report.client)
+                .or_default()
+                .observe(report.seq);
+            if delivery.is_drop() {
                 self.duplicates.fetch_add(1, Ordering::Relaxed);
                 return IngestReceipt {
                     duplicate: true,
@@ -230,12 +286,8 @@ impl FleetService {
 
         let shards_touched = batches.len();
         for (idx, batch) in batches {
-            let mut shard = self
-                .shards
-                .get(idx)
-                .expect("shard index in range")
-                .lock()
-                .expect("shard lock poisoned");
+            let mut shard =
+                self.lock_recovering(self.shards.get(idx).expect("shard index in range"));
             for (site, x, y) in batch.overflow {
                 shard.observe_overflow(SiteHash::from_raw(site), x, y);
             }
@@ -273,7 +325,7 @@ impl FleetService {
     /// ingestion or publication in progress.
     #[must_use]
     pub fn latest(&self) -> Arc<PatchEpoch> {
-        self.epoch.read().expect("epoch lock poisoned").0.clone()
+        self.epoch_read().0.clone()
     }
 
     /// The current epoch snapshot together with the number of unique
@@ -282,7 +334,7 @@ impl FleetService {
     /// belongs to *this* epoch even while newer ones are being minted.
     #[must_use]
     pub fn latest_with_reports(&self) -> (Arc<PatchEpoch>, u64) {
-        let guard = self.epoch.read().expect("epoch lock poisoned");
+        let guard = self.epoch_read();
         (guard.0.clone(), guard.1)
     }
 
@@ -290,17 +342,14 @@ impl FleetService {
     /// patches were isolated, installs the successor epoch. Returns the
     /// epoch current after the call (new or unchanged).
     pub fn publish(&self) -> Arc<PatchEpoch> {
-        let _publisher = self.publish_lock.lock().expect("publish lock poisoned");
+        let _publisher = self.lock_recovering(&self.publish_lock);
         self.pending.store(0, Ordering::Relaxed);
         let n_sites = self.n_sites.load(Ordering::Relaxed);
         let mut isolated = PatchTable::new();
         for shard in &self.shards {
             // One shard lock at a time: ingestion keeps flowing on the
             // other shards while this one classifies.
-            let contribution = shard
-                .lock()
-                .expect("shard lock poisoned")
-                .generate_patches_with(n_sites);
+            let contribution = self.lock_recovering(shard).generate_patches_with(n_sites);
             isolated.merge(&contribution);
         }
         let current = self.latest();
@@ -309,7 +358,7 @@ impl FleetService {
         }
         let next = Arc::new(current.succeed(&isolated));
         let reports = self.reports.load(Ordering::Relaxed);
-        *self.epoch.write().expect("epoch lock poisoned") = (next.clone(), reports);
+        *self.epoch_write() = (next.clone(), reports);
         next
     }
 
@@ -326,10 +375,16 @@ impl FleetService {
             sites_tracked: self
                 .shards
                 .iter()
-                .map(|s| s.lock().expect("shard lock poisoned").sites_tracked())
+                .map(|s| self.lock_recovering(s).sites_tracked())
                 .sum(),
             n_sites: self.n_sites.load(Ordering::Relaxed),
             shards: self.shards.len(),
+            dedup_clients: self
+                .seen
+                .iter()
+                .map(|s| self.lock_recovering(s).len())
+                .sum(),
+            lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -428,6 +483,124 @@ mod tests {
         let epoch = service.latest();
         assert!(epoch.number >= 1, "auto-publish never fired");
         assert!(!epoch.patches.is_empty());
+    }
+
+    /// The dedup bugfix: state is one bounded window per client, not one
+    /// entry per report — a long-lived client hammering the service keeps
+    /// dedup memory constant while idempotence still holds for every
+    /// redelivery an at-least-once transport would actually produce.
+    #[test]
+    fn dedup_memory_is_bounded_per_client() {
+        let service = FleetService::new(FleetConfig {
+            shards: 2,
+            publish_every: 0,
+            ..FleetConfig::default()
+        });
+        // One client, many reports: the old HashSet would now hold 4096
+        // `(client, seq)` entries; the window holds exactly one record.
+        for seq in 0..4096u32 {
+            assert!(
+                !service
+                    .ingest_report(&dangling_report(7, seq, 0xBAD))
+                    .duplicate
+            );
+        }
+        let m = service.metrics();
+        assert_eq!(m.reports, 4096);
+        assert_eq!(m.dedup_clients, 1, "dedup state grew with report count");
+        // Recent redeliveries are still dropped...
+        assert!(
+            service
+                .ingest_report(&dangling_report(7, 4095, 0xBAD))
+                .duplicate
+        );
+        assert!(
+            service
+                .ingest_report(&dangling_report(7, 4000, 0xBAD))
+                .duplicate
+        );
+        // ...in-window out-of-order delivery is accepted exactly once...
+        let late = dangling_report(7, 5000, 0xBAD);
+        assert!(!service.ingest_report(&late).duplicate);
+        assert!(
+            !service
+                .ingest_report(&dangling_report(7, 4999, 0xBAD))
+                .duplicate
+        );
+        assert!(service.ingest_report(&late).duplicate);
+        // ...and reports below the window floor are dropped, never
+        // double-processed (the documented stale tradeoff).
+        assert!(
+            service
+                .ingest_report(&dangling_report(7, 100, 0xBAD))
+                .duplicate
+        );
+        // A second client costs one more window, nothing else.
+        assert!(
+            !service
+                .ingest_report(&dangling_report(8, 0, 0xBAD))
+                .duplicate
+        );
+        assert_eq!(service.metrics().dedup_clients, 2);
+    }
+
+    /// The poison bugfix: a thread that panics while holding a shard lock
+    /// must not turn every later ingest into a panic. The service recovers
+    /// the lock, keeps serving, and counts the event.
+    #[test]
+    fn poisoned_locks_recover_and_ingestion_continues() {
+        let service = FleetService::new(FleetConfig {
+            shards: 2,
+            publish_every: 0,
+            ..FleetConfig::default()
+        });
+        service.ingest_report(&dangling_report(1, 0, 0xBAD));
+        // Poison every evidence shard and every dedup shard, the way a
+        // panicking ingest thread would (hook silenced: these panics are
+        // the test fixture, not noise worth printing).
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for shard in &service.shards {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock().expect("not yet poisoned");
+                panic!("simulated ingest panic while holding the shard lock");
+            }));
+        }
+        for seen in &service.seen {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = seen.lock().expect("not yet poisoned");
+                panic!("simulated ingest panic while holding the dedup lock");
+            }));
+        }
+        std::panic::set_hook(hook);
+        // Ingestion, dedup, publication, and metrics all keep working —
+        // enough further clients report that the §5 classifier crosses
+        // its threshold post-poison, as in the clean-path test above.
+        let receipt = service.ingest_report(&dangling_report(2, 0, 0xBAD));
+        assert!(
+            !receipt.duplicate,
+            "post-poison ingest rejected a fresh report"
+        );
+        assert!(receipt.observations > 0);
+        assert!(
+            service
+                .ingest_report(&dangling_report(2, 0, 0xBAD))
+                .duplicate,
+            "dedup state lost in recovery"
+        );
+        for client in 3..21 {
+            service.ingest_report(&dangling_report(client, 0, 0xBAD));
+        }
+        let epoch = service.publish();
+        assert_eq!(epoch.number, 1, "post-poison publish failed");
+        let pair = SitePair::new(SiteHash::from_raw(0xBAD), SiteHash::from_raw(0xF));
+        assert_eq!(epoch.patches.deferral_for(pair), 30);
+        let m = service.metrics();
+        assert_eq!(m.reports, 20);
+        assert!(
+            m.lock_recoveries > 0,
+            "recoveries happened but were not counted"
+        );
     }
 
     #[test]

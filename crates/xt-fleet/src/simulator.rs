@@ -144,14 +144,12 @@ impl<'a, W: Workload + Sync> FleetSimulator<'a, W> {
 
     /// SplitMix-style derivation of one client run's heap seed.
     fn heap_seed(&self, client: usize, round: usize) -> u64 {
-        let mut z = self
-            .config
-            .base_seed
-            .wrapping_add((client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_add((round as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        crate::splitmix_finalize(
+            self.config
+                .base_seed
+                .wrapping_add((client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((round as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+        )
     }
 
     /// Independent verification runs: does `patches` correct `fault`?

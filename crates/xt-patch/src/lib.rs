@@ -148,13 +148,19 @@ impl PatchTable {
     /// Collaborative correction (§6.4): folds `other` into `self` by taking
     /// the per-key maximum. The result corrects every error either input
     /// corrects.
-    pub fn merge(&mut self, other: &PatchTable) {
+    ///
+    /// Returns `true` if the table changed — the per-entry maxima already
+    /// know, so callers that need change detection (e.g. versioned shared
+    /// tables) get it without cloning and comparing whole tables.
+    pub fn merge(&mut self, other: &PatchTable) -> bool {
+        let mut changed = false;
         for (&site, &pad) in &other.pads {
-            self.add_pad(site, pad);
+            changed |= self.add_pad(site, pad);
         }
         for (&pair, &ticks) in &other.deferrals {
-            self.add_deferral(pair, ticks);
+            changed |= self.add_deferral(pair, ticks);
         }
+        changed
     }
 
     /// Merges any number of patch tables — the collaborative-correction

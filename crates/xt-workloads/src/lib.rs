@@ -37,8 +37,8 @@ pub use espresso::EspressoLike;
 pub use mozilla::{attack_browsing_session, benign_browsing_session, MozillaLike};
 pub use profile::{AllocProfile, ProfileWorkload};
 pub use squid::{
-    attack_request, benign_request_window, benign_requests, overflow_requests, server_session,
-    SquidLike,
+    attack_request, benign_request_window, benign_requests, multi_client_sessions,
+    overflow_requests, server_session, SquidLike,
 };
 
 use xt_alloc::{Heap, HeapError, MemFault};

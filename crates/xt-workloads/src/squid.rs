@@ -234,6 +234,49 @@ pub fn server_session(
         .collect()
 }
 
+/// Per-client request streams for a multi-client cache deployment — the
+/// traffic shape a concurrent pool front-end
+/// (`exterminator::frontend::PoolFrontend`) serves: `clients` independent
+/// request sources, each producing `batches` inputs of
+/// `requests_per_batch` requests. Client `c` walks the same deterministic
+/// benign URL universe as [`server_session`] but from a client-specific
+/// starting offset, so clients overlap on hot cache keys (the way real
+/// user populations revisit the same pages) without submitting
+/// byte-identical streams; if `attack_every = Some(k)`, every client's
+/// `k`-th batches carry the crafted escaped URL — the §7.2 malformed
+/// request arriving from anywhere in the population.
+///
+/// Every input is a pure function of `(c, i, requests_per_batch,
+/// attack_every)`, and the per-input seeds are distinct across the whole
+/// matrix, so hash-routed front-ends spread clients over pools
+/// deterministically.
+#[must_use]
+pub fn multi_client_sessions(
+    clients: usize,
+    batches: usize,
+    requests_per_batch: usize,
+    attack_every: Option<usize>,
+) -> Vec<Vec<WorkloadInput>> {
+    let per = requests_per_batch.max(1);
+    (0..clients)
+        .map(|c| {
+            (0..batches)
+                .map(|i| {
+                    let offset = c * 5 + i * per / 2;
+                    let mut payload = benign_request_window(offset, per);
+                    if let Some(k) = attack_every {
+                        if k > 0 && i % k == k - 1 {
+                            payload.extend_from_slice(&attack_request());
+                            payload.extend_from_slice(&benign_request_window(offset + per, per));
+                        }
+                    }
+                    WorkloadInput::with_seed(((c as u64) << 32) | i as u64).payload(payload)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// The crafted request stream that triggers the 6-byte overflow.
 ///
 /// The escaped URL decodes to exactly 56 bytes, so the buggy entry
@@ -290,6 +333,46 @@ mod tests {
         for (i, input) in attacked.iter().enumerate() {
             let has_escape = input.payload.windows(3).any(|w| w == b"%20");
             assert_eq!(has_escape, i % 2 == 1, "attack cadence wrong at {i}");
+        }
+    }
+
+    #[test]
+    fn multi_client_sessions_are_deterministic_distinct_and_overlapping() {
+        assert_eq!(
+            multi_client_sessions(3, 4, 6, Some(2)),
+            multi_client_sessions(3, 4, 6, Some(2)),
+            "session matrix must be pure"
+        );
+        let sessions = multi_client_sessions(3, 4, 6, None);
+        assert_eq!(sessions.len(), 3);
+        assert!(sessions.iter().all(|s| s.len() == 4));
+        // Distinct seeds across the whole matrix (hash routing spreads).
+        let mut seeds: Vec<u64> = sessions.iter().flatten().map(|input| input.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "duplicate input seeds across clients");
+        // Clients are not byte-identical but share hot URLs.
+        assert_ne!(sessions[0][0].payload, sessions[1][0].payload);
+        let lines = |p: &[u8]| {
+            p.split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .map(<[u8]>::to_vec)
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let a = lines(&sessions[0][1].payload);
+        let b = lines(&sessions[1][0].payload);
+        assert!(
+            a.intersection(&b).count() > 0,
+            "clients never overlap on cache keys"
+        );
+        // Attack cadence holds per client, and attack batches run the
+        // crafted escape.
+        let attacked = multi_client_sessions(2, 4, 6, Some(2));
+        for session in &attacked {
+            for (i, input) in session.iter().enumerate() {
+                let has_escape = input.payload.windows(3).any(|w| w == b"%20");
+                assert_eq!(has_escape, i % 2 == 1, "attack cadence wrong at {i}");
+            }
         }
     }
 
