@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bench::{workspace_root, write_bench_json, BenchRecord};
+use bench::{bench_artifact_path, write_bench_json, BenchRecord};
 use xt_arena::{Addr, Arena, Rng, PAGE_SIZE};
 
 /// Accesses per benchmark iteration (so ns/op can be recovered from the
@@ -375,7 +375,7 @@ fn emit_json(c: &mut Criterion) {
         });
         println!("{case}: {old} {before:.1} ns/op, {new} {after:.1} ns/op, speedup {speedup:.2}x");
     }
-    let path = workspace_root().join("BENCH_arena.json");
+    let path = bench_artifact_path("BENCH_arena.json");
     write_bench_json(&path, "arena_access", &records).expect("write BENCH_arena.json");
     println!("wrote {}", path.display());
 }

@@ -20,7 +20,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bench::{workspace_root, write_bench_json, BenchRecord};
+use bench::{bench_artifact_path, write_bench_json, BenchRecord};
 use xt_fleet::{FleetConfig, FleetService, RunReport};
 
 /// Reports in the replayed corpus.
@@ -200,7 +200,7 @@ fn emit_json(c: &mut Criterion) {
             ops_per_sec: 0.0,
         });
     }
-    let path = workspace_root().join("BENCH_fleet.json");
+    let path = bench_artifact_path("BENCH_fleet.json");
     write_bench_json(&path, "fleet_throughput", &records).expect("write BENCH_fleet.json");
     println!("wrote {}", path.display());
 }

@@ -25,7 +25,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use bench::{workspace_root, write_bench_json, BenchRecord};
+use bench::{bench_artifact_path, write_bench_json, BenchRecord};
 use exterminator::frontend::{FrontendConfig, PoolFrontend};
 use exterminator::pool::{PoolConfig, ReplicaPool};
 use xt_patch::PatchTable;
@@ -174,7 +174,7 @@ fn emit_json(c: &mut Criterion) {
         records.push(BenchRecord::from_ns("batch32/concurrent_submitters_k2", ns));
     }
 
-    let path = workspace_root().join("BENCH_frontend.json");
+    let path = bench_artifact_path("BENCH_frontend.json");
     write_bench_json(&path, "frontend_throughput", &records).expect("write BENCH_frontend.json");
     println!("wrote {}", path.display());
 }

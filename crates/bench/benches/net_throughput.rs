@@ -1,0 +1,187 @@
+//! Network front-door benchmarks: what the wire layer costs over the
+//! in-process front-end.
+//!
+//! ```text
+//! cargo bench -p bench --bench net_throughput
+//! ```
+//!
+//! Written to `BENCH_net.json`, measured against the in-process 1-pool
+//! front-end floor *from the same run* (so host noise cancels; compare
+//! the floor itself against `BENCH_frontend.json`'s
+//! `batch32/frontend_k1` to check run-to-run drift):
+//!
+//! 1. **Wire-layer overhead.** The same 32-input squid session through
+//!    an in-process [`PoolFrontend`] vs. through a real localhost TCP
+//!    socket (`NetClient` → `NetFrontend` wrapping an identical
+//!    front-end) — identical replica executions, so the delta is frame
+//!    encode/decode, two socket hops per job, and the per-connection
+//!    reader/responder threads.
+//! 2. **Concurrent remote clients.** Two clients on separate
+//!    connections splitting the same session — the accept-budget and
+//!    shared-front-end path with real socket contention.
+//!
+//! 1-CPU caveat (`env/cores`): client, connection threads, and every
+//! replica worker share one core here, so the wire numbers include
+//! scheduling traffic a real deployment would not pay; re-measure on
+//! multi-core before reading anything into concurrency scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{bench_artifact_path, write_bench_json, BenchRecord};
+use exterminator::frontend::{FrontendConfig, PoolFrontend};
+use exterminator::pool::PoolConfig;
+use xt_net::{NetClient, NetConfig, NetFrontend};
+use xt_patch::PatchTable;
+use xt_workloads::{server_session, SquidLike, WorkloadInput};
+
+/// Inputs per measured iteration (matches `frontend_throughput`).
+const BATCH: usize = 32;
+
+/// Replicas per pool (the paper's deployment count).
+const REPLICAS: usize = 3;
+
+/// Requests per batch input (matches `frontend_throughput`).
+const REQUESTS: usize = 6;
+
+fn session() -> Vec<WorkloadInput> {
+    server_session(BATCH, REQUESTS, None)
+}
+
+fn frontend_config() -> FrontendConfig {
+    FrontendConfig {
+        pools: 1,
+        pool: PoolConfig {
+            replicas: REPLICAS,
+            ..PoolConfig::default()
+        },
+        ..FrontendConfig::default()
+    }
+}
+
+fn throughput(c: &mut Criterion) {
+    let inputs = session();
+    let mut group = c.benchmark_group("net");
+    group.sample_size(10);
+
+    // The floor: the identical front-end without a socket in front.
+    let workload = SquidLike::new();
+    std::thread::scope(|scope| {
+        let frontend = PoolFrontend::scoped(scope, &workload, frontend_config(), PatchTable::new());
+        group.bench_function("batch32_frontend_inproc", |b| {
+            b.iter(|| {
+                let outcomes = frontend.run_all(&inputs, None);
+                assert!(outcomes.iter().all(|o| o.outcome.vote.unanimous()));
+            });
+        });
+        frontend.shutdown();
+    });
+
+    // The same session over a real localhost socket, one client,
+    // pipelined (all submissions in flight before the first wait —
+    // the shape a remote batch caller uses).
+    {
+        let server = NetFrontend::bind(
+            SquidLike::new(),
+            "127.0.0.1:0",
+            NetConfig {
+                frontend: frontend_config(),
+                ..NetConfig::default()
+            },
+        )
+        .expect("bind localhost");
+        let client = NetClient::connect(server.local_addr()).expect("connect");
+        group.bench_function("batch32_net_1client", |b| {
+            b.iter(|| {
+                let tickets: Vec<_> = inputs
+                    .iter()
+                    .map(|input| client.submit(input, None).expect("submit"))
+                    .collect();
+                for ticket in tickets {
+                    assert!(ticket.wait().expect("outcome").unanimous);
+                }
+            });
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // Two remote clients on separate connections splitting the batch.
+    {
+        let server = NetFrontend::bind(
+            SquidLike::new(),
+            "127.0.0.1:0",
+            NetConfig {
+                frontend: frontend_config(),
+                ..NetConfig::default()
+            },
+        )
+        .expect("bind localhost");
+        let addr = server.local_addr();
+        let halves: Vec<&[WorkloadInput]> = inputs.chunks(BATCH / 2).collect();
+        group.bench_function("batch32_net_2clients", |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for half in &halves {
+                        scope.spawn(move || {
+                            let client = NetClient::connect(addr).expect("connect");
+                            let tickets: Vec<_> = half
+                                .iter()
+                                .map(|input| client.submit(input, None).expect("submit"))
+                                .collect();
+                            for ticket in tickets {
+                                assert!(ticket.wait().expect("outcome").unanimous);
+                            }
+                        });
+                    }
+                });
+            });
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+fn emit_json(c: &mut Criterion) {
+    let find = |id: &str| c.results().iter().find(|r| r.id == id).map(|r| r.min_ns);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut records = Vec::new();
+    records.push(BenchRecord {
+        name: "env/cores".into(),
+        ns_per_op: cores as f64,
+        ops_per_sec: 0.0,
+    });
+    println!("host cores: {cores}");
+
+    let per_input = |ns_iter: f64| ns_iter / BATCH as f64;
+    let floor = find("net/batch32_frontend_inproc").map(per_input);
+    if let Some(floor) = floor {
+        println!(
+            "in-process frontend floor: {:.0} µs/input (compare BENCH_frontend.json batch32/frontend_k1)",
+            floor / 1e3
+        );
+        records.push(BenchRecord::from_ns("batch32/frontend_inproc", floor));
+    }
+    for case in ["batch32_net_1client", "batch32_net_2clients"] {
+        let Some(ns) = find(&format!("net/{case}")).map(per_input) else {
+            continue;
+        };
+        println!("{case}: {:.0} µs/input", ns / 1e3);
+        records.push(BenchRecord::from_ns(format!("batch32/{}", &case[8..]), ns));
+        if let ("batch32_net_1client", Some(floor)) = (case, floor) {
+            let overhead = ns / floor;
+            println!("wire-layer overhead (1 client vs in-process): {overhead:.3}x");
+            records.push(BenchRecord {
+                name: "batch32/net_overhead_vs_inproc".into(),
+                ns_per_op: overhead,
+                ops_per_sec: 0.0,
+            });
+        }
+    }
+
+    let path = bench_artifact_path("BENCH_net.json");
+    write_bench_json(&path, "net_throughput", &records).expect("write BENCH_net.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, throughput, emit_json);
+criterion_main!(benches);

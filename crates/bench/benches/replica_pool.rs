@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use bench::{workspace_root, write_bench_json, BenchRecord};
+use bench::{bench_artifact_path, write_bench_json, BenchRecord};
 use exterminator::pool::{PoolConfig, ReplicaPool, Straggler};
 use exterminator::replicated::{run_replicated, ReplicatedConfig};
 use xt_patch::PatchTable;
@@ -184,7 +184,7 @@ fn emit_json(c: &mut Criterion) {
         ops_per_sec: 0.0,
     });
 
-    let path = workspace_root().join("BENCH_pool.json");
+    let path = bench_artifact_path("BENCH_pool.json");
     write_bench_json(&path, "replica_pool", &records).expect("write BENCH_pool.json");
     println!("wrote {}", path.display());
 }

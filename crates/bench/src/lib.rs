@@ -162,6 +162,33 @@ pub fn workspace_root() -> std::path::PathBuf {
         .to_path_buf()
 }
 
+/// Where a bench should write its `BENCH_*.json` trajectory file.
+///
+/// In normal runs this is the committed artifact at the workspace root.
+/// Under `XT_BENCH_QUICK` (the CI smoke mode, where every measurement is
+/// one iteration × two samples) the numbers are meaningless, so the write
+/// is redirected to a git-ignored `BENCH_*.quick.json` sibling — the
+/// smoke test still proves the bench runs end to end and produces
+/// parseable output, but a quick run can never silently overwrite the
+/// committed trajectory a later PR would compare against.
+///
+/// # Panics
+///
+/// Panics if `file_name` does not end in `.json` — every trajectory file
+/// does, and a silent fallthrough would defeat the redirect.
+#[must_use]
+pub fn bench_artifact_path(file_name: &str) -> std::path::PathBuf {
+    let name = if criterion::quick_mode() {
+        let stem = file_name
+            .strip_suffix(".json")
+            .expect("bench artifacts are named BENCH_*.json");
+        format!("{stem}.quick.json")
+    } else {
+        file_name.to_string()
+    };
+    workspace_root().join(name)
+}
+
 /// Formats a ratio like Fig. 7's normalized execution time.
 pub fn fmt_ratio(r: f64) -> String {
     format!("{r:.2}x")
@@ -189,7 +216,11 @@ mod tests {
 
     #[test]
     fn bench_json_is_parseable_even_with_hostile_values() {
-        let dir = std::env::temp_dir().join("xt_bench_json_test");
+        // Scratch space under target/, NOT std::env::temp_dir(): that
+        // reads TMPDIR via getenv, and this binary's quick-mode test
+        // mutates the environment — concurrent getenv/setenv is UB on
+        // glibc, so no other test here may read it.
+        let dir = workspace_root().join("target/xt_bench_json_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bench.json");
         let records = [
@@ -208,6 +239,36 @@ mod tests {
             "non-finite leaked: {text}"
         );
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The quick-mode clobber regression: `XT_BENCH_QUICK=1 cargo bench`
+    /// used to overwrite the committed `BENCH_*.json` trajectories with
+    /// meaningless 2-sample numbers. Quick runs must write to the
+    /// git-ignored `*.quick.json` sibling and never touch the real
+    /// artifact path.
+    #[test]
+    fn quick_mode_never_writes_the_committed_artifact_path() {
+        // This is the only test in this binary that touches the
+        // environment (concurrent getenv/setenv is UB on glibc).
+        std::env::set_var("XT_BENCH_QUICK", "1");
+        let quick = bench_artifact_path("BENCH_selftest.json");
+        std::env::remove_var("XT_BENCH_QUICK");
+        let real = bench_artifact_path("BENCH_selftest.json");
+
+        assert_eq!(real, workspace_root().join("BENCH_selftest.json"));
+        assert_eq!(quick, workspace_root().join("BENCH_selftest.quick.json"));
+        assert_ne!(quick, real, "quick mode redirected nowhere");
+
+        // Drive the actual write path a quick bench run takes and verify
+        // the committed location stays untouched.
+        assert!(!real.exists(), "stale selftest artifact at {real:?}");
+        write_bench_json(&quick, "selftest", &[BenchRecord::from_ns("noop", 1.0)]).unwrap();
+        assert!(
+            !real.exists(),
+            "a quick-mode write reached the committed artifact path"
+        );
+        assert!(quick.exists());
+        std::fs::remove_file(&quick).unwrap();
     }
 
     #[test]

@@ -41,6 +41,13 @@
 //! [`VoteTiming`](crate::pool::VoteTiming) observations vary — and, when
 //! `share_isolated`/`auto_patch` are left on, the moment at which isolated
 //! patches become visible to later jobs, exactly as for a single pool.
+//!
+//! The same pin extends across the wire: `xt-net`'s `NetFrontend` wraps a
+//! `PoolFrontend` and hands each remote submission to [`PoolFrontend::
+//! submit`], so the global sequence number — not the connection, not the
+//! read interleaving — decides every outcome byte, and remote results are
+//! compared by [`PoolOutcome::deterministic_digest`](crate::pool::
+//! PoolOutcome::deterministic_digest) instead of shipping whole outcomes.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

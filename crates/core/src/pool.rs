@@ -149,6 +149,19 @@ pub struct PoolOutcome {
     pub timing: VoteTiming,
 }
 
+impl PoolOutcome {
+    /// Canonical digest of the deterministic surface: the job's global
+    /// sequence number folded over
+    /// [`ReplicatedOutcome::deterministic_digest`]. Timing is excluded —
+    /// wall-clock observations are exactly what determinism pins must
+    /// ignore. This is what the network front door ships and compares
+    /// instead of whole outcomes.
+    #[must_use]
+    pub fn deterministic_digest(&self) -> u128 {
+        crate::voter::digest_chunk(self.outcome.deterministic_digest(), &self.job.to_le_bytes())
+    }
+}
+
 /// The streaming voter's early answer for one job, surfaced by
 /// [`ReplicaPool::wait_verdict`].
 #[derive(Clone, Debug)]

@@ -101,6 +101,82 @@ impl ReplicatedOutcome {
     pub fn error_observed(&self) -> bool {
         !self.vote.unanimous() || self.replicas.iter().any(|r| r.failed)
     }
+
+    /// A canonical 128-bit digest of the outcome's full deterministic
+    /// surface — everything `PartialEq` compares: vote, patches,
+    /// isolation report, and per-replica summaries. Equal outcomes always
+    /// produce equal digests, and every field is folded behind its length
+    /// or a presence tag so distinct outcomes cannot collide by field
+    /// concatenation.
+    ///
+    /// This is the unit the network front door pins determinism with: a
+    /// remote submission's digest must be byte-identical to the digest of
+    /// the same input run in-process at the same global sequence number,
+    /// without shipping whole heap-image-sized outcomes back for
+    /// comparison.
+    #[must_use]
+    pub fn deterministic_digest(&self) -> u128 {
+        fn fold(h: u128, bytes: &[u8]) -> u128 {
+            crate::voter::digest_chunk(h, bytes)
+        }
+        fn fold_u64(h: u128, v: u64) -> u128 {
+            fold(h, &v.to_le_bytes())
+        }
+
+        let mut h = crate::voter::empty_digest();
+        h = fold_u64(h, self.vote.winner.len() as u64);
+        h = fold(h, &self.vote.winner);
+        h = fold_u64(h, self.vote.agreeing.len() as u64);
+        for &i in &self.vote.agreeing {
+            h = fold_u64(h, i as u64);
+        }
+        h = fold_u64(h, self.vote.dissenting.len() as u64);
+        for &i in &self.vote.dissenting {
+            h = fold_u64(h, i as u64);
+        }
+
+        // The patch lattice serializes deterministically (BTreeMap-backed
+        // text form).
+        let patches = self.patches.to_text();
+        h = fold_u64(h, patches.len() as u64);
+        h = fold(h, patches.as_bytes());
+
+        match &self.report {
+            None => h = fold(h, &[0]),
+            Some(report) => {
+                h = fold(h, &[1]);
+                h = fold_u64(h, report.overflows.len() as u64);
+                for o in &report.overflows {
+                    h = fold_u64(h, o.culprit_id.raw());
+                    h = fold_u64(h, u64::from(o.alloc_site.raw()));
+                    h = fold_u64(h, u64::from(o.requested));
+                    h = fold_u64(h, o.max_extent);
+                    h = fold_u64(h, u64::from(o.pad));
+                    h = fold_u64(h, o.score.to_bits());
+                    h = fold_u64(h, o.evidence_bytes);
+                }
+                h = fold_u64(h, report.dangling.len() as u64);
+                for d in &report.dangling {
+                    h = fold_u64(h, d.object_id.raw());
+                    h = fold_u64(h, u64::from(d.alloc_site.raw()));
+                    h = fold_u64(h, u64::from(d.free_site.raw()));
+                    h = fold_u64(h, d.free_time.raw());
+                    h = fold_u64(h, d.last_alloc_time.raw());
+                    h = fold_u64(h, d.deferral);
+                }
+            }
+        }
+
+        h = fold_u64(h, self.replicas.len() as u64);
+        for r in &self.replicas {
+            h = fold_u64(h, r.seed);
+            h = fold(h, &[u8::from(r.completed), u8::from(r.failed)]);
+            h = fold_u64(h, r.signals as u64);
+            h = fold_u64(h, r.output_len as u64);
+            h = fold(h, &r.output_digest.to_le_bytes());
+        }
+        h
+    }
 }
 
 /// Runs `workload` over `config.replicas` differently-randomized replicas
@@ -155,6 +231,67 @@ mod tests {
         // All replicas produced the same output digest as the winner.
         let digest = crate::voter::output_digest(&outcome.vote.winner);
         assert!(outcome.replicas.iter().all(|r| r.output_digest == digest));
+    }
+
+    /// The network determinism unit: equal outcomes digest equally, and
+    /// every deterministic field is load-bearing — flipping any one of
+    /// them moves the digest.
+    #[test]
+    fn deterministic_digest_tracks_every_field() {
+        let base = ReplicatedOutcome {
+            vote: crate::voter::VoteResult {
+                winner: b"out".to_vec(),
+                agreeing: vec![0, 2],
+                dissenting: vec![1],
+            },
+            patches: PatchTable::new(),
+            report: None,
+            replicas: vec![ReplicaSummary {
+                seed: 7,
+                completed: true,
+                failed: false,
+                signals: 1,
+                output_len: 3,
+                output_digest: 0xAB,
+            }],
+        };
+        assert_eq!(
+            base.deterministic_digest(),
+            base.clone().deterministic_digest(),
+            "equal outcomes must digest equally"
+        );
+
+        let mut variants = Vec::new();
+        let mut v = base.clone();
+        v.vote.winner = b"out!".to_vec();
+        variants.push(v);
+        let mut v = base.clone();
+        v.vote.agreeing = vec![0];
+        variants.push(v);
+        let mut v = base.clone();
+        v.patches.add_pad(xt_alloc::SiteHash::from_raw(0xF00D), 8);
+        variants.push(v);
+        let mut v = base.clone();
+        v.report = Some(IsolationReport {
+            overflows: Vec::new(),
+            dangling: Vec::new(),
+        });
+        variants.push(v);
+        let mut v = base.clone();
+        v.replicas[0].failed = true;
+        variants.push(v);
+        let mut v = base.clone();
+        v.replicas[0].output_digest = 0xAC;
+        variants.push(v);
+
+        let digest = base.deterministic_digest();
+        for (i, variant) in variants.iter().enumerate() {
+            assert_ne!(
+                variant.deterministic_digest(),
+                digest,
+                "variant {i} was invisible to the digest"
+            );
+        }
     }
 
     #[test]

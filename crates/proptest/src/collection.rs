@@ -54,16 +54,22 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S>
-where
-    S::Value: Clone,
-{
+impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
+    /// One element source per position — so a mapped element strategy
+    /// shrinks through its own source at every index.
+    type Source = Vec<S::Source>;
 
-    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+    fn generate_source(&self, rng: &mut TestRng) -> Vec<S::Source> {
         let span = (self.size.hi - self.size.lo) as u64;
         let len = self.size.lo + rng.below(span.max(1)) as usize;
-        (0..len).map(|_| self.element.generate(rng)).collect()
+        (0..len)
+            .map(|_| self.element.generate_source(rng))
+            .collect()
+    }
+
+    fn realize(&self, source: &Vec<S::Source>) -> Vec<S::Value> {
+        source.iter().map(|s| self.element.realize(s)).collect()
     }
 
     /// Length shrinking by halving search toward the minimum length
@@ -71,22 +77,22 @@ where
     /// element shrinking at every position — any element may be the one
     /// keeping the failure alive, so each gets candidates (the greedy
     /// runner's budget bounds the total work).
-    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+    fn shrink_source(&self, source: &Vec<S::Source>) -> Vec<Vec<S::Source>> {
         let mut out = Vec::new();
-        let len = value.len();
+        let len = source.len();
         if len > self.size.lo {
-            out.push(value[..self.size.lo].to_vec());
+            out.push(source[..self.size.lo].to_vec());
             let half = self.size.lo + (len - self.size.lo) / 2;
             if half > self.size.lo && half < len {
-                out.push(value[..half].to_vec());
+                out.push(source[..half].to_vec());
             }
             if len - 1 > self.size.lo && len - 1 != half {
-                out.push(value[..len - 1].to_vec());
+                out.push(source[..len - 1].to_vec());
             }
         }
-        for (i, v) in value.iter().enumerate() {
-            for cand in self.element.shrink(v) {
-                let mut next = value.clone();
+        for (i, s) in source.iter().enumerate() {
+            for cand in self.element.shrink_source(s) {
+                let mut next = source.clone();
                 next[i] = cand;
                 out.push(next);
             }

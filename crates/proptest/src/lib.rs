@@ -8,14 +8,18 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **Greedy halving shrink instead of a value tree.** On failure the
-//!   runner re-tests simpler candidates proposed by
-//!   [`Strategy::shrink`] — a halving search toward each integer
-//!   strategy's minimum (and toward shorter vectors) — adopting any
-//!   candidate that still fails until none do, then reports both the
-//!   original and the minimal failing inputs. Unlike real proptest there
-//!   is no backtracking through a generation tree, and `prop_map`ped
-//!   strategies do not shrink (the transform cannot be inverted).
+//! * **Greedy halving shrink over generation sources instead of a value
+//!   tree.** Every strategy draws a *source* (its generation witness,
+//!   [`Strategy::generate_source`]) and realizes the finished value from
+//!   it. On failure the runner re-tests simpler source candidates
+//!   proposed by [`Strategy::shrink_source`] — a halving search toward
+//!   each integer strategy's minimum (and toward shorter vectors) —
+//!   adopting any candidate that still fails until none do, then reports
+//!   both the original and the minimal failing inputs. Because
+//!   `prop_map` retains its source strategy and re-maps each shrunk
+//!   source candidate (shrink the input, not the output), mapped
+//!   strategies minimize too — no transform inversion needed. Unlike
+//!   real proptest there is no backtracking through a generation tree.
 //! * **Fixed derivation of randomness** (SplitMix64 keyed by test name),
 //!   rather than an OS-seeded RNG with a persisted failure file; failures
 //!   reproduce exactly on re-run.
@@ -58,10 +62,10 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-                // All argument strategies as one tuple strategy, so values
-                // generate exactly as before (same rng consumption order)
-                // and shrinking can hold other arguments fixed while one
-                // shrinks.
+                // All argument strategies as one tuple strategy, so
+                // sources draw exactly as before (same rng consumption
+                // order) and shrinking can hold other arguments fixed
+                // while one shrinks.
                 let strategies = ($(($strat),)+);
                 let run_case = $crate::strategy::case_runner(&strategies, |values| {
                     let ($($arg,)+) = ::std::clone::Clone::clone(values);
@@ -70,7 +74,9 @@ macro_rules! __proptest_impl {
                 let mut accepted = 0usize;
                 let mut rejected = 0usize;
                 while accepted < config.cases {
-                    let values = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let source =
+                        $crate::strategy::Strategy::generate_source(&strategies, &mut rng);
+                    let values = $crate::strategy::Strategy::realize(&strategies, &source);
                     match run_case(&values) {
                         Ok(()) => accepted += 1,
                         Err($crate::test_runner::TestCaseError::Reject) => {
@@ -82,18 +88,22 @@ macro_rules! __proptest_impl {
                             );
                         }
                         Err($crate::test_runner::TestCaseError::Fail(msg)) => {
-                            // Greedy halving shrink: keep adopting simpler
-                            // candidates while they still fail, so the
-                            // report names a minimal case, not just the
-                            // first one generated. Bounded so pathological
-                            // strategies cannot loop.
+                            // Greedy halving shrink over generation
+                            // sources: keep adopting simpler source
+                            // candidates while their realized values still
+                            // fail, so the report names a minimal case,
+                            // not just the first one generated. Bounded so
+                            // pathological strategies cannot loop.
+                            let mut minimal_source = source;
                             let mut minimal = values;
                             let mut minimal_msg = msg.clone();
                             let mut steps = 0usize;
                             let mut budget = 256usize;
                             'shrink: loop {
-                                let candidates =
-                                    $crate::strategy::Strategy::shrink(&strategies, &minimal);
+                                let candidates = $crate::strategy::Strategy::shrink_source(
+                                    &strategies,
+                                    &minimal_source,
+                                );
                                 if candidates.is_empty() {
                                     break;
                                 }
@@ -103,10 +113,13 @@ macro_rules! __proptest_impl {
                                         break 'shrink;
                                     }
                                     budget -= 1;
+                                    let value =
+                                        $crate::strategy::Strategy::realize(&strategies, &cand);
                                     if let Err($crate::test_runner::TestCaseError::Fail(m)) =
-                                        run_case(&cand)
+                                        run_case(&value)
                                     {
-                                        minimal = cand;
+                                        minimal_source = cand;
+                                        minimal = value;
                                         minimal_msg = m;
                                         steps += 1;
                                         advanced = true;

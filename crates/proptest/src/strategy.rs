@@ -2,35 +2,60 @@
 
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
 
 use crate::test_runner::TestRng;
 
 /// A recipe for generating random values of one type.
 ///
-/// Unlike real proptest there is no value tree: `generate` produces a
-/// finished value directly. Shrinking is a lightweight afterthought
-/// rather than a tree walk: [`Strategy::shrink`] proposes *smaller*
-/// candidate values (a halving search toward the strategy's minimum for
-/// integers, shorter prefixes for collections, per-component candidates
-/// for tuples), and the test runner greedily re-tests candidates while
-/// they keep failing.
+/// Unlike real proptest there is no value tree, but generation is split
+/// into two phases so that shrinking can operate on *inputs* rather than
+/// outputs: [`Strategy::generate_source`] draws a [`Strategy::Source`] —
+/// the retained generation witness — and [`Strategy::realize`] turns a
+/// source into the finished value. For primitive strategies the source
+/// *is* the value; for [`prop_map`](Strategy::prop_map) the source is the
+/// *pre-map* value, which is why mapped strategies shrink: the runner
+/// shrinks the source through the underlying strategy and re-maps each
+/// candidate, never needing to invert the transform.
+///
+/// Shrinking itself is a lightweight greedy search rather than a tree
+/// walk: [`Strategy::shrink_source`] proposes *simpler* source candidates
+/// (a halving search toward the strategy's minimum for integers, shorter
+/// prefixes for collections, per-component candidates for tuples), and
+/// the test runner keeps adopting candidates while they keep failing.
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
 
-    /// Generates one value.
-    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// The retained generation witness shrinking operates on. For
+    /// primitive strategies this is `Self::Value`; mapped strategies
+    /// retain their *source* strategy's witness instead.
+    type Source: Clone;
 
-    /// Proposes simpler candidates for a failing `value`, most aggressive
-    /// first. An empty vector means this strategy cannot shrink (the
-    /// default — e.g. `prop_map`ped strategies, whose transform cannot be
-    /// inverted).
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let _ = value;
+    /// Draws one generation source.
+    fn generate_source(&self, rng: &mut TestRng) -> Self::Source;
+
+    /// Turns a source into the finished value. Must be deterministic: the
+    /// same source always realizes to the same value.
+    fn realize(&self, source: &Self::Source) -> Self::Value;
+
+    /// Proposes simpler source candidates for a failing case, most
+    /// aggressive first. An empty vector means this strategy cannot
+    /// shrink (the default).
+    fn shrink_source(&self, source: &Self::Source) -> Vec<Self::Source> {
+        let _ = source;
         Vec::new()
     }
 
-    /// Transforms generated values through `f`.
+    /// Generates one finished value (source draw + realize).
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let source = self.generate_source(rng);
+        self.realize(&source)
+    }
+
+    /// Transforms generated values through `f`. The mapped strategy keeps
+    /// `self` as its source strategy, so shrinking works by shrinking the
+    /// pre-map value and re-applying `f` — no inversion required.
     fn prop_map<T, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -45,13 +70,13 @@ pub trait Strategy {
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
+        Self::Source: 'static,
     {
-        Box::new(self)
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
     }
 }
-
-/// A type-erased strategy.
-pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
 
 /// Ties a case-runner closure's argument type to `strategy`'s value type,
 /// so the `proptest!` macro can define the closure before the first value
@@ -65,15 +90,69 @@ where
     run
 }
 
-impl<V> Strategy for BoxedStrategy<V> {
-    type Value = V;
+/// A type-erased generation source: the concrete `Strategy::Source` of
+/// whichever strategy produced it, behind `Rc<dyn Any>` so boxed
+/// strategies can round-trip their own sources through shrinking.
+#[derive(Clone)]
+pub struct ErasedSource(Rc<dyn std::any::Any>);
 
-    fn generate(&self, rng: &mut TestRng) -> V {
-        (**self).generate(rng)
+impl ErasedSource {
+    fn downcast<T: 'static>(&self) -> &T {
+        self.0
+            .downcast_ref()
+            .expect("erased source realized by the strategy that drew it")
+    }
+}
+
+/// Object-safe strategy surface working on [`ErasedSource`]s; the bridge
+/// between the associated-`Source` trait and `dyn` boxing.
+trait ErasedStrategy<V> {
+    fn generate_source_erased(&self, rng: &mut TestRng) -> ErasedSource;
+    fn realize_erased(&self, source: &ErasedSource) -> V;
+    fn shrink_source_erased(&self, source: &ErasedSource) -> Vec<ErasedSource>;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S
+where
+    S::Source: 'static,
+{
+    fn generate_source_erased(&self, rng: &mut TestRng) -> ErasedSource {
+        ErasedSource(Rc::new(self.generate_source(rng)))
     }
 
-    fn shrink(&self, value: &V) -> Vec<V> {
-        (**self).shrink(value)
+    fn realize_erased(&self, source: &ErasedSource) -> S::Value {
+        self.realize(source.downcast::<S::Source>())
+    }
+
+    fn shrink_source_erased(&self, source: &ErasedSource) -> Vec<ErasedSource> {
+        self.shrink_source(source.downcast::<S::Source>())
+            .into_iter()
+            .map(|s| ErasedSource(Rc::new(s)))
+            .collect()
+    }
+}
+
+/// A type-erased strategy ([`Strategy::boxed`]). Unlike the old alias for
+/// `Box<dyn Strategy>`, this carries the inner strategy's source through
+/// an [`ErasedSource`], so boxed strategies shrink too.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn ErasedStrategy<V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    type Source = ErasedSource;
+
+    fn generate_source(&self, rng: &mut TestRng) -> ErasedSource {
+        self.inner.generate_source_erased(rng)
+    }
+
+    fn realize(&self, source: &ErasedSource) -> V {
+        self.inner.realize_erased(source)
+    }
+
+    fn shrink_source(&self, source: &ErasedSource) -> Vec<ErasedSource> {
+        self.inner.shrink_source_erased(source)
     }
 }
 
@@ -89,9 +168,19 @@ where
     F: Fn(S::Value) -> T,
 {
     type Value = T;
+    /// The *pre-map* witness: shrink the input, re-map the output.
+    type Source = S::Source;
 
-    fn generate(&self, rng: &mut TestRng) -> T {
-        (self.f)(self.inner.generate(rng))
+    fn generate_source(&self, rng: &mut TestRng) -> S::Source {
+        self.inner.generate_source(rng)
+    }
+
+    fn realize(&self, source: &S::Source) -> T {
+        (self.f)(self.inner.realize(source))
+    }
+
+    fn shrink_source(&self, source: &S::Source) -> Vec<S::Source> {
+        self.inner.shrink_source(source)
     }
 }
 
@@ -117,10 +206,26 @@ impl<V> Union<V> {
 
 impl<V> Strategy for Union<V> {
     type Value = V;
+    /// Which option was picked, plus that option's own source. Shrinking
+    /// stays within the picked option (switching alternatives mid-shrink
+    /// would change what failure is being minimized).
+    type Source = (usize, ErasedSource);
 
-    fn generate(&self, rng: &mut TestRng) -> V {
+    fn generate_source(&self, rng: &mut TestRng) -> (usize, ErasedSource) {
         let pick = rng.below(self.options.len() as u64) as usize;
-        self.options[pick].generate(rng)
+        (pick, self.options[pick].generate_source(rng))
+    }
+
+    fn realize(&self, source: &(usize, ErasedSource)) -> V {
+        self.options[source.0].realize(&source.1)
+    }
+
+    fn shrink_source(&self, source: &(usize, ErasedSource)) -> Vec<(usize, ErasedSource)> {
+        self.options[source.0]
+            .shrink_source(&source.1)
+            .into_iter()
+            .map(|s| (source.0, s))
+            .collect()
     }
 }
 
@@ -176,8 +281,9 @@ macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
+            type Source = $t;
 
-            fn generate(&self, rng: &mut TestRng) -> $t {
+            fn generate_source(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty range strategy");
                 // Width via i128 and offset via wrapping add, so ranges
                 // with a negative start (sign-extension under `as u128`)
@@ -186,22 +292,31 @@ macro_rules! int_range_strategy {
                 self.start.wrapping_add(rng.below_u128(width) as $t)
             }
 
-            fn shrink(&self, value: &$t) -> Vec<$t> {
+            fn realize(&self, source: &$t) -> $t {
+                *source
+            }
+
+            fn shrink_source(&self, value: &$t) -> Vec<$t> {
                 shrink_toward(self.start, *value)
             }
         }
 
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
+            type Source = $t;
 
-            fn generate(&self, rng: &mut TestRng) -> $t {
+            fn generate_source(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
                 let width = ((hi as i128) - (lo as i128)) as u128 + 1;
                 lo.wrapping_add(rng.below_u128(width) as $t)
             }
 
-            fn shrink(&self, value: &$t) -> Vec<$t> {
+            fn realize(&self, source: &$t) -> $t {
+                *source
+            }
+
+            fn shrink_source(&self, value: &$t) -> Vec<$t> {
                 shrink_toward(*self.start(), *value)
             }
         }
@@ -212,37 +327,49 @@ int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Strategy for Range<f64> {
     type Value = f64;
+    type Source = f64;
 
-    fn generate(&self, rng: &mut TestRng) -> f64 {
+    fn generate_source(&self, rng: &mut TestRng) -> f64 {
         self.start + rng.unit_f64() * (self.end - self.start)
+    }
+
+    fn realize(&self, source: &f64) -> f64 {
+        *source
     }
 }
 
 impl Strategy for RangeInclusive<f64> {
     type Value = f64;
+    type Source = f64;
 
-    fn generate(&self, rng: &mut TestRng) -> f64 {
+    fn generate_source(&self, rng: &mut TestRng) -> f64 {
         self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+
+    fn realize(&self, source: &f64) -> f64 {
+        *source
     }
 }
 
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+)
-        where
-            $($s::Value: Clone,)+
-        {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
             type Value = ($($s::Value,)+);
+            type Source = ($($s::Source,)+);
 
-            fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                ($(self.$idx.generate(rng),)+)
+            fn generate_source(&self, rng: &mut TestRng) -> Self::Source {
+                ($(self.$idx.generate_source(rng),)+)
             }
 
-            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            fn realize(&self, source: &Self::Source) -> Self::Value {
+                ($(self.$idx.realize(&source.$idx),)+)
+            }
+
+            fn shrink_source(&self, source: &Self::Source) -> Vec<Self::Source> {
                 let mut out = Vec::new();
                 $(
-                    for cand in self.$idx.shrink(&value.$idx) {
-                        let mut next = value.clone();
+                    for cand in self.$idx.shrink_source(&source.$idx) {
+                        let mut next = source.clone();
                         next.$idx = cand;
                         out.push(next);
                     }
@@ -274,12 +401,17 @@ macro_rules! any_int_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Any<$t> {
             type Value = $t;
+            type Source = $t;
 
-            fn generate(&self, rng: &mut TestRng) -> $t {
+            fn generate_source(&self, rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
             }
 
-            fn shrink(&self, value: &$t) -> Vec<$t> {
+            fn realize(&self, source: &$t) -> $t {
+                *source
+            }
+
+            fn shrink_source(&self, value: &$t) -> Vec<$t> {
                 if *value > (0 as $t) {
                     shrink_toward(0 as $t, *value)
                 } else {
@@ -294,17 +426,27 @@ any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Strategy for Any<bool> {
     type Value = bool;
+    type Source = bool;
 
-    fn generate(&self, rng: &mut TestRng) -> bool {
+    fn generate_source(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn realize(&self, source: &bool) -> bool {
+        *source
     }
 }
 
 impl Strategy for Any<f64> {
     type Value = f64;
+    type Source = f64;
 
-    fn generate(&self, rng: &mut TestRng) -> f64 {
+    fn generate_source(&self, rng: &mut TestRng) -> f64 {
         rng.unit_f64()
+    }
+
+    fn realize(&self, source: &f64) -> f64 {
+        *source
     }
 }
 
@@ -314,8 +456,11 @@ pub struct Just<T>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
+    type Source = ();
 
-    fn generate(&self, _rng: &mut TestRng) -> T {
+    fn generate_source(&self, _rng: &mut TestRng) {}
+
+    fn realize(&self, _source: &()) -> T {
         self.0.clone()
     }
 }

@@ -126,6 +126,45 @@ proptest! {
     }
 }
 
+/// A post-map wrapper the strategy cannot invert: shrinking must happen
+/// on the *source* vector, with each candidate re-mapped.
+#[derive(Clone, Debug, PartialEq)]
+struct Batch(Vec<u16>);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    // Not #[test]: invoked under catch_unwind. The mapped-strategy shrink
+    // regression — before sources were retained, `prop_map`ped strategies
+    // could not shrink at all and the report named whatever case was
+    // generated first.
+    fn fails_on_mapped_batches(
+        b in proptest::collection::vec(0u16..100, 2..32).prop_map(Batch)
+    ) {
+        prop_assert!(b.0.len() < 2, "batch len was {}", b.0.len());
+    }
+}
+
+#[test]
+fn mapped_strategies_shrink_their_source() {
+    let panic = std::panic::catch_unwind(fails_on_mapped_batches)
+        .expect_err("property must fail: every generated batch has len >= 2");
+    let msg = panic
+        .downcast_ref::<String>()
+        .expect("panic payload is the formatted message")
+        .clone();
+    // The source vec shrinks to the minimum length (2) and both elements
+    // halve to the range minimum (0); the minimal counterexample is the
+    // *mapped* value realized from that minimal source.
+    assert!(
+        msg.contains("minimal case failure: batch len was 2"),
+        "mapped strategy did not shrink to the minimal failing length: {msg}"
+    );
+    assert!(
+        msg.contains("(Batch([0, 0]),)"),
+        "mapped strategy did not re-map the minimal source: {msg}"
+    );
+}
+
 #[test]
 fn vectors_shrink_toward_minimal_length() {
     let panic = std::panic::catch_unwind(fails_on_long_vectors)

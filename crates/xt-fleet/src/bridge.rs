@@ -91,3 +91,24 @@ pub fn report_failure(
 pub fn sync_frontend(service: &FleetService, frontend: &PoolFrontend<'_>) -> bool {
     frontend.load_epoch(&service.latest())
 }
+
+/// The socket server's ingest path: folds one wire report into the
+/// service and immediately fans any newer epoch back out to the
+/// front-end serving the same process. This is how a remote client's
+/// evidence heals the server's own pools — ingestion may cross the
+/// service's publish cadence and mint a fresh epoch, and the next job
+/// the front-end dispatches (to *any* pool) already runs under it.
+///
+/// # Errors
+///
+/// Returns the [`WireError`] for malformed bytes; the service counts the
+/// rejection and neither the evidence nor the front-end is touched.
+pub fn ingest_and_sync(
+    service: &FleetService,
+    frontend: &PoolFrontend<'_>,
+    bytes: &[u8],
+) -> Result<crate::IngestReceipt, crate::WireError> {
+    let receipt = service.ingest(bytes)?;
+    sync_frontend(service, frontend);
+    Ok(receipt)
+}

@@ -41,6 +41,7 @@
 
 pub mod bridge;
 pub mod delivery;
+pub mod frame;
 pub mod service;
 pub mod simulator;
 pub mod wire;
@@ -55,6 +56,7 @@ pub(crate) fn splitmix_finalize(mut z: u64) -> u64 {
 }
 
 pub use delivery::{Delivery, ReplayWindow};
+pub use frame::{Frame, FrameError, Reader};
 pub use service::{FleetConfig, FleetMetrics, FleetService, IngestReceipt};
 pub use simulator::{FaultConvergence, FleetOutcome, FleetSimulator, SimConfig};
 pub use wire::{RunReport, WireError};

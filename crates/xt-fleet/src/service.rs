@@ -103,6 +103,11 @@ pub struct FleetMetrics {
     pub failed_reports: u64,
     /// Redeliveries dropped by dedup.
     pub duplicates: u64,
+    /// Malformed wire reports rejected by decode validation before any
+    /// evidence was touched (bad framing, hostile counts, implausible
+    /// site populations). A rejected report never reaches the shards or
+    /// the prior — it is counted, not folded.
+    pub rejected_reports: u64,
     /// Current epoch number.
     pub epoch: u64,
     /// Unique reports the service had ingested when the current epoch was
@@ -141,6 +146,7 @@ pub struct FleetService {
     reports: AtomicU64,
     failed_reports: AtomicU64,
     duplicates: AtomicU64,
+    rejected: AtomicU64,
     /// Reports since the last publish (drives auto-publish).
     pending: AtomicU64,
     /// Poisoned locks recovered (panicking ingest/publish threads).
@@ -173,6 +179,7 @@ impl FleetService {
             reports: AtomicU64::new(0),
             failed_reports: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             pending: AtomicU64::new(0),
             lock_recoveries: AtomicU64::new(0),
             publish_lock: Mutex::new(()),
@@ -225,9 +232,14 @@ impl FleetService {
     /// # Errors
     ///
     /// Returns the [`WireError`] if the bytes are malformed; malformed
-    /// reports leave the service state untouched.
+    /// reports leave the evidence, prior, and dedup state untouched —
+    /// the rejection is only counted
+    /// ([`FleetMetrics::rejected_reports`]).
     pub fn ingest(&self, bytes: &[u8]) -> Result<IngestReceipt, WireError> {
-        Ok(self.ingest_report(&RunReport::decode(bytes)?))
+        let report = RunReport::decode(bytes).inspect_err(|_| {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        })?;
+        Ok(self.ingest_report(&report))
     }
 
     /// Ingests one decoded report.
@@ -370,6 +382,7 @@ impl FleetService {
             reports: self.reports.load(Ordering::Relaxed),
             failed_reports: self.failed_reports.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
+            rejected_reports: self.rejected.load(Ordering::Relaxed),
             epoch: epoch.number,
             epoch_reports,
             sites_tracked: self
@@ -608,9 +621,54 @@ mod tests {
         let service = FleetService::new(FleetConfig::default());
         assert!(service.ingest(b"not a report").is_err());
         assert_eq!(service.metrics().reports, 0);
+        assert_eq!(service.metrics().rejected_reports, 1);
         let good = dangling_report(5, 1, 0xBAD).encode();
         assert!(service.ingest(&good).is_ok());
         assert_eq!(service.metrics().reports, 1);
+    }
+
+    /// The hostile-prior hardening end to end: a remote report claiming an
+    /// absurd site population is rejected at decode, counted in the
+    /// metrics, and leaves the Bayesian prior `N` exactly where honest
+    /// reports put it — instead of silently out-maxing the whole shard.
+    #[test]
+    fn hostile_site_population_is_rejected_and_counted_not_folded() {
+        let service = FleetService::new(FleetConfig {
+            shards: 2,
+            publish_every: 0,
+            ..FleetConfig::default()
+        });
+        service.ingest_report(&dangling_report(1, 0, 0xBAD));
+        let honest_n = service.metrics().n_sites;
+
+        // `encode` does not validate, so a hostile client can produce
+        // these bytes; `decode` must refuse them.
+        let hostile = RunReport {
+            n_sites: u32::MAX,
+            ..dangling_report(2, 0, 0xBAD)
+        }
+        .encode();
+        let err = service.ingest(&hostile).unwrap_err();
+        assert!(
+            matches!(err, WireError::BadSiteCount { n_sites, .. } if n_sites == u32::MAX),
+            "{err:?}"
+        );
+
+        let m = service.metrics();
+        assert_eq!(m.rejected_reports, 1, "rejection was not counted");
+        assert_eq!(m.reports, 1, "rejected report was folded as evidence");
+        assert_eq!(
+            m.n_sites, honest_n,
+            "a rejected report still skewed the prior"
+        );
+        // The hostile client's dedup window was never touched either: the
+        // same (client, seq) later arriving in a valid report is fresh.
+        assert!(
+            !service
+                .ingest_report(&dangling_report(2, 0, 0xBAD))
+                .duplicate,
+            "rejected report consumed the sender's dedup sequence"
+        );
     }
 
     #[test]

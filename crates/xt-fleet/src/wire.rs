@@ -9,18 +9,27 @@
 //!
 //! The encoding is a fixed little-endian binary layout (magic, flags,
 //! identity, four counted arrays). No self-describing framing — both ends
-//! are this crate — but decode validates everything: magic, version,
-//! boolean bytes, array bounds, and trailing garbage all fail loudly with
-//! a [`WireError`] naming the offset.
+//! are this crate, and `xt-net` wraps reports in a [`frame`](crate::frame)
+//! when they cross a socket — but decode validates everything through the
+//! shared offset-tracking [`Reader`](crate::frame::Reader): magic,
+//! version, boolean bytes, array bounds, the site-population claim, and
+//! trailing garbage all fail loudly with a [`WireError`] naming the
+//! offset.
 
 use xt_alloc::{AllocTime, SiteHash};
 use xt_isolate::cumulative::{RunSummary, SiteObservation};
+
+use crate::frame::Reader;
+pub use crate::frame::WireError;
 
 /// First bytes of every report: `XTR` plus the format version.
 const MAGIC: [u8; 4] = *b"XTR1";
 
 /// Hard cap on any array count in a decoded report — a corrupt or hostile
-/// length prefix must not turn into a multi-gigabyte allocation.
+/// length prefix must not turn into a multi-gigabyte allocation. The
+/// site-population claim (`n_sites`) is held to the same cap: it feeds
+/// the §5 Bayesian prior `N`, where one absurd value would out-max every
+/// honest report in the fleet.
 const MAX_ENTRIES: u32 = 1 << 20;
 
 /// One client run, as submitted to the aggregation service.
@@ -55,7 +64,11 @@ impl RunReport {
             seq,
             failed: summary.failed,
             clock: summary.clock.raw(),
-            n_sites: u32::try_from(summary.n_sites).unwrap_or(u32::MAX),
+            // Clamped to the decode-side cap so a self-encoded report is
+            // always well-formed on the wire.
+            n_sites: u32::try_from(summary.n_sites)
+                .unwrap_or(MAX_ENTRIES)
+                .min(MAX_ENTRIES),
             overflow_obs: summary
                 .overflow_obs
                 .iter()
@@ -167,26 +180,41 @@ impl RunReport {
     ///
     /// Returns a [`WireError`] describing the first malformed byte.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
-        let mut r = Reader { bytes, pos: 0 };
+        let mut r = Reader::new(bytes);
         let magic = r.array::<4>()?;
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
         let failed = r.bool()?;
-        let client = u64::from_le_bytes(r.array()?);
-        let seq = u32::from_le_bytes(r.array()?);
-        let clock = u64::from_le_bytes(r.array()?);
-        let n_sites = u32::from_le_bytes(r.array()?);
-        let n_overflow = r.count()?;
-        let n_dangling = r.count()?;
-        let n_pads = r.count()?;
-        let n_defers = r.count()?;
+        let client = r.u64()?;
+        let seq = r.u32()?;
+        let clock = r.u64()?;
+        let n_sites_at = r.pos();
+        let n_sites = r.u32()?;
+        let n_overflow = r.count(MAX_ENTRIES)?;
+        let n_dangling = r.count(MAX_ENTRIES)?;
+        let n_pads = r.count(MAX_ENTRIES)?;
+        let n_defers = r.count(MAX_ENTRIES)?;
+        // The site population is the report's claim about the prior `N`.
+        // Reject absurd values (far above any population the entry cap
+        // admits) and the internally inconsistent zero-sites shape:
+        // every observation *and* every pad/defer hint names a site the
+        // run observed, so any non-empty array implies `N >= 1`.
+        let site_entries =
+            u64::from(n_overflow) + u64::from(n_dangling) + u64::from(n_pads) + u64::from(n_defers);
+        if n_sites > MAX_ENTRIES || (n_sites == 0 && site_entries > 0) {
+            return Err(WireError::BadSiteCount {
+                at: n_sites_at,
+                n_sites,
+                observations: site_entries,
+            });
+        }
         let mut obs = |n: u32| -> Result<Vec<(u32, f64, bool)>, WireError> {
             (0..n)
                 .map(|_| {
-                    let site = u32::from_le_bytes(r.array()?);
-                    let at = r.pos;
-                    let x = f64::from_bits(u64::from_le_bytes(r.array()?));
+                    let site = r.u32()?;
+                    let at = r.pos();
+                    let x = f64::from_bits(r.u64()?);
                     // A probability must be finite and in [0, 1]: one NaN
                     // folded into a site's running products would poison
                     // its evidence permanently (NaN ratios never flag).
@@ -204,28 +232,12 @@ impl RunReport {
         let overflow_obs = obs(n_overflow)?;
         let dangling_obs = obs(n_dangling)?;
         let pad_hints = (0..n_pads)
-            .map(|_| {
-                Ok((
-                    u32::from_le_bytes(r.array()?),
-                    u32::from_le_bytes(r.array()?),
-                ))
-            })
+            .map(|_| Ok((r.u32()?, r.u32()?)))
             .collect::<Result<Vec<_>, WireError>>()?;
         let defer_hints = (0..n_defers)
-            .map(|_| {
-                Ok((
-                    u32::from_le_bytes(r.array()?),
-                    u32::from_le_bytes(r.array()?),
-                    u64::from_le_bytes(r.array()?),
-                ))
-            })
+            .map(|_| Ok((r.u32()?, r.u32()?, r.u64()?)))
             .collect::<Result<Vec<_>, WireError>>()?;
-        if r.pos != bytes.len() {
-            return Err(WireError::Trailing {
-                at: r.pos,
-                extra: bytes.len() - r.pos,
-            });
-        }
+        r.finish()?;
         Ok(RunReport {
             client,
             seq,
@@ -237,109 +249,6 @@ impl RunReport {
             pad_hints,
             defer_hints,
         })
-    }
-}
-
-/// A malformed wire report.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum WireError {
-    /// The report does not start with the expected magic/version bytes.
-    BadMagic([u8; 4]),
-    /// The report ends before a field at this offset is complete.
-    Truncated {
-        /// Byte offset where more data was needed.
-        at: usize,
-    },
-    /// A boolean byte held something other than 0 or 1.
-    BadBool {
-        /// Byte offset of the offending value.
-        at: usize,
-        /// The value found.
-        value: u8,
-    },
-    /// An observation probability was non-finite or outside `[0, 1]`.
-    BadProbability {
-        /// Byte offset of the offending value.
-        at: usize,
-        /// The raw `f64` bits found.
-        bits: u64,
-    },
-    /// An array length prefix exceeds the sanity cap.
-    Oversized {
-        /// Byte offset of the length prefix.
-        at: usize,
-        /// The claimed element count.
-        count: u32,
-    },
-    /// Bytes remain after the last field.
-    Trailing {
-        /// Offset where decoding finished.
-        at: usize,
-        /// Number of unconsumed bytes.
-        extra: usize,
-    },
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::BadMagic(m) => write!(f, "bad report magic {m:02x?}"),
-            WireError::Truncated { at } => write!(f, "report truncated at byte {at}"),
-            WireError::BadBool { at, value } => {
-                write!(f, "bad boolean byte {value:#x} at offset {at}")
-            }
-            WireError::BadProbability { at, bits } => {
-                write!(
-                    f,
-                    "observation probability {} (bits {bits:#x}) at offset {at} is not in [0, 1]",
-                    f64::from_bits(*bits)
-                )
-            }
-            WireError::Oversized { at, count } => {
-                write!(f, "array count {count} at offset {at} exceeds cap")
-            }
-            WireError::Trailing { at, extra } => {
-                write!(f, "{extra} trailing bytes after report end at offset {at}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
-
-/// Cursor over the wire bytes.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Reader<'_> {
-    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
-        let end = self.pos + N;
-        let slice = self
-            .bytes
-            .get(self.pos..end)
-            .ok_or(WireError::Truncated { at: self.pos })?;
-        self.pos = end;
-        Ok(slice.try_into().expect("slice length is N"))
-    }
-
-    fn bool(&mut self) -> Result<bool, WireError> {
-        let at = self.pos;
-        match self.array::<1>()?[0] {
-            0 => Ok(false),
-            1 => Ok(true),
-            value => Err(WireError::BadBool { at, value }),
-        }
-    }
-
-    fn count(&mut self) -> Result<u32, WireError> {
-        let at = self.pos;
-        let count = u32::from_le_bytes(self.array()?);
-        if count > MAX_ENTRIES {
-            return Err(WireError::Oversized { at, count });
-        }
-        Ok(count)
     }
 }
 
@@ -442,6 +351,97 @@ mod tests {
             bytes[x_off..x_off + 8].copy_from_slice(&ok.to_bits().to_le_bytes());
             assert!(RunReport::decode(&bytes).is_ok(), "x = {ok} rejected");
         }
+    }
+
+    /// The §5-prior hardening: `n_sites` feeds the global `N` via a
+    /// `fetch_max`, so one hostile report claiming an absurd population
+    /// would skew classification for a whole shard. The field sits after
+    /// magic(4)+flag(1)+client(8)+seq(4)+clock(8) = offset 25.
+    #[test]
+    fn rejects_absurd_site_populations() {
+        for absurd in [u32::MAX, (1 << 20) + 1] {
+            let mut bytes = sample().encode();
+            bytes[25..29].copy_from_slice(&absurd.to_le_bytes());
+            let err = RunReport::decode(&bytes).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::BadSiteCount {
+                        at: 25,
+                        n_sites,
+                        ..
+                    } if n_sites == absurd
+                ),
+                "n_sites = {absurd}: {err:?}"
+            );
+        }
+        // The cap itself stays legal.
+        let mut bytes = sample().encode();
+        bytes[25..29].copy_from_slice(&(1u32 << 20).to_le_bytes());
+        assert!(RunReport::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_sites_alongside_observations() {
+        // The sample carries 3 observations + 1 pad hint + 1 defer hint,
+        // each naming a site; claiming a zero site population alongside
+        // them is internally inconsistent.
+        let mut bytes = sample().encode();
+        bytes[25..29].copy_from_slice(&0u32.to_le_bytes());
+        let err = RunReport::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::BadSiteCount {
+                    at: 25,
+                    n_sites: 0,
+                    observations: 5,
+                }
+            ),
+            "{err:?}"
+        );
+        // Hints alone (no observations) still name sites: also rejected.
+        let hints_only = RunReport {
+            n_sites: 0,
+            overflow_obs: Vec::new(),
+            dangling_obs: Vec::new(),
+            pad_hints: vec![(0xB06, 36)],
+            defer_hints: Vec::new(),
+            ..sample()
+        };
+        assert!(
+            matches!(
+                RunReport::decode(&hints_only.encode()),
+                Err(WireError::BadSiteCount {
+                    n_sites: 0,
+                    observations: 1,
+                    ..
+                })
+            ),
+            "a pad hint from a run claiming zero sites was accepted"
+        );
+        // Zero sites with nothing site-naming (an empty run) stays legal.
+        let empty = RunReport {
+            n_sites: 0,
+            overflow_obs: Vec::new(),
+            dangling_obs: Vec::new(),
+            pad_hints: Vec::new(),
+            defer_hints: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(RunReport::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_summary_clamps_site_population_to_the_wire_cap() {
+        let summary = RunSummary {
+            n_sites: usize::MAX,
+            ..sample().to_summary()
+        };
+        let report = RunReport::from_summary(1, 0, &summary);
+        assert_eq!(report.n_sites, 1 << 20);
+        // And the clamped report survives its own wire format.
+        assert!(RunReport::decode(&report.encode()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! The remote caller's view: a [`NetClient`] connection with the
+//! [`JobTicket`](exterminator::frontend::JobTicket)-shaped API.
+//!
+//! [`NetClient::submit`] returns a [`NetTicket`]; the remote caller
+//! overlaps its own work with the server's replicas and collects via
+//! [`NetTicket::wait_verdict`] (the streaming quorum verdict, typically
+//! arriving while stragglers still run) and [`NetTicket::wait`] (the
+//! finalized [`WireOutcome`]). Because the server pushes verdict and
+//! outcome frames per job while the client may be mid-request, the
+//! connection state buffers pushed frames by job id: whichever method
+//! reads a frame that belongs to another job parks it for that job's
+//! ticket.
+//!
+//! The same connection multiplexes the fleet path:
+//! [`NetClient::ingest_report`] ships a compact `XTR1` run report (the §5
+//! "few kilobytes per execution" unit) and [`NetClient::pull_epoch`]
+//! fetches the server's newest patch epoch — so a remote client can
+//! detect locally, report remotely, and adopt the fleet's corrections,
+//! all over one socket.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+
+use xt_faults::FaultSpec;
+use xt_fleet::frame::{Frame, FrameError, WireError};
+use xt_fleet::RunReport;
+use xt_patch::PatchEpoch;
+use xt_workloads::WorkloadInput;
+
+use crate::proto::{Msg, SubmitJob, WireOutcome, WireReceipt, WireVerdict};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The server sent bytes that do not decode.
+    Malformed(WireError),
+    /// The server closed the connection.
+    Disconnected,
+    /// The server answered a request with [`Msg::Error`].
+    Remote(String),
+    /// The server sent a well-formed message that violates the
+    /// request/reply protocol (e.g. a reply of the wrong kind).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Malformed(e) => write!(f, "malformed server message: {e}"),
+            NetError::Disconnected => write!(f, "server closed the connection"),
+            NetError::Remote(m) => write!(f, "server rejected the request: {m}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Malformed(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => NetError::Io(e),
+            FrameError::Malformed(e) => NetError::Malformed(e),
+        }
+    }
+}
+
+/// Connection state: the socket plus push buffers. All client and ticket
+/// methods serialize on one lock, so exactly one thread reads the socket
+/// at a time and every pushed frame ends up in the right buffer.
+struct ClientConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Verdicts pushed for jobs nobody has waited on yet.
+    verdicts: HashMap<u64, Option<WireVerdict>>,
+    /// Outcomes pushed for jobs nobody has waited on yet.
+    outcomes: HashMap<u64, WireOutcome>,
+    /// Jobs whose ticket was dropped before collecting the outcome:
+    /// their remaining pushed frames are discarded on arrival instead of
+    /// parked, so abandoning tickets on a long-lived connection cannot
+    /// grow the buffers without bound. An entry lives until the job's
+    /// outcome (its final frame) arrives.
+    abandoned: HashSet<u64>,
+}
+
+impl ClientConn {
+    fn send(&mut self, msg: &Msg) -> Result<(), NetError> {
+        msg.to_frame().write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_msg(&mut self) -> Result<Msg, NetError> {
+        match Frame::read_from(&mut self.reader) {
+            Ok(Some(frame)) => Ok(Msg::from_frame(&frame)?),
+            Ok(None) => Err(NetError::Disconnected),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Parks a pushed frame in its job buffer (or discards it for an
+    /// abandoned job); returns non-push messages.
+    fn buffer_or_return(&mut self, msg: Msg) -> Option<Msg> {
+        match msg {
+            Msg::Verdict { job, verdict } => {
+                if !self.abandoned.contains(&job) {
+                    self.verdicts.insert(job, verdict);
+                }
+                None
+            }
+            Msg::Outcome(outcome) => {
+                // The outcome is a job's final frame: an abandoned
+                // job's bookkeeping ends here.
+                if !self.abandoned.remove(&outcome.job) {
+                    self.outcomes.insert(outcome.job, outcome);
+                }
+                None
+            }
+            other => Some(other),
+        }
+    }
+
+    /// Reads until a request reply arrives, parking pushed frames.
+    fn read_reply(&mut self) -> Result<Msg, NetError> {
+        loop {
+            let msg = self.read_msg()?;
+            if let Some(reply) = self.buffer_or_return(msg) {
+                return Ok(reply);
+            }
+        }
+    }
+}
+
+/// A connection to a [`NetFrontend`](crate::server::NetFrontend).
+/// Cheap to clone (both halves share the connection); methods take
+/// `&self` and serialize internally, so one client may be shared across
+/// threads — though separate clients get separate connections and more
+/// parallelism.
+#[derive(Clone)]
+pub struct NetClient {
+    conn: Arc<Mutex<ClientConn>>,
+}
+
+impl NetClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        // Whole frames are written and flushed as units; Nagle would
+        // only add delayed-ACK stalls to every request round trip.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(NetClient {
+            conn: Arc::new(Mutex::new(ClientConn {
+                writer,
+                reader,
+                verdicts: HashMap::new(),
+                outcomes: HashMap::new(),
+                abandoned: HashSet::new(),
+            })),
+        })
+    }
+
+    /// Frames and abandonment records currently parked in this
+    /// connection's push buffers (diagnostic; a long-lived client that
+    /// collects or drops every ticket should see this return to 0
+    /// between batches).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        let conn = self.lock();
+        conn.verdicts.len() + conn.outcomes.len() + conn.abandoned.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ClientConn> {
+        self.conn.lock().expect("client connection lock poisoned")
+    }
+
+    /// Submits one job and returns its ticket. The server replies with
+    /// the front-end's global sequence number, which fully determines
+    /// the outcome (see the determinism pin in `tests/net.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server-side rejection.
+    pub fn submit(
+        &self,
+        input: &WorkloadInput,
+        fault: Option<FaultSpec>,
+    ) -> Result<NetTicket, NetError> {
+        let mut conn = self.lock();
+        conn.send(&Msg::Submit(SubmitJob {
+            input: input.clone(),
+            fault,
+        }))?;
+        match conn.read_reply()? {
+            Msg::Accepted { job } => Ok(NetTicket {
+                job,
+                conn: Some(Arc::clone(&self.conn)),
+            }),
+            Msg::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Protocol(format!(
+                "expected Accepted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ships one run report into the server's fleet service.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server-side rejection (e.g. the report
+    /// failed the server's wire validation).
+    pub fn ingest_report(&self, report: &RunReport) -> Result<WireReceipt, NetError> {
+        let mut conn = self.lock();
+        conn.send(&Msg::Report(report.encode()))?;
+        match conn.read_reply()? {
+            Msg::ReportAck(receipt) => Ok(receipt),
+            Msg::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Protocol(format!(
+                "expected ReportAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's newest patch epoch if it is newer than
+    /// `have`; `None` means the client is already current.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or an epoch payload that fails to parse.
+    pub fn pull_epoch(&self, have: u64) -> Result<Option<PatchEpoch>, NetError> {
+        let mut conn = self.lock();
+        conn.send(&Msg::EpochPull { have })?;
+        match conn.read_reply()? {
+            Msg::Epoch { epoch: None } => Ok(None),
+            Msg::Epoch { epoch: Some(text) } => PatchEpoch::from_text(&text)
+                .map(Some)
+                .map_err(|e| NetError::Protocol(format!("unparseable epoch payload: {e}"))),
+            Msg::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Protocol(format!("expected Epoch, got {other:?}"))),
+        }
+    }
+}
+
+/// A per-job completion handle for a remote submission — the wire
+/// counterpart of [`JobTicket`](exterminator::frontend::JobTicket).
+/// Dropping a ticket abandons the outcome: the job still runs to
+/// completion server-side, and the connection discards its remaining
+/// pushed frames on arrival instead of buffering them, so dropped
+/// tickets cost no memory on a long-lived connection.
+pub struct NetTicket {
+    job: u64,
+    /// `Some` while the outcome is still collectible; taken by
+    /// [`NetTicket::wait`] so the drop glue knows consumed tickets from
+    /// abandoned ones.
+    conn: Option<Arc<Mutex<ClientConn>>>,
+}
+
+impl NetTicket {
+    /// The front-end's global sequence number for this submission (also
+    /// the seed index its replicas derive heap seeds from).
+    #[must_use]
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    fn conn(&self) -> &Arc<Mutex<ClientConn>> {
+        self.conn.as_ref().expect("ticket not yet consumed")
+    }
+
+    /// Blocks until this job's streaming quorum verdict arrives: the
+    /// output the paper's voter would release while stragglers are still
+    /// executing, or `None` if the job completed with every replica
+    /// disagreeing.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failure, or an out-of-protocol frame.
+    pub fn wait_verdict(&self) -> Result<Option<WireVerdict>, NetError> {
+        let mut conn = self.conn().lock().expect("client connection lock poisoned");
+        loop {
+            if let Some(verdict) = conn.verdicts.get(&self.job) {
+                return Ok(verdict.clone());
+            }
+            let msg = conn.read_msg()?;
+            if let Some(reply) = conn.buffer_or_return(msg) {
+                return Err(NetError::Protocol(format!(
+                    "unexpected reply while waiting for a verdict: {reply:?}"
+                )));
+            }
+        }
+    }
+
+    /// Blocks until this job's finalized outcome arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failure, or an out-of-protocol frame.
+    pub fn wait(mut self) -> Result<WireOutcome, NetError> {
+        let arc = self.conn.take().expect("ticket not yet consumed");
+        let mut conn = arc.lock().expect("client connection lock poisoned");
+        loop {
+            if let Some(outcome) = conn.outcomes.remove(&self.job) {
+                // The verdict buffer entry (if any) is dead weight once
+                // the outcome is consumed.
+                conn.verdicts.remove(&self.job);
+                return Ok(outcome);
+            }
+            let msg = conn.read_msg()?;
+            if let Some(reply) = conn.buffer_or_return(msg) {
+                return Err(NetError::Protocol(format!(
+                    "unexpected reply while waiting for an outcome: {reply:?}"
+                )));
+            }
+        }
+    }
+}
+
+impl Drop for NetTicket {
+    fn drop(&mut self) {
+        // Only an unconsumed ticket (wait() never called) marks its job
+        // abandoned; wait() takes the connection out first.
+        let Some(arc) = self.conn.take() else {
+            return;
+        };
+        // No `expect` here: drop glue must not double-panic while
+        // unwinding past a poisoned connection.
+        let Ok(mut conn) = arc.lock() else {
+            return;
+        };
+        conn.verdicts.remove(&self.job);
+        if conn.outcomes.remove(&self.job).is_none() {
+            // Outcome not yet arrived: remember to discard it (and any
+            // verdict) when it does.
+            conn.abandoned.insert(self.job);
+        }
+    }
+}

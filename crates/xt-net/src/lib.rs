@@ -1,0 +1,50 @@
+//! The network front door: wire-protocol job submission for the
+//! replicated runtime.
+//!
+//! The paper's deployment story (§5, §6.4) is distributed: many machines
+//! run patched replicas and exchange a-few-kilobytes reports with an
+//! aggregator. PR 4's [`PoolFrontend`](exterminator::frontend::
+//! PoolFrontend) built the server side of that picture *in-process*;
+//! this crate puts a real socket in front of it. Three message families
+//! share one framed TCP connection (module [`proto`]):
+//!
+//! 1. **Job submission** — a [`WorkloadInput`](xt_workloads::
+//!    WorkloadInput) (plus optional fault, for attack traffic in demos
+//!    and tests) goes in; the front-end's global sequence number comes
+//!    back. That number, not the connection or the read interleaving,
+//!    seeds the replicas — so remote outcomes are byte-identical to the
+//!    same inputs submitted in-process serially, pinned by digest in
+//!    `tests/net.rs`.
+//! 2. **Streaming results** — the server pushes the quorum verdict the
+//!    moment the streaming voter declares (stragglers still running),
+//!    then the finalized outcome. [`NetClient`] exposes both through the
+//!    [`JobTicket`](exterminator::frontend::JobTicket)-shaped
+//!    [`NetTicket`] (`wait_verdict` / `wait`).
+//! 3. **The fleet path** — `XTR1` run reports ingest into the server's
+//!    co-located [`FleetService`](xt_fleet::FleetService) and epochs are
+//!    pulled back, multiplexed over the same connection; a newly
+//!    published epoch also fans straight into the server's own pools
+//!    ([`bridge::ingest_and_sync`](xt_fleet::bridge::ingest_and_sync)),
+//!    so remote evidence heals the server.
+//!
+//! Everything on the wire rides the shared length-prefixed frame layer
+//! ([`xt_fleet::frame`]) and validates **with byte offsets**: these
+//! bytes cross a trust boundary, and a rejected frame that names "bad
+//! boolean byte 0x3 at offset 4" pinpoints corruption, truncation, or
+//! version skew where a bare "bad message" cannot — the same argument
+//! `xt_fleet::wire` makes for report payloads, now applied to every
+//! message family. Length prefixes are capped before allocation, so a
+//! hostile frame cannot buy gigabytes with four bytes.
+//!
+//! Backpressure follows the PR 4 queue discipline end to end: the
+//! accept loop blocks on a bounded connection budget, submissions block
+//! on the front-end's bounded queues, and nothing grows without bound —
+//! a burst degrades to waiting, never to OOM.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{NetClient, NetError, NetTicket};
+pub use proto::{Msg, SubmitJob, WireOutcome, WireReceipt, WireReplica, WireVerdict};
+pub use server::{NetConfig, NetFrontend, NetStats};

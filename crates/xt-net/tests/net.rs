@@ -1,0 +1,440 @@
+//! End-to-end pins for the network front door.
+//!
+//! The load-bearing claims, each tested over real localhost sockets:
+//!
+//! 1. **Determinism survives the wire.** The same input batch submitted
+//!    (a) in-process through a serial [`ReplicaPool`] and (b) by several
+//!    concurrent [`NetClient`]s yields byte-identical outcome digests
+//!    once sorted by the front-end's global sequence — the socket layer,
+//!    like the queue layer before it, decides only *arrival order*.
+//! 2. **Streaming results stream.** A remote client receives the quorum
+//!    verdict while a deliberately slowed replica is still executing.
+//! 3. **The fleet loop closes over the socket.** A remote client's
+//!    failure evidence (compact `XTR1` reports over the same connection)
+//!    mints epochs that heal the server's own pools, and the client
+//!    pulls those epochs back.
+//! 4. **Hostile bytes are contained.** Malformed frames and hostile
+//!    nested reports are rejected with offset-bearing errors, counted,
+//!    and never take the server down.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use exterminator::pool::{PoolConfig, ReplicaPool, Straggler};
+use exterminator::summarized_run;
+use xt_alloc::AllocTime;
+use xt_faults::{FaultKind, FaultSpec};
+use xt_fleet::frame::{Frame, FRAME_MAGIC};
+use xt_fleet::{FleetConfig, RunReport};
+use xt_net::{NetClient, NetConfig, NetError, NetFrontend};
+use xt_patch::PatchTable;
+use xt_workloads::{multi_client_sessions, EspressoLike, SquidLike, Workload, WorkloadInput};
+
+/// Pool shape shared by servers and serial references: determinism pins
+/// must exclude auto-patching (patch visibility is completion-order
+/// dependent for a single pool too — same exclusion as
+/// `crates/core/tests/frontend.rs`).
+fn pool_config() -> PoolConfig {
+    PoolConfig {
+        replicas: 3,
+        auto_patch: false,
+        ..PoolConfig::default()
+    }
+}
+
+fn net_config(pools: usize) -> NetConfig {
+    NetConfig {
+        frontend: exterminator::frontend::FrontendConfig {
+            pools,
+            pool: pool_config(),
+            queue_capacity: 3,
+            share_isolated: false,
+            ..exterminator::frontend::FrontendConfig::default()
+        },
+        ..NetConfig::default()
+    }
+}
+
+/// In-process serial reference: one pool, seed index = submission index —
+/// exactly what the front-end's global sequence reproduces, local or
+/// remote.
+fn serial_digests(
+    workload: &(dyn Workload + Sync),
+    inputs: &[WorkloadInput],
+    fault: Option<FaultSpec>,
+) -> Vec<u128> {
+    std::thread::scope(|scope| {
+        let mut pool = ReplicaPool::scoped(scope, workload, pool_config(), PatchTable::new());
+        let outcomes = pool.run_batch(inputs, fault);
+        pool.shutdown();
+        outcomes
+            .iter()
+            .map(exterminator::pool::PoolOutcome::deterministic_digest)
+            .collect()
+    })
+}
+
+/// The acceptance pin: 3 concurrent remote clients over real sockets,
+/// byte-identical to the serial in-process run of the same inputs in
+/// arrival order.
+#[test]
+fn concurrent_net_clients_match_in_process_serial_digests() {
+    let workload = SquidLike::new();
+    let sessions = multi_client_sessions(3, 4, 4, None);
+    let server =
+        NetFrontend::bind(SquidLike::new(), "127.0.0.1:0", net_config(2)).expect("bind localhost");
+    let addr = server.local_addr();
+
+    let collected: Mutex<Vec<(u64, WorkloadInput, u128)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for session in &sessions {
+            let collected = &collected;
+            scope.spawn(move || {
+                let client = NetClient::connect(addr).expect("connect");
+                for input in session {
+                    let ticket = client.submit(input, None).expect("submit");
+                    let seq = ticket.job();
+                    let outcome = ticket.wait().expect("outcome");
+                    assert_eq!(outcome.job, seq, "ticket/outcome sequence mismatch");
+                    assert!(outcome.unanimous, "benign traffic diverged");
+                    collected.lock().expect("collection lock").push((
+                        seq,
+                        input.clone(),
+                        outcome.digest,
+                    ));
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.connections, 3);
+    assert_eq!(stats.jobs, 12);
+    assert_eq!(stats.rejected, 0);
+    server.shutdown();
+
+    let mut collected = collected.into_inner().expect("collection lock");
+    collected.sort_by_key(|(seq, _, _)| *seq);
+    // Global sequence numbers are exactly 0..N: nothing lost, nothing
+    // invented, whichever connection carried each input.
+    for (i, (seq, _, _)) in collected.iter().enumerate() {
+        assert_eq!(*seq, i as u64, "sequence numbers have gaps");
+    }
+    let arrival_inputs: Vec<WorkloadInput> = collected
+        .iter()
+        .map(|(_, input, _)| input.clone())
+        .collect();
+    let reference = serial_digests(&workload, &arrival_inputs, None);
+    for ((seq, _, digest), expected) in collected.iter().zip(&reference) {
+        assert_eq!(
+            digest, expected,
+            "job {seq} diverged from its in-process serial replay"
+        );
+    }
+}
+
+/// Fault-bearing traffic through the wire: voting, isolation, and patch
+/// generation all happen server-side, and the digests still pin to the
+/// serial reference (the wire outcome also carries the patch text, which
+/// must parse back into a table containing the overflow's pad).
+#[test]
+fn remote_attack_batch_matches_serial_reference_and_carries_patches() {
+    let workload = EspressoLike::new();
+    let inputs: Vec<WorkloadInput> = (0..6).map(WorkloadInput::with_seed).collect();
+    let fault = FaultSpec {
+        kind: FaultKind::BufferOverflow {
+            delta: 8,
+            fill: 0x44,
+        },
+        trigger: AllocTime::from_raw(90),
+    };
+    let reference = serial_digests(&workload, &inputs, Some(fault));
+
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", net_config(2))
+        .expect("bind localhost");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    // Pipelined: all tickets first, then collect (frames demultiplex by
+    // job id).
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|input| client.submit(input, Some(fault)).expect("submit"))
+        .collect();
+    let mut saw_error = false;
+    for (ticket, expected) in tickets.into_iter().zip(&reference) {
+        let outcome = ticket.wait().expect("outcome");
+        assert_eq!(&outcome.digest, expected, "job {} diverged", outcome.job);
+        if outcome.error_observed {
+            saw_error = true;
+            assert!(outcome.isolated, "an observed error should isolate");
+            let patches = PatchTable::from_text(&outcome.patches).expect("patch text parses");
+            assert!(
+                patches.pads().any(|(_, pad)| pad >= 8),
+                "no pad covering the 8-byte overflow in {:?}",
+                outcome.patches
+            );
+        }
+    }
+    assert!(saw_error, "the injected overflow never manifested");
+    drop(client);
+    server.shutdown();
+}
+
+/// The streaming claim: with one replica deliberately slowed, the remote
+/// verdict arrives while that straggler is still executing (`outstanding
+/// > 0`), and the finalized outcome follows.
+#[test]
+fn remote_verdict_streams_before_stragglers_finish() {
+    let mut config = net_config(1);
+    config.frontend.pool.straggler = Some(Straggler {
+        replica: 2,
+        delay: std::time::Duration::from_millis(40),
+    });
+    let server =
+        NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config).expect("bind localhost");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let ticket = client
+        .submit(&WorkloadInput::with_seed(5), None)
+        .expect("submit");
+    let verdict = ticket
+        .wait_verdict()
+        .expect("verdict frame")
+        .expect("clean replicas reach quorum");
+    assert!(
+        verdict.outstanding >= 1,
+        "verdict arrived only after every replica finished"
+    );
+    assert!(!verdict.output.is_empty());
+    let outcome = ticket.wait().expect("outcome");
+    assert!(outcome.unanimous, "straggler diverged");
+    drop(client);
+    server.shutdown();
+}
+
+/// Shutdown liveness: a client that stays connected but idle must not
+/// wedge `NetFrontend::shutdown` — the connection handler's read loop
+/// wakes on its poll interval, notices the stop flag, and exits.
+#[test]
+fn shutdown_returns_while_a_client_stays_connected() {
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", net_config(1))
+        .expect("bind localhost");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    // Prove the connection is live, then go idle without closing it.
+    let outcome = client
+        .submit(&WorkloadInput::with_seed(3), None)
+        .expect("submit")
+        .wait()
+        .expect("outcome");
+    assert!(outcome.unanimous);
+
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "shutdown hung on an idle connection for {:?}",
+        start.elapsed()
+    );
+    drop(client);
+}
+
+/// Buffer hygiene on a long-lived connection: dropped tickets' pushed
+/// frames are discarded on arrival, never parked forever, so abandoning
+/// outcomes cannot grow client memory without bound.
+#[test]
+fn dropped_tickets_do_not_leak_push_buffers() {
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", net_config(1))
+        .expect("bind localhost");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+
+    // Abandon a handful of jobs outright (fire-and-forget traffic).
+    for seed in 0..4 {
+        let ticket = client
+            .submit(&WorkloadInput::with_seed(seed), None)
+            .expect("submit");
+        drop(ticket);
+    }
+    // A collected job after them: its wait() reads past (and discards)
+    // every abandoned job's verdict and outcome frames, which the
+    // server pushes in submission order on this connection.
+    let outcome = client
+        .submit(&WorkloadInput::with_seed(99), None)
+        .expect("submit")
+        .wait()
+        .expect("outcome");
+    assert!(outcome.unanimous);
+    assert_eq!(
+        client.buffered(),
+        0,
+        "abandoned jobs left state parked in the client connection"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+/// §6.4 over a real socket: the server's front-end (self-patching
+/// disabled) is healed purely by epochs minted from evidence a *remote*
+/// client shipped over the same connection it submits jobs on.
+#[test]
+fn remote_reports_heal_the_server() {
+    let workload = EspressoLike::new();
+    let input = WorkloadInput::with_seed(21).intensity(3);
+    // The screened cold-site overflow (see xt-fleet/tests/frontend_loop.rs
+    // for why a deterministic-healing overflow, not a dangling fault, is
+    // the right loop-closure demo).
+    let fault = FaultSpec {
+        kind: FaultKind::BufferOverflow {
+            delta: 20,
+            fill: 0xEE,
+        },
+        trigger: AllocTime::from_raw(239),
+    };
+    let mut config = net_config(2);
+    config.fleet = FleetConfig {
+        shards: 4,
+        publish_every: 8,
+        ..FleetConfig::default()
+    };
+    let fill = config.fleet.isolator.fill_probability;
+    let server =
+        NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config).expect("bind localhost");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let mut epoch = 0u64;
+    let mut patches = PatchTable::new();
+    let mut next_seq = 0u32;
+    let mut failures_reported = 0u32;
+    let mut healed = false;
+    for _round in 0..40 {
+        // Adopt the newest epoch before serving, like a deployed client.
+        if let Some(newer) = client.pull_epoch(epoch).expect("epoch pull") {
+            epoch = newer.number;
+            patches.merge(&newer.patches);
+        }
+        let outcome = client
+            .submit(&input, Some(fault))
+            .expect("submit")
+            .wait()
+            .expect("outcome");
+        if outcome.error_observed {
+            // Local cumulative probes, shipped as ordinary wire reports —
+            // the §5 "few kilobytes per execution" path, remote edition.
+            for _probe in 0..8 {
+                let run = summarized_run(
+                    &workload,
+                    &input,
+                    Some(fault),
+                    patches.clone(),
+                    0xF1EE7 ^ (u64::from(next_seq) << 8),
+                    fill,
+                    2.0,
+                );
+                let report = RunReport::from_summary(77, next_seq, &run.summary);
+                next_seq += 1;
+                let receipt = client.ingest_report(&report).expect("report ack");
+                assert!(!receipt.duplicate, "fresh probe deduplicated");
+            }
+            failures_reported += 1;
+        } else if !patches.is_empty() {
+            // Served cleanly under fleet-fed patches: healed.
+            healed = true;
+            break;
+        }
+    }
+    assert!(failures_reported >= 1, "the fault never manifested");
+    assert!(
+        healed,
+        "remote evidence never healed the server (epoch {epoch}, reports {})",
+        server.stats().reports
+    );
+    assert!(epoch >= 1, "no epoch was ever pulled");
+    assert!(
+        patches.pads().any(|(_, pad)| pad >= 20),
+        "correction must pad the 20-byte delta"
+    );
+    let stats = server.stats();
+    assert!(stats.reports >= 8, "reports were not counted");
+    drop(client);
+    server.shutdown();
+}
+
+/// Hostile-bytes containment at the two trust boundaries: a malformed
+/// frame kills only its own connection (with an offset-bearing error
+/// frame first), and a well-framed but hostile nested report is rejected,
+/// counted, and leaves the connection usable — the server survives both.
+#[test]
+fn malformed_frames_and_hostile_reports_are_contained() {
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", net_config(1))
+        .expect("bind localhost");
+    let addr = server.local_addr();
+
+    // Raw garbage: bad magic.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    let mut buf = Vec::new();
+    let _ = raw.read_to_end(&mut buf); // server closes on us
+    drop(raw);
+
+    // A frame with an unknown kind: the server answers with an Error
+    // frame naming the kind byte, then closes.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    Frame::new(0xEE, vec![1, 2, 3])
+        .write_to(&mut raw)
+        .expect("write");
+    raw.flush().expect("flush");
+    let reply = Frame::read_from(&mut std::io::BufReader::new(
+        raw.try_clone().expect("clone"),
+    ))
+    .expect("read reply")
+    .expect("error frame before close");
+    assert_eq!(reply.kind, xt_net::proto::kind::ERROR);
+    drop(raw);
+
+    // A truncated frame header (magic only), then close: dropped quietly.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(&FRAME_MAGIC).expect("write");
+    drop(raw);
+
+    // A hostile nested report over the real client: rejected remotely
+    // with the wire validator's message, counted, connection intact.
+    let client = NetClient::connect(addr).expect("connect");
+    let hostile = RunReport {
+        client: 666,
+        seq: 0,
+        failed: true,
+        clock: 1,
+        n_sites: u32::MAX,
+        overflow_obs: Vec::new(),
+        dangling_obs: vec![(0xBAD, 0.5, true)],
+        pad_hints: Vec::new(),
+        defer_hints: Vec::new(),
+    };
+    let err = client
+        .ingest_report(&hostile)
+        .expect_err("hostile report accepted");
+    match err {
+        NetError::Remote(message) => {
+            assert!(
+                message.contains("site population"),
+                "rejection lost the validator's diagnosis: {message}"
+            );
+        }
+        other => panic!("expected a remote rejection, got {other:?}"),
+    }
+    assert_eq!(server.service().metrics().rejected_reports, 1);
+
+    // The same connection — and the server as a whole — still serves.
+    let outcome = client
+        .submit(&WorkloadInput::with_seed(1), None)
+        .expect("submit after rejection")
+        .wait()
+        .expect("outcome after rejection");
+    assert!(outcome.unanimous);
+    let stats = server.stats();
+    assert!(
+        stats.rejected >= 2,
+        "rejections were not counted: {stats:?}"
+    );
+    drop(client);
+    server.shutdown();
+}
