@@ -7,9 +7,11 @@
 //! The aggregation side of §5/§6.4: how many client run reports per second
 //! one service instance sustains under concurrent submitters, as a
 //! function of evidence-shard count (1/4/16), plus the latency of
-//! publishing a patch epoch (classify every shard + lattice join). Writes
-//! `BENCH_fleet.json` at the workspace root so future PRs have a
-//! throughput trajectory to compare against.
+//! publishing a patch epoch (classify every shard + lattice join), plus
+//! the durability cost model (WAL-off vs WAL-on ingest over memory and a
+//! real directory, and recovery latency by WAL length vs compacted
+//! snapshot). Writes `BENCH_fleet.json` at the workspace root so future
+//! PRs have a throughput trajectory to compare against.
 //!
 //! The submitters hammer the wire path (`decode` + shard-split + fold),
 //! which is the service's hot loop; delivery dedup is disabled so the same
@@ -18,10 +20,14 @@
 //! reduced lock *contention* (fewer futex round trips); on multi-core they
 //! additionally scale with parallelism.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench::{bench_artifact_path, write_bench_json, BenchRecord};
-use xt_fleet::{FleetConfig, FleetService, RunReport};
+use xt_fleet::{
+    DirStorage, DurabilityConfig, DurableFleet, FleetConfig, FleetService, MemStorage, RunReport,
+};
 
 /// Reports in the replayed corpus.
 const CORPUS: usize = 2048;
@@ -128,6 +134,94 @@ fn ingest_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Reports in the durability series (smaller than [`CORPUS`]: the
+/// dir-backed variant pays a data sync per WAL append).
+const DUR_CORPUS: usize = 512;
+
+fn durable_fleet_config() -> FleetConfig {
+    // dedup_delivery stays on: durable mode requires it, so the WAL-off
+    // floor keeps it too for an apples-to-apples comparison. The corpus
+    // has no duplicate `(client, seq)` pairs, so the dedup path never
+    // triggers; each variant below uses a fresh service per iteration.
+    FleetConfig {
+        shards: 4,
+        publish_every: 0,
+        ..FleetConfig::default()
+    }
+}
+
+const NO_SNAPSHOT: DurabilityConfig = DurabilityConfig { snapshot_every: 0 };
+
+/// The durability cost model: per-report ingest with the WAL off, over
+/// in-memory storage, and over a real directory (append + data sync per
+/// record), plus recovery latency as a function of what the disk holds —
+/// a 512- or 2048-record WAL to replay vs a compacted snapshot.
+fn durability(c: &mut Criterion) {
+    let reports = corpus();
+    let slice = &reports[..DUR_CORPUS];
+    let mut group = c.benchmark_group("durable");
+    group.sample_size(10);
+    // The floor the WAL's cost is measured against: same slice, same
+    // shard count, no durability layer.
+    group.bench_function("ingest_wal_off", |b| {
+        b.iter(|| {
+            let svc = FleetService::new(durable_fleet_config());
+            for bytes in slice {
+                svc.ingest(bytes).expect("corpus reports are valid");
+            }
+        });
+    });
+    group.bench_function("ingest_wal_mem", |b| {
+        b.iter(|| {
+            let fleet = DurableFleet::open(MemStorage::new(), durable_fleet_config(), NO_SNAPSHOT)
+                .expect("open mem-backed fleet");
+            for bytes in slice {
+                fleet.ingest(bytes).expect("corpus reports are valid");
+            }
+        });
+    });
+    let base = std::env::temp_dir().join(format!("xt-bench-durable-{}", std::process::id()));
+    let fresh_dir = AtomicU64::new(0);
+    group.bench_function("ingest_wal_dir", |b| {
+        b.iter(|| {
+            let dir = base.join(fresh_dir.fetch_add(1, Ordering::Relaxed).to_string());
+            let storage = DirStorage::open(&dir).expect("open storage dir");
+            let fleet = DurableFleet::open(storage, durable_fleet_config(), NO_SNAPSHOT)
+                .expect("open dir-backed fleet");
+            for bytes in slice {
+                fleet.ingest(bytes).expect("corpus reports are valid");
+            }
+        });
+    });
+
+    // Recovery: what a restart costs, by what it has to replay.
+    for (name, count, compact) in [
+        ("recover_wal_512", 512usize, false),
+        ("recover_wal_2048", 2048, false),
+        ("recover_snapshot_2048", 2048, true),
+    ] {
+        let disk = MemStorage::new();
+        {
+            let fleet = DurableFleet::open(disk.clone(), durable_fleet_config(), NO_SNAPSHOT)
+                .expect("open prep fleet");
+            for bytes in &reports[..count] {
+                fleet.ingest(bytes).expect("corpus reports are valid");
+            }
+            if compact {
+                fleet.snapshot().expect("compact");
+            }
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                DurableFleet::open(disk.clone(), durable_fleet_config(), NO_SNAPSHOT)
+                    .expect("recover")
+            });
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 fn publish_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet");
     group.sample_size(12);
@@ -200,10 +294,51 @@ fn emit_json(c: &mut Criterion) {
             ops_per_sec: 0.0,
         });
     }
+    // Durability series: ingest cost with the WAL off/on and recovery
+    // latency by storage contents.
+    for name in ["ingest_wal_off", "ingest_wal_mem", "ingest_wal_dir"] {
+        if let Some(ns_iter) = find(format!("durable/{name}")) {
+            let per_report = ns_iter / DUR_CORPUS as f64;
+            let rec = BenchRecord::from_ns(format!("durable/{name}"), per_report);
+            println!(
+                "{name:<22}: {per_report:.0} ns/report, {:.0} reports/sec",
+                rec.ops_per_sec
+            );
+            records.push(rec);
+        }
+    }
+    if let (Some(off), Some(mem)) = (
+        find("durable/ingest_wal_off".into()),
+        find("durable/ingest_wal_mem".into()),
+    ) {
+        let overhead = mem / off;
+        println!("WAL-on (mem) vs WAL-off ingest overhead: {overhead:.2}x");
+        records.push(BenchRecord {
+            name: "durable/wal_mem_overhead".into(),
+            ns_per_op: overhead,
+            ops_per_sec: 0.0,
+        });
+    }
+    for name in [
+        "recover_wal_512",
+        "recover_wal_2048",
+        "recover_snapshot_2048",
+    ] {
+        if let Some(ns) = find(format!("durable/{name}")) {
+            println!("{name:<22}: {:.1} µs/recovery", ns / 1e3);
+            records.push(BenchRecord::from_ns(format!("durable/{name}"), ns));
+        }
+    }
     let path = bench_artifact_path("BENCH_fleet.json");
     write_bench_json(&path, "fleet_throughput", &records).expect("write BENCH_fleet.json");
     println!("wrote {}", path.display());
 }
 
-criterion_group!(benches, ingest_throughput, publish_latency, emit_json);
+criterion_group!(
+    benches,
+    ingest_throughput,
+    durability,
+    publish_latency,
+    emit_json
+);
 criterion_main!(benches);

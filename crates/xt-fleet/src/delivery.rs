@@ -99,6 +99,24 @@ impl ReplayWindow {
     pub fn high_water(&self) -> Option<u32> {
         (self.bits != 0).then_some(self.high)
     }
+
+    /// The raw `(bits, high)` state for snapshot serialization. Together
+    /// with [`ReplayWindow::from_parts`] this is the durability hook: a
+    /// restored window classifies every future sequence number exactly as
+    /// the original would, which is what makes WAL re-ingest after a
+    /// crash idempotent.
+    #[must_use]
+    pub fn to_parts(&self) -> (u128, u32) {
+        (self.bits, self.high)
+    }
+
+    /// Rebuilds a window from [`ReplayWindow::to_parts`] state. `bits ==
+    /// 0` reproduces the never-observed window regardless of `high`, the
+    /// same emptiness convention `observe` relies on.
+    #[must_use]
+    pub fn from_parts(bits: u128, high: u32) -> Self {
+        ReplayWindow { bits, high }
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +176,30 @@ mod tests {
         assert_eq!(w.observe(0), Delivery::Duplicate);
         assert_eq!(w.observe(1), Delivery::Fresh);
         assert_eq!(w.observe(0), Delivery::Duplicate);
+    }
+
+    /// Snapshot/restore round trip: the restored window must classify an
+    /// adversarial probe sequence identically to the original.
+    #[test]
+    fn parts_round_trip_preserves_classification() {
+        let mut w = ReplayWindow::new();
+        for seq in [5u32, 3, 9, 9, 200, 150, 80] {
+            w.observe(seq);
+        }
+        let (bits, high) = w.to_parts();
+        let mut restored = ReplayWindow::from_parts(bits, high);
+        for probe in [0u32, 3, 5, 80, 81, 150, 199, 200, 201, 500] {
+            assert_eq!(
+                w.observe(probe),
+                restored.observe(probe),
+                "restored window diverged at probe {probe}"
+            );
+        }
+        // An empty window round trips to an empty window.
+        let (bits, high) = ReplayWindow::new().to_parts();
+        let mut fresh = ReplayWindow::from_parts(bits, high);
+        assert_eq!(fresh.high_water(), None);
+        assert_eq!(fresh.observe(0), Delivery::Fresh);
     }
 
     /// The whole point of the type: constant size, regardless of traffic.

@@ -77,6 +77,15 @@ pub enum WireError {
         /// same report carries.
         observations: u64,
     },
+    /// An evidence grid's node count disagrees with the snapshot's
+    /// declared integration grid — restoring it would corrupt every later
+    /// evidence merge (Simpson states only combine on one grid).
+    BadGrid {
+        /// Byte offset of the node-count prefix.
+        at: usize,
+        /// The node count found.
+        nodes: u32,
+    },
     /// A message kind byte no decoder recognizes.
     BadKind {
         /// Byte offset of the kind byte.
@@ -125,6 +134,13 @@ impl std::fmt::Display for WireError {
                     f,
                     "implausible site population {n_sites} at offset {at} \
                      (report carries {observations} observations)"
+                )
+            }
+            WireError::BadGrid { at, nodes } => {
+                write!(
+                    f,
+                    "evidence grid of {nodes} nodes at offset {at} does not \
+                     match the snapshot's integration grid"
                 )
             }
             WireError::BadKind { at, kind } => {

@@ -38,12 +38,37 @@
 //!    re-run under cumulative instrumentation and submitted through the
 //!    identical wire path, and published epochs fan back out to every
 //!    pool of the front-end.
+//!
+//! # Durability
+//!
+//! The in-memory service forgets everything on restart. [`DurableFleet`]
+//! (module [`wal`]) persists it through any [`Storage`] (module
+//! [`storage`]):
+//!
+//! * **WAL format** — each record is `kind (u8) ∥ lsn (u64 LE) ∥
+//!   payload-len (u32 LE) ∥ FNV-1a-64 checksum (u64 LE) ∥ payload`; kind
+//!   0 carries the report's own `XTR1` encoding, kind 1 is an explicit
+//!   publish. Every report is appended *before* it is folded.
+//! * **Snapshot cadence** — after `snapshot_every` fresh reports (or on
+//!   request) the full state is exported as a canonical [`FleetSnapshot`]
+//!   (`XTS1`), atomically replaced on storage, and the WAL reset. The
+//!   snapshot records the highest LSN it folded, so recovery skips any
+//!   WAL overlap a crash between the two steps leaves behind.
+//! * **Recovery invariant** — reopen = snapshot + truncate torn tail
+//!   (checksums) + replay tail; restored
+//!   [`ReplayWindow`]s make replay and client retries idempotent. The
+//!   crash-injection property test (`tests/durability.rs`) sweeps a
+//!   seeded fault across every storage operation and asserts the
+//!   recovered [`FleetService::state_digest`] and all subsequent
+//!   outcomes are byte-identical to a run that never crashed.
 
 pub mod bridge;
 pub mod delivery;
 pub mod frame;
 pub mod service;
 pub mod simulator;
+pub mod storage;
+pub mod wal;
 pub mod wire;
 
 /// SplitMix64 finalizer — the one mixer behind every seed derivation in
@@ -57,6 +82,8 @@ pub(crate) fn splitmix_finalize(mut z: u64) -> u64 {
 
 pub use delivery::{Delivery, ReplayWindow};
 pub use frame::{Frame, FrameError, Reader};
-pub use service::{FleetConfig, FleetMetrics, FleetService, IngestReceipt};
+pub use service::{FleetConfig, FleetMetrics, FleetService, IngestReceipt, RestoreError};
 pub use simulator::{FaultConvergence, FleetOutcome, FleetSimulator, SimConfig};
-pub use wire::{RunReport, WireError};
+pub use storage::{DirStorage, FaultMode, FaultyStorage, MemStorage, Storage};
+pub use wal::{DurabilityConfig, DurabilityError, DurableFleet};
+pub use wire::{EvidenceRecord, FleetSnapshot, RunReport, WireError};

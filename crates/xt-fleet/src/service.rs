@@ -49,11 +49,11 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuar
 
 use xt_alloc::{SiteHash, SitePair};
 use xt_isolate::cumulative::CumulativeConfig;
-use xt_isolate::evidence::EvidenceTable;
-use xt_patch::{PatchEpoch, PatchTable};
+use xt_isolate::evidence::{EvidenceTable, SiteEvidence};
+use xt_patch::{PatchEpoch, PatchParseError, PatchTable};
 
 use crate::delivery::ReplayWindow;
-use crate::wire::{RunReport, WireError};
+use crate::wire::{EvidenceRecord, FleetSnapshot, RunReport, WireError};
 
 /// Service configuration.
 #[derive(Clone, Copy, Debug)]
@@ -127,6 +127,17 @@ pub struct FleetMetrics {
     /// docs); a nonzero value means the service survived a crash that
     /// would previously have been fatal forever.
     pub lock_recoveries: u64,
+    /// WAL records appended by the durability layer (0 for a plain
+    /// in-memory service — these four counters are populated by
+    /// [`DurableFleet`](crate::wal::DurableFleet)).
+    pub wal_appends: u64,
+    /// Compacted snapshots written by the durability layer.
+    pub snapshots_written: u64,
+    /// Times this state was rebuilt from storage after a crash (1 after a
+    /// recovery; a freshly created store opens with 0).
+    pub recoveries: u64,
+    /// Torn WAL tails detected by checksum and truncated during recovery.
+    pub torn_tail_truncated: u64,
 }
 
 /// The sharded collaborative-correction service. All methods take `&self`;
@@ -236,10 +247,16 @@ impl FleetService {
     /// the rejection is only counted
     /// ([`FleetMetrics::rejected_reports`]).
     pub fn ingest(&self, bytes: &[u8]) -> Result<IngestReceipt, WireError> {
-        let report = RunReport::decode(bytes).inspect_err(|_| {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-        })?;
+        let report = RunReport::decode(bytes).inspect_err(|_| self.note_rejected())?;
         Ok(self.ingest_report(&report))
+    }
+
+    /// Counts a malformed report rejected before decode reached the
+    /// service — the durability layer validates bytes itself (a rejected
+    /// report must never touch the WAL) but the rejection still belongs
+    /// in these metrics.
+    pub(crate) fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Ingests one decoded report.
@@ -398,9 +415,199 @@ impl FleetService {
                 .map(|s| self.lock_recovering(s).len())
                 .sum(),
             lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
+            ..FleetMetrics::default()
+        }
+    }
+
+    /// Exports the service's durable state as a compacted
+    /// [`FleetSnapshot`] with canonically sorted collections (evidence
+    /// and hints by site, windows by client), so the encoding — and
+    /// therefore [`FleetService::state_digest`] — is independent of the
+    /// shard layout.
+    ///
+    /// Takes the publish lock (no epoch can be minted mid-export) and
+    /// each shard lock in turn. Concurrent *ingestion* is not blocked —
+    /// a caller that needs a point-in-time image (the durability layer)
+    /// must quiesce ingest itself, which
+    /// [`DurableFleet`](crate::wal::DurableFleet) does by serializing
+    /// snapshots and ingest under one lock.
+    #[must_use]
+    pub fn export_snapshot(&self) -> FleetSnapshot {
+        let _publisher = self.lock_recovering(&self.publish_lock);
+        let (epoch, epoch_reports) = self.latest_with_reports();
+        let mut overflow = Vec::new();
+        let mut dangling = Vec::new();
+        let mut pad_hints = Vec::new();
+        let mut defer_hints = Vec::new();
+        let record = |site: SiteHash, e: &SiteEvidence| {
+            let (obs, l0, grid) = e.raw_parts();
+            EvidenceRecord {
+                site: site.raw(),
+                obs: obs as u64,
+                l0,
+                grid: grid.to_vec(),
+            }
+        };
+        for shard in &self.shards {
+            let shard = self.lock_recovering(shard);
+            overflow.extend(shard.overflow_evidence().map(|(s, e)| record(s, e)));
+            dangling.extend(shard.dangling_evidence().map(|(s, e)| record(s, e)));
+            pad_hints.extend(shard.pad_hint_entries().map(|(s, p)| (s.raw(), p)));
+            defer_hints.extend(
+                shard
+                    .defer_hint_entries()
+                    .map(|(pair, t)| (pair.alloc.raw(), pair.free.raw(), t)),
+            );
+        }
+        // Each site (and each hint key) lives in exactly one shard, so
+        // sorting yields a canonical, duplicate-free order.
+        overflow.sort_unstable_by_key(|r| r.site);
+        dangling.sort_unstable_by_key(|r| r.site);
+        pad_hints.sort_unstable();
+        defer_hints.sort_unstable();
+        let mut windows = Vec::new();
+        for seen in &self.seen {
+            windows.extend(self.lock_recovering(seen).iter().map(|(&client, w)| {
+                let (bits, high) = w.to_parts();
+                (client, bits, high)
+            }));
+        }
+        windows.sort_unstable_by_key(|&(client, _, _)| client);
+        FleetSnapshot {
+            reports: self.reports.load(Ordering::Relaxed),
+            failed_reports: self.failed_reports.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            rejected_reports: self.rejected.load(Ordering::Relaxed),
+            pending: self.pending.load(Ordering::Relaxed),
+            epoch_reports,
+            n_sites: self.n_sites.load(Ordering::Relaxed) as u64,
+            integration_steps: u32::try_from(self.config.isolator.integration_steps)
+                .unwrap_or(u32::MAX),
+            epoch_text: epoch.to_text(),
+            windows,
+            overflow,
+            dangling,
+            pad_hints,
+            defer_hints,
+        }
+    }
+
+    /// Rebuilds a service from a snapshot: counters, epoch, evidence
+    /// (re-sharded under `config.shards`, which may differ from the
+    /// exporting service's), and per-client replay windows. The restored
+    /// windows are what make replaying an overlapping WAL tail after
+    /// recovery idempotent — already-accepted `(client, seq)` pairs are
+    /// classified as duplicates and dropped, not re-folded.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::GridMismatch`] if the snapshot's evidence grids
+    /// were accumulated under a different `integration_steps` than
+    /// `config` uses (running-product states are only combinable on one
+    /// grid), [`RestoreError::BadEpoch`] if the epoch text does not
+    /// parse.
+    pub fn from_snapshot(config: FleetConfig, snap: &FleetSnapshot) -> Result<Self, RestoreError> {
+        let normalize = |steps: usize| steps.max(2) & !1;
+        if normalize(snap.integration_steps as usize)
+            != normalize(config.isolator.integration_steps)
+        {
+            return Err(RestoreError::GridMismatch {
+                snapshot: snap.integration_steps,
+                config: config.isolator.integration_steps,
+            });
+        }
+        let epoch = PatchEpoch::from_text(&snap.epoch_text).map_err(RestoreError::BadEpoch)?;
+        let service = FleetService::new(config);
+        *service.epoch_write() = (Arc::new(epoch), snap.epoch_reports);
+        service.reports.store(snap.reports, Ordering::Relaxed);
+        service
+            .failed_reports
+            .store(snap.failed_reports, Ordering::Relaxed);
+        service.duplicates.store(snap.duplicates, Ordering::Relaxed);
+        service
+            .rejected
+            .store(snap.rejected_reports, Ordering::Relaxed);
+        service.pending.store(snap.pending, Ordering::Relaxed);
+        service.n_sites.store(
+            usize::try_from(snap.n_sites).unwrap_or(usize::MAX).max(1),
+            Ordering::Relaxed,
+        );
+        for rec in &snap.overflow {
+            let site = SiteHash::from_raw(rec.site);
+            let evidence = SiteEvidence::from_raw_parts(rec.obs as usize, rec.l0, rec.grid.clone());
+            service
+                .lock_recovering(&service.shards[service.shard_of(site)])
+                .insert_overflow_evidence(site, evidence);
+        }
+        for rec in &snap.dangling {
+            let site = SiteHash::from_raw(rec.site);
+            let evidence = SiteEvidence::from_raw_parts(rec.obs as usize, rec.l0, rec.grid.clone());
+            service
+                .lock_recovering(&service.shards[service.shard_of(site)])
+                .insert_dangling_evidence(site, evidence);
+        }
+        for &(site, pad) in &snap.pad_hints {
+            let site = SiteHash::from_raw(site);
+            service
+                .lock_recovering(&service.shards[service.shard_of(site)])
+                .hint_pad(site, pad);
+        }
+        for &(alloc, free, ticks) in &snap.defer_hints {
+            let alloc = SiteHash::from_raw(alloc);
+            service
+                .lock_recovering(&service.shards[service.shard_of(alloc)])
+                .hint_deferral(SitePair::new(alloc, SiteHash::from_raw(free)), ticks);
+        }
+        for &(client, bits, high) in &snap.windows {
+            let shard = (client as usize) % service.seen.len();
+            service
+                .lock_recovering(&service.seen[shard])
+                .insert(client, ReplayWindow::from_parts(bits, high));
+        }
+        Ok(service)
+    }
+
+    /// FNV-1a 128 digest of the canonical snapshot encoding
+    /// ([`FleetSnapshot::digest`]): two services with byte-identical
+    /// durable state — evidence bit patterns, epoch, windows, counters —
+    /// produce the same value regardless of shard layout. This is the
+    /// equality the crash-injection property test asserts between a
+    /// recovered service and one that never crashed.
+    #[must_use]
+    pub fn state_digest(&self) -> u128 {
+        self.export_snapshot().digest()
+    }
+}
+
+/// Why a snapshot could not be restored into a service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot's evidence grids use a different Simpson grid than
+    /// the restoring configuration.
+    GridMismatch {
+        /// `integration_steps` recorded in the snapshot.
+        snapshot: u32,
+        /// `integration_steps` of the restoring config.
+        config: usize,
+    },
+    /// The snapshot's epoch text does not parse.
+    BadEpoch(PatchParseError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::GridMismatch { snapshot, config } => write!(
+                f,
+                "snapshot evidence uses {snapshot} integration steps, \
+                 the restoring config uses {config}"
+            ),
+            RestoreError::BadEpoch(e) => write!(f, "snapshot epoch text does not parse: {e}"),
         }
     }
 }
+
+impl std::error::Error for RestoreError {}
 
 /// A report's evidence, grouped by destination shard.
 #[derive(Default)]

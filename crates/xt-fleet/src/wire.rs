@@ -25,6 +25,18 @@ pub use crate::frame::WireError;
 /// First bytes of every report: `XTR` plus the format version.
 const MAGIC: [u8; 4] = *b"XTR1";
 
+/// First bytes of every durability snapshot: `XTS` plus the version.
+const SNAPSHOT_MAGIC: [u8; 4] = *b"XTS1";
+
+/// Cap on the epoch-text field of a snapshot. An epoch's text form is one
+/// line per patched site; even a million-site fleet stays far below this.
+const MAX_EPOCH_TEXT: u32 = 1 << 24;
+
+/// Cap on a snapshot evidence grid's node count. Grids are
+/// `integration_steps + 1` nodes and configs use dozens of steps; a
+/// hostile count must not turn into a huge allocation per site record.
+const MAX_GRID_NODES: u32 = 1 << 16;
+
 /// Hard cap on any array count in a decoded report — a corrupt or hostile
 /// length prefix must not turn into a multi-gigabyte allocation. The
 /// site-population claim (`n_sites`) is held to the same cap: it feeds
@@ -249,6 +261,262 @@ impl RunReport {
             pad_hints,
             defer_hints,
         })
+    }
+}
+
+/// One site's running-product evidence state, as carried in a snapshot.
+/// The floats are bit patterns, not approximations: a restored record
+/// reproduces classification byte-identically
+/// ([`SiteEvidence::raw_parts`](xt_isolate::evidence::SiteEvidence::raw_parts)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvidenceRecord {
+    /// The allocation site (raw hash).
+    pub site: u32,
+    /// Observations folded in.
+    pub obs: u64,
+    /// Running `L0` product.
+    pub l0: f64,
+    /// Running integrand products at the Simpson nodes
+    /// (`integration grid + 1` entries).
+    pub grid: Vec<f64>,
+}
+
+/// A compacted image of a [`FleetService`](crate::FleetService)'s entire
+/// durable state: counters, the published epoch, per-client delivery
+/// windows, and every shard's evidence and hints. This is what the
+/// durability layer writes on its snapshot cadence and reloads on
+/// recovery before replaying the WAL tail.
+///
+/// The encoding is canonical when the collections are sorted (evidence
+/// and hints by site/key, windows by client) — the export path emits them
+/// sorted, so the encoded bytes are independent of shard layout and a
+/// digest over them compares services with different shard counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSnapshot {
+    /// Unique reports ingested.
+    pub reports: u64,
+    /// Failed runs among them.
+    pub failed_reports: u64,
+    /// Redeliveries dropped by dedup.
+    pub duplicates: u64,
+    /// Malformed wire reports rejected.
+    pub rejected_reports: u64,
+    /// Reports since the last publish (the auto-publish cadence counter —
+    /// persisted so a restored service publishes at the same report
+    /// boundaries the original would have).
+    pub pending: u64,
+    /// Unique reports at the current epoch's publication.
+    pub epoch_reports: u64,
+    /// Global site-population maximum (prior `N`).
+    pub n_sites: u64,
+    /// Simpson intervals of every evidence grid (the table configuration
+    /// the evidence states were accumulated under).
+    pub integration_steps: u32,
+    /// The published epoch, in its own text format
+    /// ([`PatchEpoch::to_text`](xt_patch::PatchEpoch::to_text)).
+    pub epoch_text: String,
+    /// Per-client replay windows: `(client, bits, high)`.
+    pub windows: Vec<(u64, u128, u32)>,
+    /// §5.1 overflow evidence, one record per site.
+    pub overflow: Vec<EvidenceRecord>,
+    /// §5.2 dangling evidence, one record per site.
+    pub dangling: Vec<EvidenceRecord>,
+    /// Pad hints: `(site, bytes)`.
+    pub pad_hints: Vec<(u32, u32)>,
+    /// Deferral hints: `(alloc site, free site, ticks)`.
+    pub defer_hints: Vec<(u32, u32, u64)>,
+}
+
+impl FleetSnapshot {
+    /// Serializes to the binary snapshot format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            128 + self.epoch_text.len()
+                + 28 * self.windows.len()
+                + (self.overflow.len() + self.dangling.len())
+                    * (24 + 8 * (self.integration_steps as usize + 1))
+                + 8 * self.pad_hints.len()
+                + 16 * self.defer_hints.len(),
+        );
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&self.reports.to_le_bytes());
+        out.extend_from_slice(&self.failed_reports.to_le_bytes());
+        out.extend_from_slice(&self.duplicates.to_le_bytes());
+        out.extend_from_slice(&self.rejected_reports.to_le_bytes());
+        out.extend_from_slice(&self.pending.to_le_bytes());
+        out.extend_from_slice(&self.epoch_reports.to_le_bytes());
+        out.extend_from_slice(&self.n_sites.to_le_bytes());
+        out.extend_from_slice(&self.integration_steps.to_le_bytes());
+        out.extend_from_slice(&(self.epoch_text.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.epoch_text.as_bytes());
+        out.extend_from_slice(&(self.windows.len() as u32).to_le_bytes());
+        for &(client, bits, high) in &self.windows {
+            out.extend_from_slice(&client.to_le_bytes());
+            out.extend_from_slice(&bits.to_le_bytes());
+            out.extend_from_slice(&high.to_le_bytes());
+        }
+        for family in [&self.overflow, &self.dangling] {
+            out.extend_from_slice(&(family.len() as u32).to_le_bytes());
+            for rec in family {
+                out.extend_from_slice(&rec.site.to_le_bytes());
+                out.extend_from_slice(&rec.obs.to_le_bytes());
+                out.extend_from_slice(&rec.l0.to_bits().to_le_bytes());
+                out.extend_from_slice(&(rec.grid.len() as u32).to_le_bytes());
+                for &g in &rec.grid {
+                    out.extend_from_slice(&g.to_bits().to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&(self.pad_hints.len() as u32).to_le_bytes());
+        for &(site, pad) in &self.pad_hints {
+            out.extend_from_slice(&site.to_le_bytes());
+            out.extend_from_slice(&pad.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.defer_hints.len() as u32).to_le_bytes());
+        for &(alloc, free, ticks) in &self.defer_hints {
+            out.extend_from_slice(&alloc.to_le_bytes());
+            out.extend_from_slice(&free.to_le_bytes());
+            out.extend_from_slice(&ticks.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the binary snapshot format. Like the report decoder, every
+    /// field validates with offsets and every length prefix is capped
+    /// before allocation; running-product floats must be finite
+    /// probabilities in `[0, 1]` (one smuggled NaN would poison a shard's
+    /// evidence permanently), and every grid must match the snapshot's
+    /// declared integration grid (mismatched grids cannot be merged).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformed byte.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.array::<4>()?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let reports = r.u64()?;
+        let failed_reports = r.u64()?;
+        let duplicates = r.u64()?;
+        let rejected_reports = r.u64()?;
+        let pending = r.u64()?;
+        let epoch_reports = r.u64()?;
+        let n_sites = r.u64()?;
+        let steps_at = r.pos();
+        let integration_steps = r.u32()?;
+        if integration_steps >= MAX_GRID_NODES {
+            return Err(WireError::Oversized {
+                at: steps_at,
+                count: integration_steps,
+            });
+        }
+        // The grid every evidence record must carry: `steps + 1` Simpson
+        // nodes for the table's forced-even `steps >= 2`.
+        let expected_nodes = (integration_steps.max(2) & !1) + 1;
+        let text_len = r.count(MAX_EPOCH_TEXT)?;
+        let text_at = r.pos();
+        let text_bytes = r.bytes(text_len as usize)?;
+        let epoch_text = std::str::from_utf8(text_bytes)
+            .map_err(|e| WireError::BadUtf8 {
+                at: text_at + e.valid_up_to(),
+            })?
+            .to_string();
+        let n_windows = r.count(MAX_ENTRIES)?;
+        let windows = (0..n_windows)
+            .map(|_| Ok((r.u64()?, r.u128()?, r.u32()?)))
+            .collect::<Result<Vec<_>, WireError>>()?;
+        let mut family = || -> Result<Vec<EvidenceRecord>, WireError> {
+            let n = r.count(MAX_ENTRIES)?;
+            (0..n)
+                .map(|_| {
+                    let site = r.u32()?;
+                    let obs = r.u64()?;
+                    let probability = |r: &mut Reader| -> Result<f64, WireError> {
+                        let at = r.pos();
+                        let v = f64::from_bits(r.u64()?);
+                        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                            return Err(WireError::BadProbability {
+                                at,
+                                bits: v.to_bits(),
+                            });
+                        }
+                        Ok(v)
+                    };
+                    let l0 = probability(&mut r)?;
+                    let nodes_at = r.pos();
+                    let nodes = r.count(MAX_GRID_NODES)?;
+                    if nodes != expected_nodes {
+                        return Err(WireError::BadGrid {
+                            at: nodes_at,
+                            nodes,
+                        });
+                    }
+                    let grid = (0..nodes)
+                        .map(|_| probability(&mut r))
+                        .collect::<Result<Vec<_>, WireError>>()?;
+                    Ok(EvidenceRecord {
+                        site,
+                        obs,
+                        l0,
+                        grid,
+                    })
+                })
+                .collect()
+        };
+        let overflow = family()?;
+        let dangling = family()?;
+        let n_pads = r.count(MAX_ENTRIES)?;
+        let pad_hints = (0..n_pads)
+            .map(|_| Ok((r.u32()?, r.u32()?)))
+            .collect::<Result<Vec<_>, WireError>>()?;
+        let n_defers = r.count(MAX_ENTRIES)?;
+        let defer_hints = (0..n_defers)
+            .map(|_| Ok((r.u32()?, r.u32()?, r.u64()?)))
+            .collect::<Result<Vec<_>, WireError>>()?;
+        r.finish()?;
+        Ok(FleetSnapshot {
+            reports,
+            failed_reports,
+            duplicates,
+            rejected_reports,
+            pending,
+            epoch_reports,
+            n_sites,
+            integration_steps,
+            epoch_text,
+            windows,
+            overflow,
+            dangling,
+            pad_hints,
+            defer_hints,
+        })
+    }
+
+    /// FNV-1a 128 digest of the canonical encoding — the same constants
+    /// as `core::voter`'s outcome digest, so "byte-identical state" means
+    /// one `u128` comparison. Volatile delivery counters (`duplicates`,
+    /// `rejected_reports`) are zeroed before hashing: a crash between a
+    /// WAL append and its acknowledgment legitimately turns the retried
+    /// report into a counted duplicate, which must not make otherwise
+    /// identical evidence states compare unequal.
+    #[must_use]
+    pub fn digest(&self) -> u128 {
+        let canonical = FleetSnapshot {
+            duplicates: 0,
+            rejected_reports: 0,
+            ..self.clone()
+        };
+        const FNV_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+        let mut h = FNV_BASIS;
+        for &b in &canonical.encode() {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
     }
 }
 

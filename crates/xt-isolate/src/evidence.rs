@@ -166,6 +166,34 @@ impl SiteEvidence {
         }
     }
 
+    /// The raw running-product state: `(observations, L0, grid)`. The
+    /// floats are the state — a durability layer that snapshots these
+    /// exact bit patterns and restores them with
+    /// [`SiteEvidence::from_raw_parts`] reproduces classification
+    /// byte-identically, with no re-derivation and no rounding drift.
+    #[must_use]
+    pub fn raw_parts(&self) -> (usize, f64, &[f64]) {
+        (self.obs, self.l0, &self.grid)
+    }
+
+    /// Rebuilds evidence from state captured by
+    /// [`SiteEvidence::raw_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is not a valid Simpson node vector (`steps + 1`
+    /// entries for an even `steps >= 2`) — restoring a malformed grid
+    /// would silently corrupt every later merge.
+    #[must_use]
+    pub fn from_raw_parts(obs: usize, l0: f64, grid: Vec<f64>) -> Self {
+        assert!(
+            grid.len() >= 3 && grid.len() % 2 == 1,
+            "grid of {} nodes is not steps + 1 for an even steps >= 2",
+            grid.len()
+        );
+        SiteEvidence { obs, l0, grid }
+    }
+
     /// The §5.1 decision for this site under prior constant `prior_c` and
     /// site population `n_sites`.
     #[must_use]
@@ -343,6 +371,69 @@ impl EvidenceTable {
         }
         for (&pair, &ticks) in &other.defer_hints {
             self.hint_deferral(pair, ticks);
+        }
+    }
+
+    /// Per-site overflow evidence in site order (snapshot export).
+    pub fn overflow_evidence(&self) -> impl Iterator<Item = (SiteHash, &SiteEvidence)> {
+        self.overflow.iter().map(|(&s, e)| (s, e))
+    }
+
+    /// Per-site dangling evidence in site order (snapshot export).
+    pub fn dangling_evidence(&self) -> impl Iterator<Item = (SiteHash, &SiteEvidence)> {
+        self.dangling.iter().map(|(&s, e)| (s, e))
+    }
+
+    /// Pad hints in site order (snapshot export).
+    pub fn pad_hint_entries(&self) -> impl Iterator<Item = (SiteHash, u32)> + '_ {
+        self.pad_hints.iter().map(|(&s, &p)| (s, p))
+    }
+
+    /// Deferral hints in pair order (snapshot export).
+    pub fn defer_hint_entries(&self) -> impl Iterator<Item = (SitePair, u64)> + '_ {
+        self.defer_hints.iter().map(|(&p, &t)| (p, t))
+    }
+
+    /// Installs restored overflow evidence for `site`, merging if evidence
+    /// for the site already exists (so restore-into-fresh is exact and
+    /// restore-into-existing keeps CRDT semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evidence` integrates over a different grid than this
+    /// table's configuration.
+    pub fn insert_overflow_evidence(&mut self, site: SiteHash, evidence: SiteEvidence) {
+        assert_eq!(
+            evidence.steps(),
+            self.config.integration_steps.max(2) & !1,
+            "restored evidence grid does not match the table configuration"
+        );
+        match self.overflow.entry(site) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(evidence);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().merge(&evidence),
+        }
+    }
+
+    /// Installs restored dangling evidence for `site` (see
+    /// [`EvidenceTable::insert_overflow_evidence`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evidence` integrates over a different grid than this
+    /// table's configuration.
+    pub fn insert_dangling_evidence(&mut self, site: SiteHash, evidence: SiteEvidence) {
+        assert_eq!(
+            evidence.steps(),
+            self.config.integration_steps.max(2) & !1,
+            "restored evidence grid does not match the table configuration"
+        );
+        match self.dangling.entry(site) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(evidence);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().merge(&evidence),
         }
     }
 
@@ -589,6 +680,88 @@ mod tests {
             assert_eq!(x.flagged, y.flagged);
             assert!(close(x.ratio, y.ratio));
         }
+    }
+
+    /// The durability contract: raw-parts round trips are *bit*-exact, so
+    /// a snapshot/restore cycle cannot drift a ratio even in the last ulp.
+    #[test]
+    fn raw_parts_round_trip_is_bit_exact() {
+        let mut e = SiteEvidence::new(64);
+        for i in 0..23 {
+            e.observe([0.25, 0.5, 0.75][i % 3], i % 4 != 0);
+        }
+        let (obs, l0, grid) = e.raw_parts();
+        let back = SiteEvidence::from_raw_parts(obs, l0, grid.to_vec());
+        assert_eq!(back, e);
+        assert_eq!(back.l0().to_bits(), e.l0().to_bits());
+        assert_eq!(back.l1().to_bits(), e.l1().to_bits());
+
+        // Table-level: export every entry, rebuild a fresh table, compare.
+        let config = CumulativeConfig {
+            integration_steps: 64,
+            ..CumulativeConfig::default()
+        };
+        let mut table = EvidenceTable::new(config);
+        for run in 0..40u32 {
+            let mut summary = RunSummary {
+                failed: run % 2 == 0,
+                n_sites: 64,
+                ..RunSummary::default()
+            };
+            summary.overflow_obs.push(SiteObservation {
+                site: SiteHash::from_raw(run % 5),
+                x: 0.25,
+                y: run % 3 == 0,
+            });
+            summary.dangling_obs.push(SiteObservation {
+                site: SiteHash::from_raw(100 + run % 3),
+                x: 0.5,
+                y: true,
+            });
+            summary.pad_hints.push((SiteHash::from_raw(run % 5), run));
+            summary
+                .defer_hints
+                .push((SiteHash::from_raw(100 + run % 3), SiteHash::from_raw(7), 9));
+            table.record_run(&summary);
+        }
+        let mut restored = EvidenceTable::new(config);
+        for (site, e) in table.overflow_evidence() {
+            let (obs, l0, grid) = e.raw_parts();
+            restored.insert_overflow_evidence(
+                site,
+                SiteEvidence::from_raw_parts(obs, l0, grid.to_vec()),
+            );
+        }
+        for (site, e) in table.dangling_evidence() {
+            let (obs, l0, grid) = e.raw_parts();
+            restored.insert_dangling_evidence(
+                site,
+                SiteEvidence::from_raw_parts(obs, l0, grid.to_vec()),
+            );
+        }
+        for (site, pad) in table.pad_hint_entries() {
+            restored.hint_pad(site, pad);
+        }
+        for (pair, ticks) in table.defer_hint_entries() {
+            restored.hint_deferral(pair, ticks);
+        }
+        // Evidence, hints, and therefore verdicts and patches all match
+        // bit-for-bit (run counters are service-level state, not table
+        // state, in the fleet's usage).
+        assert_eq!(restored.generate_patches(), table.generate_patches());
+        let a = restored.dangling_verdicts_with(64);
+        let b = table.dangling_verdicts_with(64);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.ratio.to_bits(), y.ratio.to_bits(), "ratio drifted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not steps + 1")]
+    fn from_raw_parts_rejects_malformed_grids() {
+        let _ = SiteEvidence::from_raw_parts(1, 0.5, vec![1.0; 4]);
     }
 
     #[test]

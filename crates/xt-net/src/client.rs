@@ -21,7 +21,8 @@
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use xt_faults::FaultSpec;
 use xt_fleet::frame::{Frame, FrameError, WireError};
@@ -80,6 +81,87 @@ impl From<FrameError> for NetError {
             FrameError::Malformed(e) => NetError::Malformed(e),
         }
     }
+}
+
+/// Backoff schedule for [`NetClient::connect_with_retry`]: bounded
+/// attempts, exponential delay, deterministic jitter.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total connection attempts, including the first (clamped to ≥ 1).
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles after each failure.
+    pub base: Duration,
+    /// Ceiling the exponential delay saturates at.
+    pub cap: Duration,
+    /// Seed for the jitter. Jitter keeps a fleet of clients from
+    /// reconnecting in lockstep after the same server restart; seeding
+    /// it keeps any single client's schedule reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            jitter_seed: 0x0BAD_5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `n` (0-based): `full = min(cap, base·2ⁿ)`,
+    /// jittered into `[full/2, full]` by a SplitMix64 draw on
+    /// `(jitter_seed, n)`.
+    fn delay(&self, retry: u32) -> Duration {
+        let full = self
+            .base
+            .saturating_mul(1u32 << retry.min(31))
+            .min(self.cap);
+        let half = full / 2;
+        let span = (full - half).as_nanos() as u64;
+        if span == 0 {
+            return full;
+        }
+        let mut z = self.jitter_seed.wrapping_add(
+            u64::from(retry)
+                .wrapping_add(1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        half + Duration::from_nanos(z % (span + 1))
+    }
+}
+
+/// Is this connect failure worth retrying? Transient conditions only —
+/// a refused or reset connection (the server is not up *yet*), an
+/// interrupted or timed-out attempt. Anything else (unreachable host,
+/// permission denied, bad address) fails fast.
+fn transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Locks the connection, recovering from poison. Every critical section
+/// leaves `ClientConn` structurally consistent (frames are written and
+/// parsed whole, buffers mutated entry-at-a-time), so a panic on one
+/// thread holding the lock must not permanently brick every clone of the
+/// client. The worst a recovered connection can carry is a transport
+/// left mid-conversation, and the next read surfaces that as an ordinary
+/// decode or protocol error — recoverable by reconnecting, where a
+/// propagated poison panic is not.
+fn lock_conn(conn: &Mutex<ClientConn>) -> MutexGuard<'_, ClientConn> {
+    conn.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Connection state: the socket plus push buffers. All client and ticket
@@ -181,6 +263,33 @@ impl NetClient {
         })
     }
 
+    /// Connects to a server that may not be up yet: retries transient
+    /// connect failures (refused, reset, interrupted, timed out) with
+    /// bounded exponential backoff per `policy`. A server restarting —
+    /// or starting *after* its clients, as in orchestrated deployments —
+    /// is reached as soon as it binds; a genuinely wrong address still
+    /// fails fast, because non-transient errors are not retried.
+    ///
+    /// # Errors
+    ///
+    /// The last transient error once attempts are exhausted, or the
+    /// first non-transient error immediately.
+    pub fn connect_with_retry(addr: impl ToSocketAddrs, policy: &RetryPolicy) -> io::Result<Self> {
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay(attempt - 1));
+            }
+            match Self::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if transient(e.kind()) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("attempts >= 1, so at least one connect ran"))
+    }
+
     /// Frames and abandonment records currently parked in this
     /// connection's push buffers (diagnostic; a long-lived client that
     /// collects or drops every ticket should see this return to 0
@@ -191,8 +300,8 @@ impl NetClient {
         conn.verdicts.len() + conn.outcomes.len() + conn.abandoned.len()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, ClientConn> {
-        self.conn.lock().expect("client connection lock poisoned")
+    fn lock(&self) -> MutexGuard<'_, ClientConn> {
+        lock_conn(&self.conn)
     }
 
     /// Submits one job and returns its ticket. The server replies with
@@ -297,7 +406,7 @@ impl NetTicket {
     ///
     /// Transport or decode failure, or an out-of-protocol frame.
     pub fn wait_verdict(&self) -> Result<Option<WireVerdict>, NetError> {
-        let mut conn = self.conn().lock().expect("client connection lock poisoned");
+        let mut conn = lock_conn(self.conn());
         loop {
             if let Some(verdict) = conn.verdicts.get(&self.job) {
                 return Ok(verdict.clone());
@@ -318,7 +427,7 @@ impl NetTicket {
     /// Transport or decode failure, or an out-of-protocol frame.
     pub fn wait(mut self) -> Result<WireOutcome, NetError> {
         let arc = self.conn.take().expect("ticket not yet consumed");
-        let mut conn = arc.lock().expect("client connection lock poisoned");
+        let mut conn = lock_conn(&arc);
         loop {
             if let Some(outcome) = conn.outcomes.remove(&self.job) {
                 // The verdict buffer entry (if any) is dead weight once
@@ -343,16 +452,149 @@ impl Drop for NetTicket {
         let Some(arc) = self.conn.take() else {
             return;
         };
-        // No `expect` here: drop glue must not double-panic while
-        // unwinding past a poisoned connection.
-        let Ok(mut conn) = arc.lock() else {
-            return;
-        };
+        // `lock_conn` never panics on poison (it recovers), so the drop
+        // glue cannot double-panic while unwinding — and abandonment
+        // bookkeeping keeps working on a connection other clones of the
+        // client recovered.
+        let mut conn = lock_conn(&arc);
         conn.verdicts.remove(&self.job);
         if conn.outcomes.remove(&self.job).is_none() {
             // Outcome not yet arrived: remember to discard it (and any
             // verdict) when it does.
             conn.abandoned.insert(self.job);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A poisoned connection lock (a panic on one thread holding it)
+    /// must not brick every other clone of the client: lock sites
+    /// recover via `PoisonError::into_inner` instead of propagating.
+    #[test]
+    fn poisoned_connection_lock_recovers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A minimal server: answer one EpochPull with an empty epoch.
+        let responder = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let frame = Frame::read_from(&mut reader).unwrap().unwrap();
+            assert!(matches!(
+                Msg::from_frame(&frame).unwrap(),
+                Msg::EpochPull { .. }
+            ));
+            Msg::Epoch { epoch: None }
+                .to_frame()
+                .write_to(&mut writer)
+                .unwrap();
+            writer.flush().unwrap();
+        });
+        let client = NetClient::connect(addr).unwrap();
+        let conn = Arc::clone(&client.conn);
+        let panicked = std::thread::spawn(move || {
+            let _guard = conn.lock().unwrap();
+            panic!("poison the client connection lock");
+        })
+        .join();
+        assert!(panicked.is_err());
+        assert!(client.conn.is_poisoned(), "the lock should be poisoned");
+        // Every lock site still works: a pure-buffer read and a full
+        // request/reply round trip over the recovered connection.
+        assert_eq!(client.buffered(), 0);
+        assert!(client.pull_epoch(0).unwrap().is_none());
+        responder.join().unwrap();
+    }
+
+    /// The backoff schedule is deterministic for a given seed and stays
+    /// inside the documented `[full/2, full]` envelope under the cap.
+    #[test]
+    fn retry_delays_are_bounded_and_deterministic() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(80),
+            jitter_seed: 42,
+        };
+        let first: Vec<Duration> = (0..7).map(|n| policy.delay(n)).collect();
+        let again: Vec<Duration> = (0..7).map(|n| policy.delay(n)).collect();
+        assert_eq!(
+            first, again,
+            "jitter must be a pure function of (seed, retry)"
+        );
+        for (n, d) in first.iter().enumerate() {
+            let full = (policy.base * 2u32.pow(n as u32)).min(policy.cap);
+            assert!(
+                *d >= full / 2 && *d <= full,
+                "retry {n}: {d:?} outside [{:?}, {full:?}]",
+                full / 2
+            );
+        }
+        // Different seeds decorrelate.
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..policy
+        };
+        assert_ne!(
+            (0..7).map(|n| policy.delay(n)).collect::<Vec<_>>(),
+            (0..7).map(|n| other.delay(n)).collect::<Vec<_>>(),
+        );
+    }
+
+    /// Non-transient connect errors must fail fast, not burn the whole
+    /// backoff schedule. `AddrNotAvailable`-class failures (here: an
+    /// unroutable-port connect on a bound-then-dropped listener is
+    /// *refused*, i.e. transient — so use an empty address list, which
+    /// yields `InvalidInput`).
+    #[test]
+    fn connect_with_retry_fails_fast_on_non_transient_errors() {
+        let start = std::time::Instant::now();
+        let Err(err) = NetClient::connect_with_retry(
+            &[][..] as &[std::net::SocketAddr],
+            &RetryPolicy {
+                attempts: 100,
+                base: Duration::from_secs(10),
+                ..RetryPolicy::default()
+            },
+        ) else {
+            panic!("an empty address list connected");
+        };
+        assert!(
+            !transient(err.kind()),
+            "expected a non-transient error, got {err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a non-transient error slept through the backoff schedule"
+        );
+    }
+
+    /// Exhausting the schedule surfaces the last transient error.
+    #[test]
+    fn connect_with_retry_reports_the_last_refusal() {
+        // Bind then drop: the port is (very likely) refusing connects.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let Err(err) = NetClient::connect_with_retry(
+            addr,
+            &RetryPolicy {
+                attempts: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+                jitter_seed: 7,
+            },
+        ) else {
+            panic!("a dropped listener's port accepted a connection");
+        };
+        assert!(
+            transient(err.kind()),
+            "expected a transient refusal, got {err}"
+        );
     }
 }

@@ -45,6 +45,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{NetClient, NetError, NetTicket};
+pub use client::{NetClient, NetError, NetTicket, RetryPolicy};
 pub use proto::{Msg, SubmitJob, WireOutcome, WireReceipt, WireReplica, WireVerdict};
-pub use server::{NetConfig, NetFrontend, NetStats};
+pub use server::{NetConfig, NetDurability, NetFrontend, NetStats};

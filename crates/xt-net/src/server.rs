@@ -40,7 +40,10 @@ use std::time::Duration;
 use exterminator::frontend::{FrontendConfig, PoolFrontend};
 use exterminator::pool::EarlyVerdict;
 use xt_fleet::frame::Frame;
-use xt_fleet::{bridge, FleetConfig, FleetService};
+use xt_fleet::{
+    bridge, DurabilityConfig, DurabilityError, DurableFleet, FleetConfig, FleetMetrics,
+    FleetService, IngestReceipt, Storage,
+};
 use xt_patch::PatchTable;
 use xt_workloads::Workload;
 
@@ -51,6 +54,28 @@ use crate::proto::{Msg, WireOutcome, WireReceipt, WireVerdict};
 /// bounded by this; steady-state cost is one spurious wakeup per idle
 /// connection per interval.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Durable-mode configuration for a [`NetFrontend`]: where the fleet's
+/// evidence WAL and snapshots live, and how often they compact.
+#[derive(Clone)]
+pub struct NetDurability {
+    /// The storage the WAL and snapshots are written to (e.g.
+    /// [`DirStorage`](xt_fleet::DirStorage) over a data directory).
+    /// Binding *recovers* from whatever this storage holds before the
+    /// first connection is accepted.
+    pub storage: Arc<dyn Storage>,
+    /// Snapshot cadence and WAL policy.
+    pub config: DurabilityConfig,
+}
+
+impl std::fmt::Debug for NetDurability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetDurability")
+            .field("storage", &"<dyn Storage>")
+            .field("config", &self.config)
+            .finish()
+    }
+}
 
 /// Configuration for a [`NetFrontend`].
 #[derive(Clone, Debug)]
@@ -64,6 +89,11 @@ pub struct NetConfig {
     pub max_connections: usize,
     /// Initial patch table the pools start from.
     pub patches: PatchTable,
+    /// When set, the fleet service is wrapped in a
+    /// [`DurableFleet`]: binding recovers the evidence state from
+    /// storage, every remote report is WAL-logged before it folds, and a
+    /// graceful shutdown writes a final compacted snapshot.
+    pub durability: Option<NetDurability>,
 }
 
 impl Default for NetConfig {
@@ -73,6 +103,45 @@ impl Default for NetConfig {
             fleet: FleetConfig::default(),
             max_connections: 32,
             patches: PatchTable::new(),
+            durability: None,
+        }
+    }
+}
+
+/// The server's fleet: either a bare in-memory service or the durable
+/// wrapper. Reads go to the same [`FleetService`] either way; the split
+/// exists so the ingest path can route through the WAL.
+enum FleetBackend {
+    Plain(Arc<FleetService>),
+    Durable(DurableFleet<Arc<dyn Storage>>),
+}
+
+impl FleetBackend {
+    fn service(&self) -> &FleetService {
+        match self {
+            FleetBackend::Plain(service) => service,
+            FleetBackend::Durable(fleet) => fleet.service(),
+        }
+    }
+
+    fn service_handle(&self) -> Arc<FleetService> {
+        match self {
+            FleetBackend::Plain(service) => Arc::clone(service),
+            FleetBackend::Durable(fleet) => fleet.service_handle(),
+        }
+    }
+
+    fn ingest(&self, bytes: &[u8]) -> Result<IngestReceipt, DurabilityError> {
+        match self {
+            FleetBackend::Plain(service) => Ok(service.ingest(bytes)?),
+            FleetBackend::Durable(fleet) => fleet.ingest(bytes),
+        }
+    }
+
+    fn metrics(&self) -> FleetMetrics {
+        match self {
+            FleetBackend::Plain(service) => service.metrics(),
+            FleetBackend::Durable(fleet) => fleet.metrics(),
         }
     }
 }
@@ -159,6 +228,7 @@ impl Drop for SlotGuard<'_> {
 pub struct NetFrontend {
     addr: SocketAddr,
     service: Arc<FleetService>,
+    backend: Arc<FleetBackend>,
     counters: Arc<Counters>,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
@@ -170,27 +240,37 @@ impl NetFrontend {
     ///
     /// # Errors
     ///
-    /// Propagates listener binding failures.
+    /// Propagates listener binding failures; in durable mode, also
+    /// storage or recovery failures (a corrupt snapshot, an incompatible
+    /// grid) — a durable server refuses to start blind rather than
+    /// silently forgetting the fleet's evidence.
     pub fn bind<W>(workload: W, addr: impl ToSocketAddrs, config: NetConfig) -> io::Result<Self>
     where
         W: Workload + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let service = Arc::new(FleetService::new(config.fleet));
+        let backend = Arc::new(match config.durability.clone() {
+            Some(d) => FleetBackend::Durable(
+                DurableFleet::open(d.storage, config.fleet, d.config).map_err(io::Error::other)?,
+            ),
+            None => FleetBackend::Plain(Arc::new(FleetService::new(config.fleet))),
+        });
+        let service = backend.service_handle();
         let counters = Arc::new(Counters::default());
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
-            let service = Arc::clone(&service);
+            let backend = Arc::clone(&backend);
             let counters = Arc::clone(&counters);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                serve(&workload, &listener, &config, &service, &counters, &stop);
+                serve(&workload, &listener, &config, &backend, &counters, &stop);
             })
         };
         Ok(NetFrontend {
             addr,
             service,
+            backend,
             counters,
             stop,
             handle: Some(handle),
@@ -207,6 +287,14 @@ impl NetFrontend {
     #[must_use]
     pub fn service(&self) -> &Arc<FleetService> {
         &self.service
+    }
+
+    /// Fleet-layer metrics. In durable mode the durability counters
+    /// (`wal_appends`, `snapshots_written`, `recoveries`,
+    /// `torn_tail_truncated`) are live; in plain mode they read 0.
+    #[must_use]
+    pub fn fleet_metrics(&self) -> FleetMetrics {
+        self.backend.metrics()
     }
 
     /// Aggregate counters.
@@ -261,7 +349,7 @@ fn serve<W: Workload + Sync>(
     workload: &W,
     listener: &TcpListener,
     config: &NetConfig,
-    service: &FleetService,
+    backend: &FleetBackend,
     counters: &Counters,
     stop: &AtomicBool,
 ) {
@@ -307,12 +395,18 @@ fn serve<W: Workload + Sync>(
                 let budget = &budget;
                 conns.spawn(move || {
                     let _slot = SlotGuard(budget);
-                    handle_connection(frontend, service, counters, stop, stream);
+                    handle_connection(frontend, backend, counters, stop, stream);
                 });
             }
         });
         frontend.shutdown();
     });
+    // Graceful exit: compact what the WAL holds so the next start
+    // replays nothing. Best-effort — a failure here only costs the next
+    // open a longer replay, never correctness.
+    if let FleetBackend::Durable(fleet) = backend {
+        let _ = fleet.snapshot();
+    }
 }
 
 /// Writes one frame under the connection's write lock (whole frames only,
@@ -330,7 +424,7 @@ fn send(writer: &Mutex<TcpStream>, msg: &Msg) {
 /// submission order.
 fn handle_connection(
     frontend: &PoolFrontend<'_>,
-    service: &FleetService,
+    backend: &FleetBackend,
     counters: &Counters,
     stop: &AtomicBool,
     stream: TcpStream,
@@ -393,7 +487,13 @@ fn handle_connection(
                     }
                 }
                 Ok(Msg::Report(bytes)) => {
-                    match bridge::ingest_and_sync(service, frontend, &bytes) {
+                    // The durable backend WAL-logs before folding; either
+                    // way a fresh epoch fans straight back into the
+                    // server's own pools (the `bridge` loop).
+                    let result = backend.ingest(&bytes).inspect(|_| {
+                        bridge::sync_frontend(backend.service(), frontend);
+                    });
+                    match result {
                         Ok(receipt) => {
                             counters.reports.fetch_add(1, Ordering::Relaxed);
                             send(
@@ -418,7 +518,7 @@ fn handle_connection(
                     }
                 }
                 Ok(Msg::EpochPull { have }) => {
-                    let latest = service.latest();
+                    let latest = backend.service().latest();
                     let epoch = (latest.number > have).then(|| latest.to_text());
                     send(&writer, &Msg::Epoch { epoch });
                 }

@@ -18,16 +18,17 @@
 //!    and never take the server down.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::sync::Mutex;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use exterminator::pool::{PoolConfig, ReplicaPool, Straggler};
 use exterminator::summarized_run;
 use xt_alloc::AllocTime;
 use xt_faults::{FaultKind, FaultSpec};
 use xt_fleet::frame::{Frame, FRAME_MAGIC};
-use xt_fleet::{FleetConfig, RunReport};
-use xt_net::{NetClient, NetConfig, NetError, NetFrontend};
+use xt_fleet::{wal, DurabilityConfig, FleetConfig, MemStorage, RunReport};
+use xt_net::{NetClient, NetConfig, NetDurability, NetError, NetFrontend, RetryPolicy};
 use xt_patch::PatchTable;
 use xt_workloads::{multi_client_sessions, EspressoLike, SquidLike, Workload, WorkloadInput};
 
@@ -354,6 +355,122 @@ fn remote_reports_heal_the_server() {
     );
     let stats = server.stats();
     assert!(stats.reports >= 8, "reports were not counted");
+    drop(client);
+    server.shutdown();
+}
+
+/// `connect_with_retry` rides out a server that starts *after* its
+/// clients (orchestrated deployments bring processes up in arbitrary
+/// order): the port refuses connections for a while, the backoff
+/// schedule absorbs the refusals, and the first post-bind attempt lands.
+#[test]
+fn connect_with_retry_reaches_a_late_starting_server() {
+    // Reserve a port, then free it: until the server binds it again,
+    // connects are refused — the transient failure under test.
+    let addr = TcpListener::bind("127.0.0.1:0")
+        .expect("reserve port")
+        .local_addr()
+        .expect("local addr");
+    let server_thread = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(200));
+        NetFrontend::bind(EspressoLike::new(), addr, net_config(1)).expect("late bind")
+    });
+    let client = NetClient::connect_with_retry(
+        addr,
+        &RetryPolicy {
+            attempts: 50,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            jitter_seed: 0xD1A1,
+        },
+    )
+    .expect("retry never reached the late server");
+    let server = server_thread.join().expect("server thread");
+    let outcome = client
+        .submit(&WorkloadInput::with_seed(11), None)
+        .expect("submit")
+        .wait()
+        .expect("outcome");
+    assert!(outcome.unanimous, "retried connection served garbage");
+    drop(client);
+    server.shutdown();
+}
+
+/// The durable front door: remote evidence ingested into a
+/// `NetDurability`-configured server survives a full server restart —
+/// same storage, new process state — including the epoch, the evidence
+/// digest, and the replay windows that make redelivery a duplicate.
+#[test]
+fn durable_server_state_survives_restart() {
+    let report = |seq: u32| RunReport {
+        client: 7,
+        seq,
+        failed: true,
+        clock: 50 + u64::from(seq),
+        n_sites: 100,
+        dangling_obs: vec![(0xD00D, 0.5, true)],
+        overflow_obs: Vec::new(),
+        pad_hints: Vec::new(),
+        defer_hints: vec![(0xD00D, 0xF, 30)],
+    };
+    let disk = MemStorage::new();
+    let mut config = net_config(1);
+    config.fleet = FleetConfig {
+        shards: 4,
+        publish_every: 8,
+        ..FleetConfig::default()
+    };
+    // snapshot_every 0: only the graceful-shutdown snapshot compacts, so
+    // this test also proves the final snapshot actually happens.
+    config.durability = Some(NetDurability {
+        storage: Arc::new(disk.clone()),
+        config: DurabilityConfig { snapshot_every: 0 },
+    });
+
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config.clone())
+        .expect("bind durable server");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    for seq in 0..20 {
+        let receipt = client.ingest_report(&report(seq)).expect("report ack");
+        assert!(!receipt.duplicate);
+    }
+    let epoch_before = server.service().latest().number;
+    assert!(epoch_before >= 1, "publish cadence never fired");
+    let digest_before = server.service().state_digest();
+    let m = server.fleet_metrics();
+    assert_eq!(m.wal_appends, 20);
+    assert_eq!(m.recoveries, 0);
+    drop(client);
+    server.shutdown();
+    assert!(
+        disk.object_len(wal::SNAPSHOT_OBJECT) > 8,
+        "graceful shutdown wrote no snapshot"
+    );
+    assert_eq!(
+        disk.object_len(wal::WAL_OBJECT),
+        0,
+        "graceful shutdown left an uncompacted WAL"
+    );
+
+    // "Restart": a new server over the same storage.
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config)
+        .expect("rebind durable server");
+    let m = server.fleet_metrics();
+    assert_eq!(m.recoveries, 1, "rebind did not recover");
+    assert_eq!(m.reports, 20, "recovered report count diverged");
+    assert_eq!(server.service().latest().number, epoch_before);
+    assert_eq!(
+        server.service().state_digest(),
+        digest_before,
+        "recovered evidence state diverged"
+    );
+    // Replay windows recovered too: redelivering over the wire is a
+    // duplicate, not fresh evidence.
+    let client = NetClient::connect(server.local_addr()).expect("reconnect");
+    assert!(
+        client.ingest_report(&report(0)).expect("ack").duplicate,
+        "recovery forgot the delivery window"
+    );
     drop(client);
     server.shutdown();
 }
