@@ -1,0 +1,283 @@
+//! Saturation load harness: ramp a remote client population against one
+//! [`NetFrontend`] until throughput stops scaling, and record the knee.
+//!
+//! ```text
+//! cargo bench -p bench --bench load
+//! ```
+//!
+//! Each ramp stage binds a fresh server (2 pools × 3 replicas, bounded
+//! queues) and drives it with `N` concurrent [`NetClient`]s over real
+//! localhost TCP, each pipelining a fixed job budget. Stage throughput
+//! comes from wall clock; the **knee** is the first stage whose marginal
+//! throughput gain over the previous stage falls under 15% despite the
+//! client population doubling — beyond it the bounded queues are full
+//! and extra clients only deepen queue wait (visible in the
+//! `frontend/queue_wait` histogram pulled from the saturated server).
+//! If no stage shows that plateau the knee is the throughput argmax.
+//!
+//! Two invariants are asserted, not just measured:
+//!
+//! 1. **Determinism at saturation.** Every outcome digest from the
+//!    most-saturated stage, ordered by the front-end's global sequence,
+//!    must be byte-identical to an in-process serial replay of the same
+//!    inputs in arrival order — the wire layer under full contention
+//!    still decides only arrival order.
+//! 2. **The server stays observable under load.** The saturated stage's
+//!    metrics pull must answer with nonzero per-stage histograms.
+//!
+//! Results go to `BENCH_load.json` (quick mode: the git-ignored
+//! `.quick.json` sibling), with the rendered saturation metrics
+//! snapshot beside it as `BENCH_load_metrics.txt`. 1-CPU caveat
+//! (`env/cores`): on one core the knee mostly measures scheduling, not
+//! queue capacity — read it against the recorded core count.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use bench::{bench_artifact_path, workspace_root, write_bench_json, BenchRecord};
+use exterminator::frontend::FrontendConfig;
+use exterminator::pool::PoolConfig;
+use xt_net::{NetClient, NetConfig, NetFrontend};
+use xt_patch::PatchTable;
+use xt_workloads::{SquidLike, WorkloadInput};
+
+/// Pool shape for every stage and for the serial reference. Determinism
+/// pins must exclude auto-patching (patch visibility is
+/// completion-order dependent; same exclusion as `xt-net/tests/net.rs`).
+fn pool_config() -> PoolConfig {
+    PoolConfig {
+        replicas: 3,
+        auto_patch: false,
+        ..PoolConfig::default()
+    }
+}
+
+fn net_config() -> NetConfig {
+    NetConfig {
+        frontend: FrontendConfig {
+            pools: 2,
+            pool: pool_config(),
+            queue_capacity: 3,
+            share_isolated: false,
+            ..FrontendConfig::default()
+        },
+        ..NetConfig::default()
+    }
+}
+
+/// One collected outcome: front-end global sequence, the input that
+/// produced it, and its deterministic digest.
+type Collected = (u64, WorkloadInput, u128);
+
+/// What one ramp stage measured.
+struct Stage {
+    clients: usize,
+    jobs: u64,
+    jobs_per_sec: f64,
+    ns_per_job: f64,
+}
+
+/// Runs one stage: `clients` connections, each pipelining
+/// `jobs_per_client` submissions, against a fresh server. Returns the
+/// stage measurement plus every `(sequence, input, digest)` collected.
+fn run_stage(clients: usize, jobs_per_client: usize) -> (Stage, Vec<Collected>, NetFrontend) {
+    let server =
+        NetFrontend::bind(SquidLike::new(), "127.0.0.1:0", net_config()).expect("bind localhost");
+    let addr = server.local_addr();
+    let collected: Mutex<Vec<Collected>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let collected = &collected;
+            scope.spawn(move || {
+                let client = NetClient::connect(addr).expect("connect");
+                let inputs: Vec<WorkloadInput> = (0..jobs_per_client)
+                    .map(|j| WorkloadInput::with_seed((c * jobs_per_client + j) as u64))
+                    .collect();
+                let tickets: Vec<_> = inputs
+                    .iter()
+                    .map(|input| client.submit(input, None).expect("submit"))
+                    .collect();
+                let mut results = Vec::with_capacity(tickets.len());
+                for (ticket, input) in tickets.into_iter().zip(inputs) {
+                    let seq = ticket.job();
+                    let outcome = ticket.wait().expect("outcome");
+                    assert!(outcome.unanimous, "benign load diverged");
+                    results.push((seq, input, outcome.digest));
+                }
+                collected.lock().expect("collection lock").extend(results);
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let jobs = (clients * jobs_per_client) as u64;
+    let stage = Stage {
+        clients,
+        jobs,
+        jobs_per_sec: jobs as f64 / elapsed,
+        ns_per_job: elapsed * 1e9 / jobs as f64,
+    };
+    (
+        stage,
+        collected.into_inner().expect("collection lock"),
+        server,
+    )
+}
+
+/// In-process serial reference digests for `inputs` in order — the pin
+/// the saturated stage must match byte-for-byte.
+fn serial_digests(inputs: &[WorkloadInput]) -> Vec<u128> {
+    let workload = SquidLike::new();
+    std::thread::scope(|scope| {
+        let mut pool = exterminator::pool::ReplicaPool::scoped(
+            scope,
+            &workload,
+            pool_config(),
+            PatchTable::new(),
+        );
+        let outcomes = pool.run_batch(inputs, None);
+        pool.shutdown();
+        outcomes
+            .iter()
+            .map(exterminator::pool::PoolOutcome::deterministic_digest)
+            .collect()
+    })
+}
+
+/// First stage whose marginal throughput gain is under 15% — the knee —
+/// falling back to the throughput argmax when the ramp never plateaus.
+fn knee_index(stages: &[Stage]) -> usize {
+    for i in 1..stages.len() {
+        if stages[i].jobs_per_sec < stages[i - 1].jobs_per_sec * 1.15 {
+            return i;
+        }
+    }
+    stages
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.jobs_per_sec
+                .partial_cmp(&b.1.jobs_per_sec)
+                .expect("finite throughput")
+        })
+        .map_or(0, |(i, _)| i)
+}
+
+fn main() {
+    let quick = criterion::quick_mode();
+    let (client_ramp, jobs_per_client): (&[usize], usize) = if quick {
+        (&[1, 2], 3)
+    } else {
+        (&[1, 2, 4, 8], 12)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# load ramp: {client_ramp:?} clients x {jobs_per_client} jobs, {cores} cores\n");
+
+    let mut records = vec![BenchRecord {
+        name: "env/cores".into(),
+        ns_per_op: cores as f64,
+        ops_per_sec: 0.0,
+    }];
+
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut saturated: Option<(Vec<Collected>, NetFrontend)> = None;
+    for &clients in client_ramp {
+        let (stage, collected, server) = run_stage(clients, jobs_per_client);
+        println!(
+            "{:>3} clients: {:>7.1} jobs/s ({:.2} ms/job, {} jobs)",
+            stage.clients,
+            stage.jobs_per_sec,
+            stage.ns_per_job / 1e6,
+            stage.jobs
+        );
+        records.push(BenchRecord::from_ns(
+            format!("load/clients_{clients}"),
+            stage.ns_per_job,
+        ));
+        stages.push(stage);
+        // Keep the most-saturated stage's server alive for the
+        // determinism pin and the observability pull below.
+        if let Some((_, old)) = saturated.replace((collected, server)) {
+            old.shutdown();
+        }
+    }
+    let (collected, server) = saturated.expect("at least one ramp stage");
+
+    // Determinism at saturation: sequence-ordered digests must replay
+    // byte-identical through a serial in-process pool.
+    let mut collected = collected;
+    collected.sort_by_key(|(seq, _, _)| *seq);
+    for (i, (seq, _, _)) in collected.iter().enumerate() {
+        assert_eq!(*seq, i as u64, "sequence numbers have gaps at saturation");
+    }
+    let arrival: Vec<WorkloadInput> = collected.iter().map(|(_, i, _)| i.clone()).collect();
+    let reference = serial_digests(&arrival);
+    for ((seq, _, digest), expected) in collected.iter().zip(&reference) {
+        assert_eq!(
+            digest, expected,
+            "job {seq} diverged from the serial reference at saturation"
+        );
+    }
+    println!(
+        "\ndeterminism pin: {} saturated outcomes byte-identical to the serial reference",
+        collected.len()
+    );
+
+    // The saturated server answers its own observability pull.
+    let probe = NetClient::connect(server.local_addr()).expect("connect probe");
+    let health = probe.pull_health().expect("health pull");
+    assert!(health.healthy);
+    let snapshot = probe.pull_metrics().expect("metrics pull");
+    let queue_wait = snapshot
+        .histogram("frontend/queue_wait")
+        .expect("frontend/queue_wait");
+    let rtt = snapshot.histogram("net/wire_rtt").expect("net/wire_rtt");
+    assert_eq!(
+        queue_wait.count(),
+        collected.len() as u64,
+        "saturated queue-wait histogram lost samples"
+    );
+    drop(probe);
+    server.shutdown();
+
+    let knee = knee_index(&stages);
+    println!(
+        "knee: {} clients at {:.1} jobs/s (queue-wait p95 {}ns, wire-rtt p95 {}ns at saturation)",
+        stages[knee].clients,
+        stages[knee].jobs_per_sec,
+        queue_wait.p95(),
+        rtt.p95()
+    );
+    records.push(BenchRecord {
+        name: "load/knee_clients".into(),
+        ns_per_op: stages[knee].clients as f64,
+        ops_per_sec: stages[knee].jobs_per_sec,
+    });
+    records.push(BenchRecord::from_ns(
+        "load/knee_ns_per_job",
+        stages[knee].ns_per_job,
+    ));
+    records.push(BenchRecord::from_ns(
+        "load/saturation_queue_wait_p95",
+        queue_wait.p95() as f64,
+    ));
+    records.push(BenchRecord::from_ns(
+        "load/saturation_wire_rtt_p95",
+        rtt.p95() as f64,
+    ));
+
+    let path = bench_artifact_path("BENCH_load.json");
+    write_bench_json(&path, "load", &records).expect("write BENCH_load.json");
+    println!("wrote {}", path.display());
+
+    // The saturation snapshot itself rides along as a text artifact
+    // (quick mode redirects it like the JSON, and for the same reason).
+    let snap_name = if quick {
+        "BENCH_load_metrics.quick.txt"
+    } else {
+        "BENCH_load_metrics.txt"
+    };
+    let snap_path = workspace_root().join(snap_name);
+    std::fs::write(&snap_path, snapshot.render_text()).expect("write metrics snapshot");
+    println!("wrote {}", snap_path.display());
+}

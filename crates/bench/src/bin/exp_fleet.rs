@@ -87,6 +87,10 @@ fn main() {
     println!("final epoch:        #{}", outcome.final_epoch.number);
     println!("wall clock:         {:.2}s", elapsed.as_secs_f64());
     println!(
+        "\n## service observability at shutdown\n{}",
+        outcome.observability.render_text()
+    );
+    println!(
         "\npublished patch table:\n{}",
         outcome.final_epoch.to_text()
     );

@@ -54,8 +54,10 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{Scope, ScopedJoinHandle};
+use std::time::Instant;
 
 use xt_faults::FaultSpec;
+use xt_obs::{Histogram, Registry};
 use xt_patch::{PatchEpoch, PatchTable};
 use xt_workloads::{fnv1a, Workload, WorkloadInput};
 
@@ -135,6 +137,9 @@ struct Job {
     input: Arc<WorkloadInput>,
     fault: Option<FaultSpec>,
     slot: Arc<TicketSlot>,
+    /// When `submit` enqueued the job — start of the queue-wait stage
+    /// (observability only; timing never reaches any outcome byte).
+    enqueued: Instant,
 }
 
 /// What the ticket holder eventually receives.
@@ -318,6 +323,14 @@ struct Shared {
     completed: AtomicU64,
     failures: AtomicU64,
     backpressure_waits: AtomicU64,
+    /// Per-stage latency instruments shared by every driver:
+    /// `frontend/queue_wait` (submit → driver dequeue),
+    /// `frontend/verdict` (dispatch → streaming quorum posted),
+    /// `frontend/exec` (dispatch → outcome finalized on all replicas).
+    obs: Arc<Registry>,
+    queue_wait_hist: Arc<Histogram>,
+    verdict_hist: Arc<Histogram>,
+    exec_hist: Arc<Histogram>,
 }
 
 impl Shared {
@@ -445,6 +458,12 @@ impl<'scope> PoolFrontend<'scope> {
         W: Workload + Sync + ?Sized,
     {
         let pools = config.pools.max(1);
+        let obs = Registry::new();
+        let (queue_wait_hist, verdict_hist, exec_hist) = (
+            obs.histogram("frontend/queue_wait"),
+            obs.histogram("frontend/verdict"),
+            obs.histogram("frontend/exec"),
+        );
         let shared = Arc::new(Shared {
             queues: (0..pools).map(|_| PoolQueue::new()).collect(),
             capacity: config.queue_capacity.max(1),
@@ -458,6 +477,10 @@ impl<'scope> PoolFrontend<'scope> {
             completed: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             backpressure_waits: AtomicU64::new(0),
+            obs,
+            queue_wait_hist,
+            verdict_hist,
+            exec_hist,
         });
         let share_isolated = config.share_isolated && config.pool.auto_patch;
         let max_inflight = config.max_inflight.max(1);
@@ -488,6 +511,14 @@ impl<'scope> PoolFrontend<'scope> {
     #[must_use]
     pub fn pools(&self) -> usize {
         self.shared.queues.len()
+    }
+
+    /// The front-end's latency instruments (`frontend/queue_wait`,
+    /// `frontend/verdict`, `frontend/exec`). Observability only: none
+    /// of it feeds outcome bytes or deterministic digests.
+    #[must_use]
+    pub fn observability(&self) -> &Arc<Registry> {
+        &self.shared.obs
     }
 
     /// Front-end counters.
@@ -570,6 +601,7 @@ impl<'scope> PoolFrontend<'scope> {
                 input: Arc::new(input.clone()),
                 fault,
                 slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
             },
         );
         JobTicket { job: seq, slot }
@@ -670,12 +702,17 @@ fn drive<W: Workload + Sync + ?Sized>(
                         sync_patches(shared, &mut pool, &mut local_version);
                     }
                     for job in jobs {
+                        let dispatched = Instant::now();
+                        shared
+                            .queue_wait_hist
+                            .record_duration(dispatched - job.enqueued);
                         let pool_job = pool.submit_shared(job.input, job.fault, job.seq);
                         inflight.push_back(Inflight {
                             pool_job,
                             seq: job.seq,
                             slot: job.slot,
                             verdict_posted: false,
+                            dispatched,
                         });
                     }
                 }
@@ -688,9 +725,11 @@ fn drive<W: Workload + Sync + ?Sized>(
                     break;
                 };
                 let (pool_job, seq) = (front.pool_job, front.seq);
+                let dispatched = front.dispatched;
                 let slot = Arc::clone(&front.slot);
                 if !front.verdict_posted {
                     slot.post_verdict(pool.wait_verdict(pool_job));
+                    shared.verdict_hist.record_duration(dispatched.elapsed());
                     inflight[0].verdict_posted = true;
                 }
                 // Quorums for pipelined successors form while the front
@@ -699,7 +738,7 @@ fn drive<W: Workload + Sync + ?Sized>(
                 // full finalization. (A quorum forming *during* the
                 // next_outcome below is still posted one finalization
                 // late — eliminating that would need a pump hook.)
-                post_ready_verdicts(&pool, &mut inflight);
+                post_ready_verdicts(&pool, shared, &mut inflight);
                 let mut outcome = pool.next_outcome().expect("front job in flight");
                 debug_assert_eq!(outcome.job, pool_job, "pool finalized out of order");
                 // Tickets speak the front-end's global sequence, not the
@@ -714,9 +753,10 @@ fn drive<W: Workload + Sync + ?Sized>(
                     shared.fold_patches(pool.patches());
                 }
                 shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared.exec_hist.record_duration(dispatched.elapsed());
                 slot.post_outcome(outcome);
                 inflight.pop_front();
-                post_ready_verdicts(&pool, &mut inflight);
+                post_ready_verdicts(&pool, shared, &mut inflight);
             }
         }));
         if let Err(payload) = served {
@@ -738,15 +778,21 @@ struct Inflight {
     seq: u64,
     slot: Arc<TicketSlot>,
     verdict_posted: bool,
+    /// When the driver dispatched the job into its pool — start of the
+    /// verdict and exec latency stages.
+    dispatched: Instant,
 }
 
 /// Posts the streaming verdict of every in-flight job whose quorum has
 /// already formed (non-blocking; at most one `poll_verdict` per unposted
 /// job).
-fn post_ready_verdicts(pool: &ReplicaPool<'_>, inflight: &mut VecDeque<Inflight>) {
+fn post_ready_verdicts(pool: &ReplicaPool<'_>, shared: &Shared, inflight: &mut VecDeque<Inflight>) {
     for entry in inflight.iter_mut().filter(|e| !e.verdict_posted) {
         if let Some(verdict) = pool.poll_verdict(entry.pool_job) {
             entry.slot.post_verdict(Some(verdict));
+            shared
+                .verdict_hist
+                .record_duration(entry.dispatched.elapsed());
             entry.verdict_posted = true;
         }
     }
@@ -798,6 +844,11 @@ mod tests {
             assert_eq!(stats.submitted, 12);
             assert_eq!(stats.completed, 12);
             assert_eq!(stats.failures, 0);
+            // Every stage histogram saw every job exactly once.
+            let snap = frontend.observability().snapshot();
+            assert_eq!(snap.histogram("frontend/queue_wait").unwrap().count(), 12);
+            assert_eq!(snap.histogram("frontend/verdict").unwrap().count(), 12);
+            assert_eq!(snap.histogram("frontend/exec").unwrap().count(), 12);
             frontend.shutdown();
         });
     }

@@ -105,6 +105,14 @@ pub enum WireError {
         /// Number of unconsumed bytes.
         extra: usize,
     },
+    /// A well-formed report refused by per-client admission control —
+    /// the only variant that is a *policy* decision, not a decode
+    /// failure, so it carries the throttled client id instead of a
+    /// byte offset.
+    RateLimited {
+        /// The client whose token bucket ran dry.
+        client: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -151,6 +159,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::Trailing { at, extra } => {
                 write!(f, "{extra} trailing bytes after end at offset {at}")
+            }
+            WireError::RateLimited { client } => {
+                write!(f, "client {client} rate-limited at ingest admission")
             }
         }
     }

@@ -61,6 +61,31 @@
 //!   seeded fault across every storage operation and asserts the
 //!   recovered [`FleetService::state_digest`] and all subsequent
 //!   outcomes are byte-identical to a run that never crashed.
+//!
+//! # Observability
+//!
+//! The service carries an [`xt_obs::Registry`]
+//! ([`FleetService::observability`]) with per-stage latency histograms
+//! — `fleet/ingest` (decode + admit + fold, wire path), `fleet/fold`
+//! (the shard-fold loop alone), `fleet/publish` (classification +
+//! epoch mint), and `fleet/wal_append` (storage appends, populated by
+//! [`DurableFleet`]). Buckets are powers of two in nanoseconds
+//! ([`xt_obs::HISTOGRAM_BUCKETS`]); snapshots merge bucket-wise and
+//! render deterministically. Counters come from [`FleetMetrics`],
+//! whose [`counters_snapshot`](FleetMetrics::counters_snapshot) puts
+//! them in the same registry-snapshot shape; every consumer (plain
+//! service, durable wrapper, network backend) obtains metrics through
+//! the single [`FleetService::metrics_with`] path.
+//!
+//! **Admission control**: [`FleetConfig::rate_limit`] arms per-client
+//! deterministic token buckets (attempt-driven refill, phase seeded
+//! from the client id — no wall clock) on the **wire** ingest path
+//! only. A refused report is [`WireError::RateLimited`], counted in
+//! [`FleetMetrics::rate_limited`], and touches no evidence, dedup, or
+//! WAL state; in-process ingestion (`ingest_report` — the simulator,
+//! WAL replay) is never limited. Latency histograms and admission
+//! decisions are observability/policy only: nothing here feeds the
+//! deterministic `state_digest`.
 
 pub mod bridge;
 pub mod delivery;
@@ -82,7 +107,9 @@ pub(crate) fn splitmix_finalize(mut z: u64) -> u64 {
 
 pub use delivery::{Delivery, ReplayWindow};
 pub use frame::{Frame, FrameError, Reader};
-pub use service::{FleetConfig, FleetMetrics, FleetService, IngestReceipt, RestoreError};
+pub use service::{
+    DurabilityStats, FleetConfig, FleetMetrics, FleetService, IngestReceipt, RestoreError,
+};
 pub use simulator::{FaultConvergence, FleetOutcome, FleetSimulator, SimConfig};
 pub use storage::{DirStorage, FaultMode, FaultyStorage, MemStorage, Storage};
 pub use wal::{DurabilityConfig, DurabilityError, DurableFleet};

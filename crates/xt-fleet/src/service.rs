@@ -46,10 +46,12 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 use xt_alloc::{SiteHash, SitePair};
 use xt_isolate::cumulative::CumulativeConfig;
 use xt_isolate::evidence::{EvidenceTable, SiteEvidence};
+use xt_obs::{Histogram, Registry, RegistrySnapshot, TokenBucket, TokenBucketConfig};
 use xt_patch::{PatchEpoch, PatchParseError, PatchTable};
 
 use crate::delivery::ReplayWindow;
@@ -67,6 +69,14 @@ pub struct FleetConfig {
     pub publish_every: u64,
     /// Drop redelivered `(client, seq)` reports.
     pub dedup_delivery: bool,
+    /// Per-client admission control on the **wire ingest path**
+    /// ([`FleetService::ingest`]): each client gets a deterministic
+    /// [`TokenBucket`] seeded from its id. `None` (the default) admits
+    /// everything. In-process ingestion
+    /// ([`FleetService::ingest_report`] — the simulator, WAL replay,
+    /// restored snapshots) is never rate limited: replaying durable
+    /// state must fold every record.
+    pub rate_limit: Option<TokenBucketConfig>,
 }
 
 impl Default for FleetConfig {
@@ -76,6 +86,7 @@ impl Default for FleetConfig {
             isolator: CumulativeConfig::default(),
             publish_every: 256,
             dedup_delivery: true,
+            rate_limit: None,
         }
     }
 }
@@ -108,6 +119,12 @@ pub struct FleetMetrics {
     /// site populations). A rejected report never reaches the shards or
     /// the prior — it is counted, not folded.
     pub rejected_reports: u64,
+    /// Well-formed wire reports refused by per-client admission control
+    /// ([`FleetConfig::rate_limit`]) — the flooding-client counterpart
+    /// of the hostile-report `rejected_reports` path. Like a rejection,
+    /// a rate-limited report touches no evidence, prior, or dedup
+    /// state.
+    pub rate_limited: u64,
     /// Current epoch number.
     pub epoch: u64,
     /// Unique reports the service had ingested when the current epoch was
@@ -140,6 +157,63 @@ pub struct FleetMetrics {
     pub torn_tail_truncated: u64,
 }
 
+impl FleetMetrics {
+    /// The counters as a name-sorted [`RegistrySnapshot`] under the
+    /// `fleet/` namespace — the shape the metrics wire surface ships
+    /// and the examples print. One conversion for every consumer, so
+    /// durable and in-memory servers cannot drift on which counters
+    /// they report.
+    #[must_use]
+    pub fn counters_snapshot(&self) -> RegistrySnapshot {
+        let counters = vec![
+            ("fleet/dedup_clients".to_string(), self.dedup_clients as u64),
+            ("fleet/duplicates".to_string(), self.duplicates),
+            ("fleet/epoch".to_string(), self.epoch),
+            ("fleet/epoch_reports".to_string(), self.epoch_reports),
+            ("fleet/failed_reports".to_string(), self.failed_reports),
+            ("fleet/lock_recoveries".to_string(), self.lock_recoveries),
+            ("fleet/n_sites".to_string(), self.n_sites as u64),
+            ("fleet/rate_limited".to_string(), self.rate_limited),
+            ("fleet/recoveries".to_string(), self.recoveries),
+            ("fleet/rejected_reports".to_string(), self.rejected_reports),
+            ("fleet/reports".to_string(), self.reports),
+            ("fleet/shards".to_string(), self.shards as u64),
+            ("fleet/sites_tracked".to_string(), self.sites_tracked as u64),
+            (
+                "fleet/snapshots_written".to_string(),
+                self.snapshots_written,
+            ),
+            (
+                "fleet/torn_tail_truncated".to_string(),
+                self.torn_tail_truncated,
+            ),
+            ("fleet/wal_appends".to_string(), self.wal_appends),
+        ];
+        RegistrySnapshot {
+            counters,
+            ..RegistrySnapshot::default()
+        }
+    }
+}
+
+/// The counters a durability layer overlays onto the base service
+/// metrics. [`FleetService::metrics_with`] is the **single snapshot
+/// path** every `FleetMetrics` consumer goes through: the plain
+/// service passes [`DurabilityStats::default`], the durable wrapper
+/// passes its live counters — neither hand-assembles the struct, so
+/// they cannot drift on which counters they report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// Compacted snapshots written.
+    pub snapshots_written: u64,
+    /// Times state was rebuilt from storage.
+    pub recoveries: u64,
+    /// Torn WAL tails truncated during recovery.
+    pub torn_tail_truncated: u64,
+}
+
 /// The sharded collaborative-correction service. All methods take `&self`;
 /// share one instance across ingestion threads.
 #[derive(Debug)]
@@ -158,10 +232,20 @@ pub struct FleetService {
     failed_reports: AtomicU64,
     duplicates: AtomicU64,
     rejected: AtomicU64,
+    rate_limited: AtomicU64,
+    /// Per-client admission buckets for the wire ingest path, sharded
+    /// by client hash like `seen`. Empty maps unless
+    /// [`FleetConfig::rate_limit`] is set.
+    limiters: Vec<Mutex<HashMap<u64, TokenBucket>>>,
     /// Reports since the last publish (drives auto-publish).
     pending: AtomicU64,
     /// Poisoned locks recovered (panicking ingest/publish threads).
     lock_recoveries: AtomicU64,
+    /// Latency instruments (observability only — never digested).
+    obs: Arc<Registry>,
+    ingest_hist: Arc<Histogram>,
+    fold_hist: Arc<Histogram>,
+    publish_hist: Arc<Histogram>,
     /// Serializes publishers; ingestion never takes it.
     publish_lock: Mutex<()>,
     /// The current epoch snapshot, paired with the report count at its
@@ -179,6 +263,12 @@ impl FleetService {
     #[must_use]
     pub fn new(config: FleetConfig) -> Self {
         assert!(config.shards > 0, "need at least one shard");
+        let obs = Registry::new();
+        let (ingest_hist, fold_hist, publish_hist) = (
+            obs.histogram("fleet/ingest"),
+            obs.histogram("fleet/fold"),
+            obs.histogram("fleet/publish"),
+        );
         FleetService {
             shards: (0..config.shards)
                 .map(|_| Mutex::new(EvidenceTable::new(config.isolator)))
@@ -191,12 +281,29 @@ impl FleetService {
             failed_reports: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            limiters: (0..config.shards.max(4))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             pending: AtomicU64::new(0),
             lock_recoveries: AtomicU64::new(0),
             publish_lock: Mutex::new(()),
             epoch: RwLock::new((Arc::new(PatchEpoch::genesis()), 0)),
+            obs,
+            ingest_hist,
+            fold_hist,
+            publish_hist,
             config,
         }
+    }
+
+    /// The service's latency instruments (`fleet/ingest`, `fleet/fold`,
+    /// `fleet/publish` — plus `fleet/wal_append` when wrapped by
+    /// [`DurableFleet`](crate::wal::DurableFleet)). Observability only:
+    /// nothing in here feeds [`FleetService::state_digest`].
+    #[must_use]
+    pub fn observability(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// The service configuration.
@@ -242,13 +349,44 @@ impl FleetService {
     ///
     /// # Errors
     ///
-    /// Returns the [`WireError`] if the bytes are malformed; malformed
-    /// reports leave the evidence, prior, and dedup state untouched —
-    /// the rejection is only counted
-    /// ([`FleetMetrics::rejected_reports`]).
+    /// Returns the [`WireError`] if the bytes are malformed
+    /// (counted in [`FleetMetrics::rejected_reports`]) or
+    /// [`WireError::RateLimited`] if the sending client exhausted its
+    /// admission budget (counted in [`FleetMetrics::rate_limited`]).
+    /// Either way the evidence, prior, and dedup state are untouched.
     pub fn ingest(&self, bytes: &[u8]) -> Result<IngestReceipt, WireError> {
+        let started = Instant::now();
         let report = RunReport::decode(bytes).inspect_err(|_| self.note_rejected())?;
-        Ok(self.ingest_report(&report))
+        self.admit(report.client)?;
+        let receipt = self.ingest_report(&report);
+        self.ingest_hist.record_duration(started.elapsed());
+        Ok(receipt)
+    }
+
+    /// Per-client admission control for the wire path. Buckets are
+    /// deterministic: refill is attempt-driven and the phase is seeded
+    /// from the client id, so the same request sequence always gets
+    /// the same admit/reject decisions.
+    pub(crate) fn admit(&self, client: u64) -> Result<(), WireError> {
+        let Some(rate) = self.config.rate_limit else {
+            return Ok(());
+        };
+        let shard = (client as usize) % self.limiters.len();
+        let admitted = self
+            .lock_recovering(
+                self.limiters
+                    .get(shard)
+                    .expect("limiter shard index in range"),
+            )
+            .entry(client)
+            .or_insert_with(|| TokenBucket::new(rate, client))
+            .try_admit();
+        if admitted {
+            Ok(())
+        } else {
+            self.rate_limited.fetch_add(1, Ordering::Relaxed);
+            Err(WireError::RateLimited { client })
+        }
     }
 
     /// Counts a malformed report rejected before decode reached the
@@ -314,6 +452,7 @@ impl FleetService {
         }
 
         let shards_touched = batches.len();
+        let fold_started = Instant::now();
         for (idx, batch) in batches {
             let mut shard =
                 self.lock_recovering(self.shards.get(idx).expect("shard index in range"));
@@ -333,6 +472,7 @@ impl FleetService {
                 );
             }
         }
+        self.fold_hist.record_duration(fold_started.elapsed());
 
         // Exactly-one trigger: `fetch_add` hands out consecutive values,
         // so precisely one ingesting thread observes the cadence boundary
@@ -371,6 +511,7 @@ impl FleetService {
     /// patches were isolated, installs the successor epoch. Returns the
     /// epoch current after the call (new or unchanged).
     pub fn publish(&self) -> Arc<PatchEpoch> {
+        let started = Instant::now();
         let _publisher = self.lock_recovering(&self.publish_lock);
         self.pending.store(0, Ordering::Relaxed);
         let n_sites = self.n_sites.load(Ordering::Relaxed);
@@ -383,23 +524,34 @@ impl FleetService {
         }
         let current = self.latest();
         if current.covers(&isolated) {
+            self.publish_hist.record_duration(started.elapsed());
             return current;
         }
         let next = Arc::new(current.succeed(&isolated));
         let reports = self.reports.load(Ordering::Relaxed);
         *self.epoch_write() = (next.clone(), reports);
+        self.publish_hist.record_duration(started.elapsed());
         next
     }
 
     /// Aggregate counters.
     #[must_use]
     pub fn metrics(&self) -> FleetMetrics {
+        self.metrics_with(DurabilityStats::default())
+    }
+
+    /// Aggregate counters with a durability layer's overlay — the one
+    /// snapshot path every `FleetMetrics` consumer (plain service,
+    /// durable wrapper, network backend) routes through.
+    #[must_use]
+    pub fn metrics_with(&self, durability: DurabilityStats) -> FleetMetrics {
         let (epoch, epoch_reports) = self.latest_with_reports();
         FleetMetrics {
             reports: self.reports.load(Ordering::Relaxed),
             failed_reports: self.failed_reports.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
             rejected_reports: self.rejected.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
             epoch: epoch.number,
             epoch_reports,
             sites_tracked: self
@@ -415,7 +567,10 @@ impl FleetService {
                 .map(|s| self.lock_recovering(s).len())
                 .sum(),
             lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
-            ..FleetMetrics::default()
+            wal_appends: durability.wal_appends,
+            snapshots_written: durability.snapshots_written,
+            recoveries: durability.recoveries,
+            torn_tail_truncated: durability.torn_tail_truncated,
         }
     }
 
@@ -876,6 +1031,82 @@ mod tests {
                 .duplicate,
             "rejected report consumed the sender's dedup sequence"
         );
+    }
+
+    /// Admission control end to end: a flooding client is throttled on
+    /// the wire path, a well-behaved client on the same service is not,
+    /// refusals are counted, and neither dedup state nor evidence is
+    /// touched by a refused report. The in-process path
+    /// (`ingest_report` — simulator, WAL replay) is never limited.
+    #[test]
+    fn wire_ingest_rate_limits_flooding_clients_only() {
+        let service = FleetService::new(FleetConfig {
+            shards: 2,
+            publish_every: 0,
+            rate_limit: Some(TokenBucketConfig {
+                burst: 4,
+                refill_num: 1,
+                refill_den: 8,
+            }),
+            ..FleetConfig::default()
+        });
+        let mut refused = 0u64;
+        let mut refused_seqs = Vec::new();
+        for seq in 0..64u32 {
+            match service.ingest(&dangling_report(1, seq, 0xBAD).encode()) {
+                Err(WireError::RateLimited { client }) => {
+                    assert_eq!(client, 1);
+                    refused += 1;
+                    refused_seqs.push(seq);
+                }
+                Ok(receipt) => assert!(!receipt.duplicate),
+                Err(e) => panic!("unexpected wire error: {e:?}"),
+            }
+        }
+        assert!(refused > 40, "flood barely throttled: {refused}/64 refused");
+        // A well-behaved client staying inside its burst is unaffected.
+        for seq in 0..4u32 {
+            assert!(
+                service
+                    .ingest(&dangling_report(2, seq, 0xBAD).encode())
+                    .is_ok(),
+                "in-burst client throttled at seq {seq}"
+            );
+        }
+        let m = service.metrics();
+        assert_eq!(m.rate_limited, refused);
+        assert_eq!(
+            m.rejected_reports, 0,
+            "throttling is not a decode rejection"
+        );
+        // A refused report consumed nothing: its sequence is still
+        // fresh when redelivered via the unlimited in-process path.
+        let redelivered = refused_seqs[0];
+        assert!(
+            !service
+                .ingest_report(&dangling_report(1, redelivered, 0xBAD))
+                .duplicate,
+            "rate-limited report consumed the sender's dedup sequence"
+        );
+    }
+
+    #[test]
+    fn latency_histograms_populate_on_the_service_paths() {
+        let service = FleetService::new(FleetConfig {
+            shards: 2,
+            publish_every: 0,
+            ..FleetConfig::default()
+        });
+        for client in 0..20 {
+            service
+                .ingest(&dangling_report(client, 0, 0xBAD).encode())
+                .unwrap();
+        }
+        service.publish();
+        let snap = service.observability().snapshot();
+        assert_eq!(snap.histogram("fleet/ingest").unwrap().count(), 20);
+        assert_eq!(snap.histogram("fleet/fold").unwrap().count(), 20);
+        assert_eq!(snap.histogram("fleet/publish").unwrap().count(), 1);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use exterminator::summarized_run_reusable;
 use xt_alloc::ObjectId;
 use xt_diefast::DieFastConfig;
 use xt_faults::{FaultKind, FaultSpec};
+use xt_obs::RegistrySnapshot;
 use xt_patch::{PatchEpoch, PatchTable};
 use xt_workloads::{Workload, WorkloadInput};
 
@@ -105,6 +106,11 @@ pub struct FleetOutcome {
     pub per_fault: Vec<FaultConvergence>,
     /// The epoch current when the fleet stopped.
     pub final_epoch: Arc<PatchEpoch>,
+    /// The service's merged observability snapshot at shutdown: the
+    /// `fleet/...` counters plus per-stage latency histograms
+    /// (ingest/fold/publish), render with
+    /// [`RegistrySnapshot::render_text`].
+    pub observability: RegistrySnapshot,
 }
 
 /// Drives a population of simulated clients against one [`FleetService`].
@@ -244,12 +250,15 @@ impl<'a, W: Workload + Sync> FleetSimulator<'a, W> {
         if per_fault.iter().any(|f| !f.corrected) && !final_epoch.patches.is_empty() {
             self.check_epoch(&final_epoch, published_at, &mut per_fault);
         }
+        let mut observability = service.observability().snapshot();
+        observability.merge(service.metrics().counters_snapshot());
         FleetOutcome {
             converged: per_fault.iter().all(|f| f.corrected),
             total_runs: total_runs.load(Ordering::Relaxed),
             metrics: service.metrics(),
             per_fault,
             final_epoch: service.latest(),
+            observability,
         }
     }
 

@@ -57,10 +57,14 @@
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
+use xt_obs::Histogram;
 use xt_patch::PatchEpoch;
 
-use crate::service::{FleetConfig, FleetMetrics, FleetService, IngestReceipt, RestoreError};
+use crate::service::{
+    DurabilityStats, FleetConfig, FleetMetrics, FleetService, IngestReceipt, RestoreError,
+};
 use crate::storage::Storage;
 use crate::wire::{FleetSnapshot, RunReport, WireError};
 
@@ -244,6 +248,13 @@ pub struct DurableFleet<S> {
     snapshots_written: AtomicU64,
     recoveries: AtomicU64,
     torn_tail_truncated: AtomicU64,
+    /// Append latency, registered as `fleet/wal_append` in the wrapped
+    /// service's observability registry.
+    wal_append_hist: Arc<Histogram>,
+    /// Wire-path ingest latency — the same `fleet/ingest` instrument the
+    /// plain service records, so the histogram means "decode + admit +
+    /// durable fold" whichever backend serves the wire.
+    ingest_hist: Arc<Histogram>,
 }
 
 impl<S: Storage> DurableFleet<S> {
@@ -318,6 +329,8 @@ impl<S: Storage> DurableFleet<S> {
                 }
             }
         }
+        let wal_append_hist = service.observability().histogram("fleet/wal_append");
+        let ingest_hist = service.observability().histogram("fleet/ingest");
         let fleet = DurableFleet {
             storage,
             service: Arc::new(service),
@@ -327,6 +340,8 @@ impl<S: Storage> DurableFleet<S> {
             snapshots_written: AtomicU64::new(0),
             recoveries: AtomicU64::new(u64::from(recovered)),
             torn_tail_truncated: AtomicU64::new(torn),
+            wal_append_hist,
+            ingest_hist,
         };
         Ok(fleet)
     }
@@ -372,8 +387,14 @@ impl<S: Storage> DurableFleet<S> {
     /// cadence snapshot failed (treat the instance as dead and reopen —
     /// recovery converges to the correct state either way).
     pub fn ingest(&self, bytes: &[u8]) -> Result<IngestReceipt, DurabilityError> {
+        let started = Instant::now();
         let report = RunReport::decode(bytes).inspect_err(|_| self.service.note_rejected())?;
-        self.ingest_report(&report)
+        // Admission control before the WAL: a rate-limited report must
+        // never be appended, or replay would fold what ingest refused.
+        self.service.admit(report.client)?;
+        let receipt = self.ingest_report(&report)?;
+        self.ingest_hist.record_duration(started.elapsed());
+        Ok(receipt)
     }
 
     /// Durably ingests one decoded report: WAL append first, then the
@@ -385,10 +406,13 @@ impl<S: Storage> DurableFleet<S> {
     pub fn ingest_report(&self, report: &RunReport) -> Result<IngestReceipt, DurabilityError> {
         let mut gate = self.gate();
         let lsn = gate.next_lsn;
+        let append_started = Instant::now();
         self.storage.append(
             WAL_OBJECT,
             &encode_record(REC_REPORT, lsn, &report.encode()),
         )?;
+        self.wal_append_hist
+            .record_duration(append_started.elapsed());
         gate.next_lsn = lsn + 1;
         self.wal_appends.fetch_add(1, Ordering::Relaxed);
         let receipt = self.service.ingest_report(report);
@@ -411,8 +435,11 @@ impl<S: Storage> DurableFleet<S> {
     pub fn publish(&self) -> Result<Arc<PatchEpoch>, DurabilityError> {
         let mut gate = self.gate();
         let lsn = gate.next_lsn;
+        let append_started = Instant::now();
         self.storage
             .append(WAL_OBJECT, &encode_record(REC_PUBLISH, lsn, &[]))?;
+        self.wal_append_hist
+            .record_duration(append_started.elapsed());
         gate.next_lsn = lsn + 1;
         self.wal_appends.fetch_add(1, Ordering::Relaxed);
         Ok(self.service.publish())
@@ -453,13 +480,12 @@ impl<S: Storage> DurableFleet<S> {
     /// — the latter two describe this instance's `open`).
     #[must_use]
     pub fn metrics(&self) -> FleetMetrics {
-        FleetMetrics {
+        self.service.metrics_with(DurabilityStats {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             torn_tail_truncated: self.torn_tail_truncated.load(Ordering::Relaxed),
-            ..self.service.metrics()
-        }
+        })
     }
 
     /// The service's canonical state digest

@@ -15,7 +15,7 @@ use xt_fleet::{FleetConfig, FleetService, FleetSnapshot, Frame, RunReport, WireE
 /// The offset a `WireError` points at, if the variant carries one.
 fn error_offset(e: &WireError) -> Option<usize> {
     match e {
-        WireError::BadMagic(_) => None,
+        WireError::BadMagic(_) | WireError::RateLimited { .. } => None,
         WireError::Truncated { at }
         | WireError::BadBool { at, .. }
         | WireError::BadProbability { at, .. }

@@ -27,10 +27,11 @@ use std::time::Duration;
 use xt_faults::FaultSpec;
 use xt_fleet::frame::{Frame, FrameError, WireError};
 use xt_fleet::RunReport;
+use xt_obs::RegistrySnapshot;
 use xt_patch::PatchEpoch;
 use xt_workloads::WorkloadInput;
 
-use crate::proto::{Msg, SubmitJob, WireOutcome, WireReceipt, WireVerdict};
+use crate::proto::{Msg, SubmitJob, WireHealth, WireOutcome, WireReceipt, WireVerdict};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -367,6 +368,45 @@ impl NetClient {
                 .map_err(|e| NetError::Protocol(format!("unparseable epoch payload: {e}"))),
             Msg::Error { message } => Err(NetError::Remote(message)),
             other => Err(NetError::Protocol(format!("expected Epoch, got {other:?}"))),
+        }
+    }
+
+    /// Probes the server's liveness. A reply in hand *is* the liveness
+    /// signal; the payload carries the server's newest epoch, uptime,
+    /// durability mode, and recovery count.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server-side rejection.
+    pub fn pull_health(&self) -> Result<WireHealth, NetError> {
+        let mut conn = self.lock();
+        conn.send(&Msg::HealthPull)?;
+        match conn.read_reply()? {
+            Msg::Health(health) => Ok(health),
+            Msg::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Protocol(format!(
+                "expected Health, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Pulls the server's merged metrics snapshot: wire-layer counters
+    /// (`net/...`), fleet service counters and per-stage latency
+    /// histograms (`fleet/...`), and the pool front-end's per-job
+    /// histograms (`frontend/...`), name-sorted.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server-side rejection.
+    pub fn pull_metrics(&self) -> Result<RegistrySnapshot, NetError> {
+        let mut conn = self.lock();
+        conn.send(&Msg::MetricsPull)?;
+        match conn.read_reply()? {
+            Msg::Metrics(snap) => Ok(snap),
+            Msg::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Protocol(format!(
+                "expected Metrics, got {other:?}"
+            ))),
         }
     }
 }

@@ -40,11 +40,38 @@
 //! accept loop blocks on a bounded connection budget, submissions block
 //! on the front-end's bounded queues, and nothing grows without bound —
 //! a burst degrades to waiting, never to OOM.
+//!
+//! # Observability
+//!
+//! A fourth message family serves operators. `HealthPull` → [`Msg::
+//! Health`] answers a liveness probe with the server's newest epoch,
+//! uptime, durability mode, and recovery count; `MetricsPull` →
+//! [`Msg::Metrics`] ships the merged [`xt_obs::RegistrySnapshot`] of
+//! every layer: `net/...` (frame counters, live-connection gauge, the
+//! `net/wire_rtt` server-side request→reply histogram), `fleet/...`
+//! (service counters plus ingest/fold/publish/WAL-append latency
+//! histograms), and `frontend/...` (per-job queue-wait, verdict, and
+//! execution histograms). Histogram buckets are powers of two in
+//! nanoseconds ([`xt_obs::HISTOGRAM_BUCKETS`] of them); names are
+//! pre-namespaced per layer so the server merges registries without
+//! collisions. [`NetClient::pull_health`] and
+//! [`NetClient::pull_metrics`] are the client ends.
+//!
+//! **Admission control**: arming
+//! [`FleetConfig::rate_limit`](xt_fleet::FleetConfig) gives every
+//! remote client a deterministic token bucket at report ingest
+//! (attempt-driven refill — no wall clock). A refused report crosses
+//! back as an `Error` frame ("client N rate-limited at ingest
+//! admission") without dropping the connection; refusals count in
+//! `fleet/rate_limited`, visible in the pulled snapshot. Submission
+//! and pull traffic is never limited, and neither is in-process
+//! ingestion. All of it is operational only — timing and admission
+//! never touch an outcome byte or a deterministic digest.
 
 pub mod client;
 pub mod proto;
 pub mod server;
 
 pub use client::{NetClient, NetError, NetTicket, RetryPolicy};
-pub use proto::{Msg, SubmitJob, WireOutcome, WireReceipt, WireReplica, WireVerdict};
+pub use proto::{Msg, SubmitJob, WireHealth, WireOutcome, WireReceipt, WireReplica, WireVerdict};
 pub use server::{NetConfig, NetDurability, NetFrontend, NetStats};

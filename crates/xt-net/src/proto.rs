@@ -21,6 +21,11 @@
 //!   [`Msg::ReportAck`]), and [`Msg::EpochPull`]/[`Msg::Epoch`] poll the
 //!   server's published patch epochs — the same ingest/pull loop
 //!   `xt-fleet` runs in-process, now over the socket.
+//! * **Observability** — [`Msg::HealthPull`]/[`Msg::Health`] answer a
+//!   liveness probe with the server's epoch, uptime, and recovery
+//!   status; [`Msg::MetricsPull`]/[`Msg::Metrics`] ship the merged
+//!   [`RegistrySnapshot`] of every service layer (front-end, fleet,
+//!   wire) to remote operators.
 //!
 //! Replies are request-response in connection order; pushed messages
 //! (`Verdict`, `Outcome`) may interleave anywhere, which is why the
@@ -28,6 +33,7 @@
 
 use xt_faults::{FaultKind, FaultSpec};
 use xt_fleet::frame::{Frame, Reader, WireError};
+use xt_obs::{HistogramSnapshot, RegistrySnapshot, HISTOGRAM_BUCKETS};
 use xt_workloads::WorkloadInput;
 
 use exterminator::pool::{EarlyVerdict, PoolOutcome};
@@ -39,6 +45,11 @@ pub const MAX_BLOB: u32 = 1 << 20;
 
 /// Cap for per-replica and agreeing/dissenting index lists.
 const MAX_INDICES: u32 = 1 << 10;
+
+/// Cap for instrument counts in a metrics snapshot (counters, gauges,
+/// and histograms each) — a service carries dozens of instruments, not
+/// thousands, and a hostile count prefix must not size an allocation.
+const MAX_INSTRUMENTS: u32 = 1 << 12;
 
 /// Frame kind bytes, one per message family member.
 pub mod kind {
@@ -60,6 +71,14 @@ pub mod kind {
     pub const EPOCH: u8 = 8;
     /// Server → client: the request failed (message names why).
     pub const ERROR: u8 = 9;
+    /// Client → server: liveness probe.
+    pub const HEALTH_PULL: u8 = 10;
+    /// Server → client: liveness + epoch + uptime + recovery status.
+    pub const HEALTH: u8 = 11;
+    /// Client → server: pull the full metrics registry snapshot.
+    pub const METRICS_PULL: u8 = 12;
+    /// Server → client: the merged registry snapshot.
+    pub const METRICS: u8 = 13;
 }
 
 /// One job submission: the input plus an optional injected fault (the
@@ -205,6 +224,29 @@ pub struct WireReceipt {
     pub epoch: u64,
 }
 
+/// The server's answer to a liveness probe. Everything here is
+/// operational status — none of it feeds deterministic digests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireHealth {
+    /// The server accepted the probe and its backends are reachable.
+    /// Always `true` in a reply — the signal of an unhealthy server is
+    /// no reply at all — but carried explicitly so a degraded mode can
+    /// be expressed without a protocol change.
+    pub healthy: bool,
+    /// Newest published patch epoch at the fleet backend.
+    pub epoch: u64,
+    /// Milliseconds since the server started listening.
+    pub uptime_ms: u64,
+    /// Durability recoveries the backend has performed (0 for an
+    /// in-memory backend or a durable one that started fresh).
+    pub recoveries: u64,
+    /// Whether the fleet backend persists through a WAL.
+    pub durable: bool,
+    /// Connections currently open at the server (including the one
+    /// carrying this reply).
+    pub connections: u64,
+}
+
 /// One protocol message (a decoded frame).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Msg {
@@ -245,6 +287,15 @@ pub enum Msg {
         /// Human-readable reason (e.g. a `WireError` rendering).
         message: String,
     },
+    /// Liveness probe.
+    HealthPull,
+    /// The probe's answer.
+    Health(WireHealth),
+    /// Pull the merged metrics registry snapshot.
+    MetricsPull,
+    /// The snapshot: every layer's counters, gauges, and per-stage
+    /// latency histograms, merged server-side and name-sorted.
+    Metrics(RegistrySnapshot),
 }
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -314,6 +365,71 @@ fn decode_verdict(r: &mut Reader<'_>) -> Result<Option<WireVerdict>, WireError> 
         outstanding: r.u32()?,
         output: read_blob(r)?,
     }))
+}
+
+/// Layout: three sections (counters, gauges, histograms), each a
+/// `u32` count followed by `name-blob ∥ value` entries. Histogram
+/// values are the exact `max` then all [`HISTOGRAM_BUCKETS`] bucket
+/// counts — the bucket array is fixed-size by protocol (the bucket
+/// scheme is a compile-time constant, so a length prefix could only
+/// disagree with it).
+fn encode_registry(out: &mut Vec<u8>, snap: &RegistrySnapshot) {
+    let sections = [
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len(),
+    ];
+    assert!(
+        sections.iter().all(|&n| n <= MAX_INSTRUMENTS as usize),
+        "instrument count {sections:?} exceeds the wire cap (encoder bug)"
+    );
+    out.extend_from_slice(&(snap.counters.len() as u32).to_le_bytes());
+    for (name, value) in &snap.counters {
+        put_bytes(out, name.as_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out.extend_from_slice(&(snap.gauges.len() as u32).to_le_bytes());
+    for (name, value) in &snap.gauges {
+        put_bytes(out, name.as_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out.extend_from_slice(&(snap.histograms.len() as u32).to_le_bytes());
+    for (name, hist) in &snap.histograms {
+        put_bytes(out, name.as_bytes());
+        out.extend_from_slice(&hist.max.to_le_bytes());
+        for bucket in &hist.buckets {
+            out.extend_from_slice(&bucket.to_le_bytes());
+        }
+    }
+}
+
+fn decode_registry(r: &mut Reader<'_>) -> Result<RegistrySnapshot, WireError> {
+    let n_counters = r.count(MAX_INSTRUMENTS)?;
+    let counters = (0..n_counters)
+        .map(|_| Ok((read_string(r)?, r.u64()?)))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let n_gauges = r.count(MAX_INSTRUMENTS)?;
+    // Gauges are signed; the wire carries their two's-complement bits.
+    let gauges = (0..n_gauges)
+        .map(|_| Ok((read_string(r)?, r.u64()? as i64)))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let n_histograms = r.count(MAX_INSTRUMENTS)?;
+    let histograms = (0..n_histograms)
+        .map(|_| {
+            let name = read_string(r)?;
+            let max = r.u64()?;
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for bucket in &mut buckets {
+                *bucket = r.u64()?;
+            }
+            Ok((name, HistogramSnapshot { buckets, max }))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(RegistrySnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
 }
 
 impl Msg {
@@ -407,6 +523,21 @@ impl Msg {
             Msg::Error { message } => {
                 put_bytes(&mut out, message.as_bytes());
                 kind::ERROR
+            }
+            Msg::HealthPull => kind::HEALTH_PULL,
+            Msg::Health(h) => {
+                out.push(u8::from(h.healthy));
+                out.extend_from_slice(&h.epoch.to_le_bytes());
+                out.extend_from_slice(&h.uptime_ms.to_le_bytes());
+                out.extend_from_slice(&h.recoveries.to_le_bytes());
+                out.push(u8::from(h.durable));
+                out.extend_from_slice(&h.connections.to_le_bytes());
+                kind::HEALTH
+            }
+            Msg::MetricsPull => kind::METRICS_PULL,
+            Msg::Metrics(snap) => {
+                encode_registry(&mut out, snap);
+                kind::METRICS
             }
         };
         Frame::new(kind, out)
@@ -514,6 +645,17 @@ impl Msg {
             kind::ERROR => Msg::Error {
                 message: read_string(&mut r)?,
             },
+            kind::HEALTH_PULL => Msg::HealthPull,
+            kind::HEALTH => Msg::Health(WireHealth {
+                healthy: r.bool()?,
+                epoch: r.u64()?,
+                uptime_ms: r.u64()?,
+                recoveries: r.u64()?,
+                durable: r.bool()?,
+                connections: r.u64()?,
+            }),
+            kind::METRICS_PULL => Msg::MetricsPull,
+            kind::METRICS => Msg::Metrics(decode_registry(&mut r)?),
             kind => return Err(WireError::BadKind { at: 4, kind }),
         };
         r.finish()?;
@@ -599,6 +741,28 @@ mod tests {
             Msg::Error {
                 message: "bad report".into(),
             },
+            Msg::HealthPull,
+            Msg::Health(WireHealth {
+                healthy: true,
+                epoch: 4,
+                uptime_ms: 125_000,
+                recoveries: 1,
+                durable: true,
+                connections: 3,
+            }),
+            Msg::MetricsPull,
+            Msg::Metrics(RegistrySnapshot::default()),
+            Msg::Metrics(RegistrySnapshot {
+                counters: vec![("fleet/reports".into(), 12), ("net/frames_in".into(), 99)],
+                gauges: vec![("net/connections".into(), -1)],
+                histograms: vec![("frontend/exec".into(), {
+                    let mut hist = HistogramSnapshot::default();
+                    hist.buckets[9] = 4;
+                    hist.buckets[12] = 1;
+                    hist.max = 3_600;
+                    hist
+                })],
+            }),
         ]
     }
 

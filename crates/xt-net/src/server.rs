@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use exterminator::frontend::{FrontendConfig, PoolFrontend};
 use exterminator::pool::EarlyVerdict;
@@ -44,10 +44,11 @@ use xt_fleet::{
     bridge, DurabilityConfig, DurabilityError, DurableFleet, FleetConfig, FleetMetrics,
     FleetService, IngestReceipt, Storage,
 };
+use xt_obs::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
 use xt_patch::PatchTable;
 use xt_workloads::Workload;
 
-use crate::proto::{Msg, WireOutcome, WireReceipt, WireVerdict};
+use crate::proto::{Msg, WireHealth, WireOutcome, WireReceipt, WireVerdict};
 
 /// How often blocked server loops (idle connection reads, a full accept
 /// budget) wake to recheck the shutdown flag. Shutdown latency is
@@ -168,6 +169,39 @@ struct Counters {
     rejected: AtomicU64,
 }
 
+/// The wire layer's own observability: frame traffic, server-side
+/// request round-trip latency, live connections, and the server's
+/// start instant (for health-probe uptime). Purely operational — like
+/// every other instrument, none of it feeds deterministic digests.
+struct NetObs {
+    registry: Arc<Registry>,
+    /// Server-side request→reply latency (`net/wire_rtt`), recorded
+    /// per dispatched request frame.
+    wire_rtt: Arc<Histogram>,
+    /// Frames decoded off connections (`net/frames_in`).
+    frames_in: Arc<Counter>,
+    /// Frames written to connections (`net/frames_out`), replies and
+    /// pushes alike.
+    frames_out: Arc<Counter>,
+    /// Live connection handlers (`net/connections`).
+    connections: Arc<Gauge>,
+    started: Instant,
+}
+
+impl NetObs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        NetObs {
+            wire_rtt: registry.histogram("net/wire_rtt"),
+            frames_in: registry.counter("net/frames_in"),
+            frames_out: registry.counter("net/frames_out"),
+            connections: registry.gauge("net/connections"),
+            started: Instant::now(),
+            registry,
+        }
+    }
+}
+
 /// The connection budget: a counting semaphore whose empty state blocks
 /// the accept loop.
 struct Budget {
@@ -230,6 +264,7 @@ pub struct NetFrontend {
     service: Arc<FleetService>,
     backend: Arc<FleetBackend>,
     counters: Arc<Counters>,
+    obs: Arc<NetObs>,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
@@ -258,13 +293,17 @@ impl NetFrontend {
         });
         let service = backend.service_handle();
         let counters = Arc::new(Counters::default());
+        let obs = Arc::new(NetObs::new());
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
             let backend = Arc::clone(&backend);
             let counters = Arc::clone(&counters);
+            let obs = Arc::clone(&obs);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                serve(&workload, &listener, &config, &backend, &counters, &stop);
+                serve(
+                    &workload, &listener, &config, &backend, &counters, &obs, &stop,
+                );
             })
         };
         Ok(NetFrontend {
@@ -272,6 +311,7 @@ impl NetFrontend {
             service,
             backend,
             counters,
+            obs,
             stop,
             handle: Some(handle),
         })
@@ -295,6 +335,29 @@ impl NetFrontend {
     #[must_use]
     pub fn fleet_metrics(&self) -> FleetMetrics {
         self.backend.metrics()
+    }
+
+    /// The wire layer's metrics registry (`net/wire_rtt`,
+    /// `net/frames_in`, `net/frames_out`, `net/connections`). The
+    /// *merged* cross-layer snapshot — this plus the front-end's
+    /// per-job histograms and the fleet's — is what
+    /// [`Msg::MetricsPull`] returns over the wire; see
+    /// [`NetFrontend::metrics_snapshot`] for the server-side subset.
+    #[must_use]
+    pub fn observability(&self) -> &Arc<Registry> {
+        &self.obs.registry
+    }
+
+    /// Fleet + wire layers' merged snapshot, available without a
+    /// connection. The front-end's per-job histograms
+    /// (`frontend/...`) live inside the server thread's scope and are
+    /// only reachable through a wire [`Msg::MetricsPull`].
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = self.service.observability().snapshot();
+        snap.merge(self.backend.metrics().counters_snapshot());
+        snap.merge(self.obs.registry.snapshot());
+        snap
     }
 
     /// Aggregate counters.
@@ -351,6 +414,7 @@ fn serve<W: Workload + Sync>(
     config: &NetConfig,
     backend: &FleetBackend,
     counters: &Counters,
+    obs: &NetObs,
     stop: &AtomicBool,
 ) {
     let budget = Budget::new(config.max_connections);
@@ -395,7 +459,9 @@ fn serve<W: Workload + Sync>(
                 let budget = &budget;
                 conns.spawn(move || {
                     let _slot = SlotGuard(budget);
-                    handle_connection(frontend, backend, counters, stop, stream);
+                    obs.connections.add(1);
+                    handle_connection(frontend, backend, counters, obs, stop, stream);
+                    obs.connections.add(-1);
                 });
             }
         });
@@ -412,11 +478,13 @@ fn serve<W: Workload + Sync>(
 /// Writes one frame under the connection's write lock (whole frames only,
 /// so pushed verdicts/outcomes and request replies never interleave
 /// bytes). Write errors mean the client is gone; the caller's read side
-/// will notice, so they are swallowed here.
-fn send(writer: &Mutex<TcpStream>, msg: &Msg) {
+/// will notice, so they are swallowed here. Every write — reply or push
+/// — counts toward `net/frames_out`.
+fn send(writer: &Mutex<TcpStream>, frames_out: &Counter, msg: &Msg) {
     let mut stream = writer.lock().expect("connection writer lock poisoned");
     let _ = msg.to_frame().write_to(&mut *stream);
     let _ = stream.flush();
+    frames_out.incr();
 }
 
 /// One connection: the current thread reads and dispatches frames; a
@@ -426,6 +494,7 @@ fn handle_connection(
     frontend: &PoolFrontend<'_>,
     backend: &FleetBackend,
     counters: &Counters,
+    obs: &NetObs,
     stop: &AtomicBool,
     stream: TcpStream,
 ) {
@@ -445,13 +514,18 @@ fn handle_connection(
                 let verdict: Option<EarlyVerdict> = ticket.wait_verdict();
                 send(
                     &writer,
+                    &obs.frames_out,
                     &Msg::Verdict {
                         job,
                         verdict: verdict.as_ref().map(WireVerdict::from_early),
                     },
                 );
                 let outcome = ticket.wait();
-                send(&writer, &Msg::Outcome(WireOutcome::from_pool(&outcome)));
+                send(
+                    &writer,
+                    &obs.frames_out,
+                    &Msg::Outcome(WireOutcome::from_pool(&outcome)),
+                );
             }
         });
         // The read loop ends on clean close, torn frame, transport
@@ -476,12 +550,16 @@ fn handle_connection(
                 }
                 Err(_) => break,
             };
+            obs.frames_in.incr();
+            // Server-side round trip: frame decoded → reply written.
+            let dispatched = Instant::now();
             match Msg::from_frame(&frame) {
                 Ok(Msg::Submit(job)) => {
                     let ticket = frontend.submit(&job.input, job.fault);
                     counters.jobs.fetch_add(1, Ordering::Relaxed);
                     let seq = ticket.job();
-                    send(&writer, &Msg::Accepted { job: seq });
+                    send(&writer, &obs.frames_out, &Msg::Accepted { job: seq });
+                    obs.wire_rtt.record_duration(dispatched.elapsed());
                     if tx.send((seq, ticket)).is_err() {
                         break;
                     }
@@ -498,6 +576,7 @@ fn handle_connection(
                             counters.reports.fetch_add(1, Ordering::Relaxed);
                             send(
                                 &writer,
+                                &obs.frames_out,
                                 &Msg::ReportAck(WireReceipt {
                                     duplicate: receipt.duplicate,
                                     shards_touched: receipt.shards_touched as u32,
@@ -507,20 +586,55 @@ fn handle_connection(
                             );
                         }
                         Err(e) => {
+                            // Rate-limited reports land here too: the
+                            // admission refusal crosses back as an
+                            // `Error` frame without dropping the
+                            // connection, so a throttled client can back
+                            // off and retry.
                             counters.rejected.fetch_add(1, Ordering::Relaxed);
                             send(
                                 &writer,
+                                &obs.frames_out,
                                 &Msg::Error {
                                     message: e.to_string(),
                                 },
                             );
                         }
                     }
+                    obs.wire_rtt.record_duration(dispatched.elapsed());
                 }
                 Ok(Msg::EpochPull { have }) => {
                     let latest = backend.service().latest();
                     let epoch = (latest.number > have).then(|| latest.to_text());
-                    send(&writer, &Msg::Epoch { epoch });
+                    send(&writer, &obs.frames_out, &Msg::Epoch { epoch });
+                    obs.wire_rtt.record_duration(dispatched.elapsed());
+                }
+                Ok(Msg::HealthPull) => {
+                    let m = backend.metrics();
+                    send(
+                        &writer,
+                        &obs.frames_out,
+                        &Msg::Health(WireHealth {
+                            healthy: true,
+                            epoch: m.epoch,
+                            uptime_ms: obs.started.elapsed().as_millis() as u64,
+                            recoveries: m.recoveries,
+                            durable: matches!(backend, FleetBackend::Durable(_)),
+                            connections: obs.connections.get().max(0) as u64,
+                        }),
+                    );
+                    obs.wire_rtt.record_duration(dispatched.elapsed());
+                }
+                Ok(Msg::MetricsPull) => {
+                    // Every layer's registry, merged. Names are
+                    // pre-namespaced (`frontend/`, `fleet/`, `net/`), so
+                    // a plain merge never collides.
+                    let mut snap = frontend.observability().snapshot();
+                    snap.merge(backend.service().observability().snapshot());
+                    snap.merge(backend.metrics().counters_snapshot());
+                    snap.merge(obs.registry.snapshot());
+                    send(&writer, &obs.frames_out, &Msg::Metrics(snap));
+                    obs.wire_rtt.record_duration(dispatched.elapsed());
                 }
                 Ok(other) => {
                     // A server-to-client message arriving at the server
@@ -529,6 +643,7 @@ fn handle_connection(
                     counters.rejected.fetch_add(1, Ordering::Relaxed);
                     send(
                         &writer,
+                        &obs.frames_out,
                         &Msg::Error {
                             message: format!("unexpected client message: {other:?}"),
                         },
@@ -539,6 +654,7 @@ fn handle_connection(
                     counters.rejected.fetch_add(1, Ordering::Relaxed);
                     send(
                         &writer,
+                        &obs.frames_out,
                         &Msg::Error {
                             message: e.to_string(),
                         },

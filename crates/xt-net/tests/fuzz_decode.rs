@@ -1,0 +1,176 @@
+//! Corruption fuzzing for the observability frame decoders — the same
+//! regime `xt-fleet/tests/fuzz_decode.rs` applies to reports, frames,
+//! and snapshots, here aimed at the two message decoders this crate
+//! added on the trust boundary: [`Msg::Health`] and [`Msg::Metrics`].
+//! Valid encodings are generated, truncated at every length, and
+//! byte-mutated at seeded positions. Decoders must **never panic**, and
+//! every rejection must carry a usable diagnostic: `BadMagic` by value,
+//! or a byte offset within the buffer.
+
+use proptest::prelude::*;
+
+use xt_fleet::{Frame, WireError};
+use xt_net::proto::{Msg, WireHealth};
+use xt_obs::{HistogramSnapshot, RegistrySnapshot, HISTOGRAM_BUCKETS};
+
+/// The offset a `WireError` points at, if the variant carries one.
+fn error_offset(e: &WireError) -> Option<usize> {
+    match e {
+        WireError::BadMagic(_) | WireError::RateLimited { .. } => None,
+        WireError::Truncated { at }
+        | WireError::BadBool { at, .. }
+        | WireError::BadProbability { at, .. }
+        | WireError::Oversized { at, .. }
+        | WireError::BadSiteCount { at, .. }
+        | WireError::BadGrid { at, .. }
+        | WireError::BadKind { at, .. }
+        | WireError::BadUtf8 { at }
+        | WireError::Trailing { at, .. } => Some(*at),
+    }
+}
+
+fn assert_diagnosable(err: &WireError, len: usize) -> Result<(), TestCaseError> {
+    if let Some(at) = error_offset(err) {
+        prop_assert!(
+            at <= len,
+            "error offset {at} beyond the {len}-byte buffer: {err:?}"
+        );
+    }
+    Ok(())
+}
+
+/// SplitMix64, for seeded corruption positions.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The full decode path a connection runs: frame layer, then message.
+fn decode_msg(bytes: &[u8]) -> Result<Msg, WireError> {
+    Msg::from_frame(&Frame::decode(bytes)?)
+}
+
+fn health_strategy() -> impl Strategy<Value = Msg> {
+    (
+        (any::<bool>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<bool>(), any::<u64>()),
+    )
+        .prop_map(
+            |((healthy, epoch, uptime_ms), (recoveries, durable, connections))| {
+                Msg::Health(WireHealth {
+                    healthy,
+                    epoch,
+                    uptime_ms,
+                    recoveries,
+                    durable,
+                    connections,
+                })
+            },
+        )
+}
+
+/// Instrument names in the registry's style: `layer/stage`, lowercase.
+fn name_strategy() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(0u8..27, 1..12),
+        proptest::collection::vec(0u8..27, 0..8),
+    )
+        .prop_map(|(a, b)| {
+            let part = |v: &[u8]| {
+                v.iter()
+                    .map(|&c| if c == 26 { '_' } else { (b'a' + c) as char })
+                    .collect::<String>()
+            };
+            format!("{}/{}", part(&a), part(&b))
+        })
+}
+
+fn histogram_strategy() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        proptest::collection::vec(any::<u64>(), HISTOGRAM_BUCKETS),
+        any::<u64>(),
+    )
+        .prop_map(|(buckets, max)| HistogramSnapshot {
+            buckets: buckets.try_into().expect("exact bucket count"),
+            max,
+        })
+}
+
+fn metrics_strategy() -> impl Strategy<Value = Msg> {
+    (
+        proptest::collection::vec((name_strategy(), any::<u64>()), 0..6),
+        proptest::collection::vec((name_strategy(), any::<i64>()), 0..4),
+        proptest::collection::vec((name_strategy(), histogram_strategy()), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| {
+            Msg::Metrics(RegistrySnapshot {
+                counters,
+                gauges,
+                histograms,
+            })
+        })
+}
+
+fn observability_msg_strategy() -> impl Strategy<Value = Msg> {
+    prop_oneof![health_strategy(), metrics_strategy()]
+}
+
+/// Truncation points: exhaustive for small buffers, seeded sampling for
+/// large ones (a metrics frame with histograms runs to kilobytes).
+fn truncation_points(len: usize, seed: u64) -> Vec<usize> {
+    if len <= 256 {
+        return (0..len).collect();
+    }
+    let mut points: Vec<usize> = (0..128).collect();
+    let mut state = seed;
+    points.extend((0..96).map(|_| 128 + (splitmix(&mut state) as usize) % (len - 128)));
+    points.push(len - 1);
+    points
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn observability_messages_round_trip(msg in observability_msg_strategy()) {
+        let bytes = msg.to_frame().encode();
+        prop_assert_eq!(decode_msg(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_observability_frames_always_reject_with_offsets(
+        msg in observability_msg_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let bytes = msg.to_frame().encode();
+        for len in truncation_points(bytes.len(), seed) {
+            let err = decode_msg(&bytes[..len])
+                .expect_err("a strict prefix decoded as a whole message");
+            assert_diagnosable(&err, len)?;
+        }
+    }
+
+    /// Byte mutations: never panic, and rejections stay diagnosable.
+    /// (Acceptance is legitimate — most positions hold counter/bucket
+    /// values where any byte is a different valid value.)
+    #[test]
+    fn mutated_observability_frames_never_panic(
+        msg in observability_msg_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let bytes = msg.to_frame().encode();
+        let mut state = seed;
+        for _ in 0..64 {
+            let mut corrupt = bytes.clone();
+            let pos = (splitmix(&mut state) as usize) % corrupt.len();
+            let delta = (splitmix(&mut state) % 255) as u8 + 1;
+            corrupt[pos] ^= delta;
+            if let Err(err) = decode_msg(&corrupt) {
+                assert_diagnosable(&err, corrupt.len())?;
+            }
+        }
+    }
+}

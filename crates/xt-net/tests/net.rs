@@ -16,6 +16,11 @@
 //! 4. **Hostile bytes are contained.** Malformed frames and hostile
 //!    nested reports are rejected with offset-bearing errors, counted,
 //!    and never take the server down.
+//! 5. **The server is observable over its own wire.** A client pulls a
+//!    health frame and the merged metrics snapshot — per-stage latency
+//!    histograms with nonzero counts from every layer — and a flooding
+//!    client is rate-limited at ingest admission while a well-behaved
+//!    client on the same server is unaffected.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -29,6 +34,7 @@ use xt_faults::{FaultKind, FaultSpec};
 use xt_fleet::frame::{Frame, FRAME_MAGIC};
 use xt_fleet::{wal, DurabilityConfig, FleetConfig, MemStorage, RunReport};
 use xt_net::{NetClient, NetConfig, NetDurability, NetError, NetFrontend, RetryPolicy};
+use xt_obs::TokenBucketConfig;
 use xt_patch::PatchTable;
 use xt_workloads::{multi_client_sessions, EspressoLike, SquidLike, Workload, WorkloadInput};
 
@@ -553,5 +559,179 @@ fn malformed_frames_and_hostile_reports_are_contained() {
         "rejections were not counted: {stats:?}"
     );
     drop(client);
+    server.shutdown();
+}
+
+/// A well-formed report for the observability tests: minimal, but it
+/// passes the wire validator and folds real evidence.
+fn evidence_report(client: u64, seq: u32) -> RunReport {
+    RunReport {
+        client,
+        seq,
+        failed: true,
+        clock: 50 + u64::from(seq),
+        n_sites: 100,
+        dangling_obs: vec![(0xD00D, 0.5, true)],
+        overflow_obs: Vec::new(),
+        pad_hints: Vec::new(),
+        defer_hints: vec![(0xD00D, 0xF, 30)],
+    }
+}
+
+/// The acceptance pin for the wire observability surface: after real
+/// traffic (jobs and reports over TCP), a client pulls a health frame
+/// and the full merged metrics snapshot, and every layer's per-stage
+/// histograms carry nonzero counts.
+#[test]
+fn health_and_metrics_pull_over_live_tcp() {
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", net_config(1))
+        .expect("bind localhost");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+
+    for seed in 0..3 {
+        let outcome = client
+            .submit(&WorkloadInput::with_seed(seed), None)
+            .expect("submit")
+            .wait()
+            .expect("outcome");
+        assert!(outcome.unanimous);
+    }
+    for seq in 0..5 {
+        let receipt = client
+            .ingest_report(&evidence_report(7, seq))
+            .expect("report ack");
+        assert!(!receipt.duplicate);
+    }
+
+    let health = client.pull_health().expect("health frame");
+    assert!(health.healthy);
+    assert!(!health.durable, "plain backend reported durable");
+    assert_eq!(health.recoveries, 0);
+    assert!(
+        health.connections >= 1,
+        "the probing connection itself should be counted"
+    );
+
+    let snap = client.pull_metrics().expect("metrics frame");
+    // Per-stage latency histograms from all three layers, each with the
+    // counts the traffic above implies.
+    for (name, expect) in [
+        ("frontend/queue_wait", 3),
+        ("frontend/exec", 3),
+        ("frontend/verdict", 3),
+        ("fleet/ingest", 5),
+        ("fleet/fold", 5),
+    ] {
+        let hist = snap
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} missing from pulled snapshot"));
+        assert_eq!(hist.count(), expect, "{name} count");
+        assert!(hist.p50() <= hist.p99(), "{name} quantiles disordered");
+    }
+    let rtt = snap.histogram("net/wire_rtt").expect("net/wire_rtt");
+    // 3 Accepted + 5 ReportAcks + the health reply; the metrics reply
+    // itself records only after the snapshot was taken.
+    assert!(rtt.count() >= 9, "wire RTT count {}", rtt.count());
+    assert_eq!(snap.counter("fleet/reports"), Some(5));
+    assert!(snap.counter("net/frames_in").unwrap_or(0) >= 9);
+    assert!(snap.counter("net/frames_out").unwrap_or(0) >= 9);
+
+    // The server-side (connection-free) subset agrees on fleet counters.
+    let local = server.metrics_snapshot();
+    assert_eq!(local.counter("fleet/reports"), Some(5));
+    assert!(local.histogram("fleet/ingest").is_some());
+
+    drop(client);
+    server.shutdown();
+}
+
+/// Health over a durable backend: after a restart-with-recovery the
+/// probe reports durable mode and the recovery count.
+#[test]
+fn health_probe_reports_durability_and_recovery() {
+    let mut config = net_config(1);
+    // `config.clone()` shares this Arc, so the rebind below recovers
+    // from the same storage.
+    config.durability = Some(NetDurability {
+        storage: Arc::new(MemStorage::new()),
+        config: DurabilityConfig { snapshot_every: 0 },
+    });
+
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config.clone())
+        .expect("bind durable server");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    client
+        .ingest_report(&evidence_report(9, 0))
+        .expect("report ack");
+    let health = client.pull_health().expect("health frame");
+    assert!(health.durable, "durable backend reported plain");
+    assert_eq!(health.recoveries, 0, "fresh storage recovered something");
+    drop(client);
+    server.shutdown();
+
+    let server = NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config)
+        .expect("rebind durable server");
+    let client = NetClient::connect(server.local_addr()).expect("reconnect");
+    let health = client.pull_health().expect("health frame");
+    assert!(health.durable);
+    assert_eq!(health.recoveries, 1, "restart did not surface the recovery");
+    let snap = client.pull_metrics().expect("metrics frame");
+    assert_eq!(snap.counter("fleet/recoveries"), Some(1));
+    drop(client);
+    server.shutdown();
+}
+
+/// The admission-control pin: with per-client token buckets armed, a
+/// flooding client's reports are refused with a named rate-limit error
+/// — visible in the pulled metrics — while a well-behaved client on the
+/// same server ingests untouched.
+#[test]
+fn flooding_client_is_rate_limited_while_quiet_client_is_not() {
+    let mut config = net_config(1);
+    config.fleet.rate_limit = Some(TokenBucketConfig {
+        burst: 4,
+        refill_num: 1,
+        refill_den: 8,
+    });
+    let server =
+        NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config).expect("bind localhost");
+
+    // The flood: one client hammers 64 reports without backing off.
+    let flooder = NetClient::connect(server.local_addr()).expect("connect flooder");
+    let mut refused = 0u64;
+    for seq in 0..64 {
+        match flooder.ingest_report(&evidence_report(1, seq)) {
+            Ok(receipt) => assert!(!receipt.duplicate),
+            Err(NetError::Remote(message)) => {
+                assert!(
+                    message.contains("rate-limited"),
+                    "refusal lost its diagnosis: {message}"
+                );
+                refused += 1;
+            }
+            Err(other) => panic!("rate limiting broke the connection: {other:?}"),
+        }
+    }
+    assert!(
+        refused >= 40,
+        "sustained flood mostly admitted ({refused}/64 refused)"
+    );
+
+    // The same server still admits a well-behaved client's burst whole.
+    let quiet = NetClient::connect(server.local_addr()).expect("connect quiet");
+    for seq in 0..4 {
+        quiet
+            .ingest_report(&evidence_report(2, seq))
+            .expect("well-behaved client was throttled");
+    }
+
+    // The refusals are observable over the wire, attributed to the
+    // fleet's admission counter, not the decode-rejection counter.
+    let snap = quiet.pull_metrics().expect("metrics frame");
+    assert_eq!(snap.counter("fleet/rate_limited"), Some(refused));
+    assert_eq!(snap.counter("fleet/rejected_reports"), Some(0));
+    assert_eq!(snap.counter("fleet/reports"), Some((64 - refused) + 4));
+    drop(flooder);
+    drop(quiet);
     server.shutdown();
 }

@@ -1,0 +1,148 @@
+//! Property tests for the observability primitives: histogram merge
+//! is associative, order-insensitive, and count-preserving; quantiles
+//! are ordered and bounded; empty snapshots never panic; and the
+//! deterministic token bucket admits bursts, rejects floods, and
+//! counts both exactly.
+
+use proptest::prelude::*;
+
+use xt_obs::{Histogram, HistogramSnapshot, TokenBucket, TokenBucketConfig};
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        a in samples_strategy(),
+        b in samples_strategy(),
+        c in samples_strategy(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive(a in samples_strategy(), b in samples_strategy()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_equals_pooled_recording(
+        a in samples_strategy(),
+        b in samples_strategy(),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        // Merging per-shard histograms is indistinguishable from
+        // recording every sample into one histogram.
+        let pooled: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&pooled));
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded(samples in samples_strategy()) {
+        let s = snapshot_of(&samples);
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        prop_assert!(p99 <= s.max, "p99 {p99} > max {}", s.max);
+        if let Some(&min) = samples.iter().min() {
+            // Every quantile estimate sits within the recorded range.
+            prop_assert!(s.quantile(0.0) <= s.max);
+            prop_assert!(s.max >= min);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_never_panics(q in 0.0f64..=1.0) {
+        let s = HistogramSnapshot::default();
+        prop_assert_eq!(s.count(), 0);
+        prop_assert_eq!(s.quantile(q), 0);
+        prop_assert_eq!(s.max, 0);
+        let mut merged = s.clone();
+        merged.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(merged, s);
+    }
+
+    #[test]
+    fn token_bucket_decisions_replay_exactly(
+        seed in any::<u64>(),
+        burst in 1u32..64,
+        num in 1u32..8,
+        den in 1u32..16,
+        attempts in 1usize..500,
+    ) {
+        let config = TokenBucketConfig { burst, refill_num: num, refill_den: den };
+        let run = || {
+            let mut bucket = TokenBucket::new(config, seed);
+            (0..attempts).map(|_| bucket.try_admit()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn token_bucket_counters_partition_attempts(
+        seed in any::<u64>(),
+        attempts in 0usize..2000,
+    ) {
+        let mut bucket = TokenBucket::new(TokenBucketConfig::default(), seed);
+        let admitted = (0..attempts).filter(|_| bucket.try_admit()).count() as u64;
+        prop_assert_eq!(bucket.admitted(), admitted);
+        prop_assert_eq!(bucket.admitted() + bucket.rejected(), attempts as u64);
+        // Steady-state ceiling: burst plus the refill earnings, with
+        // one bucket's slack for the seeded initial phase.
+        let config = TokenBucketConfig::default();
+        let earned = (attempts as u64 * u64::from(config.refill_num))
+            / u64::from(config.refill_den);
+        prop_assert!(
+            admitted <= u64::from(config.burst) + earned + 1,
+            "admitted {admitted} exceeds burst {} + earned {earned} + 1",
+            config.burst
+        );
+    }
+}
+
+#[test]
+fn flood_is_rejected_while_quiet_burst_is_not() {
+    let config = TokenBucketConfig {
+        burst: 16,
+        refill_num: 1,
+        refill_den: 8,
+    };
+    // A flooding client: far more attempts than its refill covers.
+    let mut flood = TokenBucket::new(config, 1);
+    let flood_admitted = (0..1024).filter(|_| flood.try_admit()).count();
+    assert!(flood.rejected() > 800, "flood mostly rejected");
+    assert!(flood_admitted < 200);
+    // A well-behaved client staying inside its burst: never rejected.
+    let mut quiet = TokenBucket::new(config, 2);
+    for _ in 0..16 {
+        assert!(quiet.try_admit(), "in-burst client must be admitted");
+    }
+    assert_eq!(quiet.rejected(), 0);
+}

@@ -147,6 +147,18 @@ fn main() {
     assert!(redelivery.duplicate, "recovery forgot the delivery window");
     println!("redelivered report 0 -> duplicate (replay window recovered)");
 
+    // The health probe tells the restart story in one frame, and the
+    // merged metrics snapshot shows the recovered counters next to the
+    // wire/WAL latency histograms.
+    let health = client.pull_health().expect("health pull");
+    println!(
+        "\nhealth: durable={}, recoveries={}, epoch {}, {}ms up",
+        health.durable, health.recoveries, health.epoch, health.uptime_ms
+    );
+    assert!(health.durable);
+    let snapshot = client.pull_metrics().expect("metrics pull");
+    println!("\nmetrics at shutdown:\n{}", snapshot.render_text());
+
     drop(client);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

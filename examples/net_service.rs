@@ -140,6 +140,15 @@ fn main() {
         metrics.epoch,
         patches.pads().collect::<Vec<_>>()
     );
+    // The operator's view, pulled over the same socket the jobs rode:
+    // health, then every layer's counters and latency histograms.
+    let health = client.pull_health().expect("health pull");
+    println!(
+        "\nhealth: epoch {} after {}ms up, {} connections, durable={}",
+        health.epoch, health.uptime_ms, health.connections, health.durable
+    );
+    let snapshot = client.pull_metrics().expect("metrics pull");
+    println!("\nmetrics at shutdown:\n{}", snapshot.render_text());
     drop(client);
     server.shutdown();
     assert!(healed, "the fleet loop never healed the server");
