@@ -8,12 +8,15 @@
 //! Each ramp stage binds a fresh server (2 pools × 3 replicas, bounded
 //! queues) and drives it with `N` concurrent [`NetClient`]s over real
 //! localhost TCP, each pipelining a fixed job budget. Stage throughput
-//! comes from wall clock; the **knee** is the first stage whose marginal
-//! throughput gain over the previous stage falls under 15% despite the
-//! client population doubling — beyond it the bounded queues are full
-//! and extra clients only deepen queue wait (visible in the
-//! `frontend/queue_wait` histogram pulled from the saturated server).
-//! If no stage shows that plateau the knee is the throughput argmax.
+//! comes from wall clock; the **knee** ([`bench::knee`]) is the first
+//! stage whose marginal throughput gain over the previous stage falls
+//! under 15% despite the client population doubling — beyond it the
+//! bounded queues are full and extra clients only deepen queue wait
+//! (visible in the `frontend/queue_wait` histogram pulled from the
+//! saturated server). The knee line says *how* scaling ended: `plateau`
+//! (flat step), `regression` (throughput fell — the headline finding,
+//! never to be read as mere saturation), or `peak` (never stopped
+//! scaling; argmax).
 //!
 //! Two invariants are asserted, not just measured:
 //!
@@ -144,25 +147,6 @@ fn serial_digests(inputs: &[WorkloadInput]) -> Vec<u128> {
     })
 }
 
-/// First stage whose marginal throughput gain is under 15% — the knee —
-/// falling back to the throughput argmax when the ramp never plateaus.
-fn knee_index(stages: &[Stage]) -> usize {
-    for i in 1..stages.len() {
-        if stages[i].jobs_per_sec < stages[i - 1].jobs_per_sec * 1.15 {
-            return i;
-        }
-    }
-    stages
-        .iter()
-        .enumerate()
-        .max_by(|a, b| {
-            a.1.jobs_per_sec
-                .partial_cmp(&b.1.jobs_per_sec)
-                .expect("finite throughput")
-        })
-        .map_or(0, |(i, _)| i)
-}
-
 fn main() {
     let quick = criterion::quick_mode();
     let (client_ramp, jobs_per_client): (&[usize], usize) = if quick {
@@ -240,9 +224,16 @@ fn main() {
     drop(probe);
     server.shutdown();
 
-    let knee = knee_index(&stages);
+    // Knee analysis (bench::knee): total over non-finite throughputs, and
+    // it tells a flat step apart from an outright drop — a regression at
+    // the top of the ramp is the headline of a saturation run, not a
+    // "plateau".
+    let throughputs: Vec<f64> = stages.iter().map(|s| s.jobs_per_sec).collect();
+    let verdict = bench::knee(&throughputs);
+    let knee = verdict.index();
     println!(
-        "knee: {} clients at {:.1} jobs/s (queue-wait p95 {}ns, wire-rtt p95 {}ns at saturation)",
+        "knee ({}): {} clients at {:.1} jobs/s (queue-wait p95 {}ns, wire-rtt p95 {}ns at saturation)",
+        verdict.kind(),
         stages[knee].clients,
         stages[knee].jobs_per_sec,
         queue_wait.p95(),

@@ -194,6 +194,78 @@ pub fn fmt_ratio(r: f64) -> String {
     format!("{r:.2}x")
 }
 
+/// Where a throughput ramp stops scaling, and how it stopped.
+///
+/// The index is into the ramp handed to [`knee`]; the variant records
+/// *why* scaling ended there, because a load harness that prints
+/// "plateau" for an actual throughput regression hides the exact signal
+/// a saturation run exists to surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Knee {
+    /// Throughput still grew at this stage, but by under the marginal-gain
+    /// threshold — the classic saturation knee.
+    Plateau(usize),
+    /// Throughput *fell* at this stage: past the knee and degrading
+    /// (lock convoys, queue collapse), not merely flat.
+    Regression(usize),
+    /// The ramp never stopped scaling; the index is the throughput argmax
+    /// (the last stage, unless noise reordered the tail).
+    Peak(usize),
+}
+
+impl Knee {
+    /// The stage index, whichever way scaling ended.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match *self {
+            Knee::Plateau(i) | Knee::Regression(i) | Knee::Peak(i) => i,
+        }
+    }
+
+    /// Short label for ramp printouts.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Knee::Plateau(_) => "plateau",
+            Knee::Regression(_) => "regression",
+            Knee::Peak(_) => "peak",
+        }
+    }
+}
+
+/// Finds the knee of a throughput ramp: the first stage whose marginal
+/// gain over its predecessor is under 15%, distinguishing a flat step
+/// ([`Knee::Plateau`]) from an outright drop ([`Knee::Regression`]).
+/// A ramp that never stops scaling reports [`Knee::Peak`] at the argmax.
+///
+/// Total over hostile input: non-finite throughputs (a zero-duration
+/// stage divides to infinity or NaN) never participate in a comparison —
+/// the marginal-gain test skips pairs with a non-finite side, and the
+/// argmax ranks by [`f64::total_cmp`] over finite stages only, falling
+/// back to index 0 when nothing is finite. An empty ramp is `Peak(0)`.
+#[must_use]
+pub fn knee(throughputs: &[f64]) -> Knee {
+    for i in 1..throughputs.len() {
+        let (prev, cur) = (throughputs[i - 1], throughputs[i]);
+        if !prev.is_finite() || !cur.is_finite() {
+            continue;
+        }
+        if cur < prev {
+            return Knee::Regression(i);
+        }
+        if cur < prev * 1.15 {
+            return Knee::Plateau(i);
+        }
+    }
+    let peak = throughputs
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_finite())
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i);
+    Knee::Peak(peak)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +284,36 @@ mod tests {
         let a = run_on_baseline(&EspressoLike::new(), &input, 1);
         let b = run_on_exterminator(&EspressoLike::new(), &input, 2);
         assert_eq!(a.output, b.output, "stacks disagree on output");
+    }
+
+    #[test]
+    fn knee_of_monotone_ramp_is_the_peak() {
+        // Every step gains >15%: the ramp never saturates.
+        assert_eq!(knee(&[100.0, 200.0, 400.0, 800.0]), Knee::Peak(3));
+        assert_eq!(knee(&[]), Knee::Peak(0));
+        assert_eq!(knee(&[42.0]), Knee::Peak(0));
+    }
+
+    #[test]
+    fn knee_of_plateau_ramp_is_the_flat_step() {
+        // 400 → 420 is +5%: flat, not falling.
+        assert_eq!(knee(&[100.0, 200.0, 400.0, 420.0]), Knee::Plateau(3));
+    }
+
+    #[test]
+    fn knee_of_regression_ramp_is_labelled_regression() {
+        // A throughput *drop* must not be mislabelled a plateau.
+        assert_eq!(knee(&[100.0, 200.0, 150.0, 140.0]), Knee::Regression(2));
+    }
+
+    #[test]
+    fn knee_survives_non_finite_throughputs() {
+        // NaN stages neither panic (the old argmax unwrapped a
+        // partial_cmp) nor win the argmax; comparisons skip them.
+        assert_eq!(knee(&[f64::NAN, 100.0, 120.0]), Knee::Peak(2));
+        assert_eq!(knee(&[100.0, f64::NAN, 200.0, 190.0]), Knee::Regression(3));
+        assert_eq!(knee(&[f64::NAN, f64::INFINITY]), Knee::Peak(0));
+        assert_eq!(knee(&[100.0, f64::INFINITY, 90.0]), Knee::Peak(0));
     }
 
     #[test]

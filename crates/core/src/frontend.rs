@@ -327,6 +327,9 @@ struct Shared {
     /// `frontend/queue_wait` (submit → driver dequeue),
     /// `frontend/verdict` (dispatch → streaming quorum posted),
     /// `frontend/exec` (dispatch → outcome finalized on all replicas).
+    /// Each driver's [`ReplicaPool`] also records into this registry
+    /// (`pool/capture`, the heap-image capture stage), so one snapshot
+    /// carries the whole service's stage latencies.
     obs: Arc<Registry>,
     queue_wait_hist: Arc<Histogram>,
     verdict_hist: Arc<Histogram>,
@@ -514,8 +517,9 @@ impl<'scope> PoolFrontend<'scope> {
     }
 
     /// The front-end's latency instruments (`frontend/queue_wait`,
-    /// `frontend/verdict`, `frontend/exec`). Observability only: none
-    /// of it feeds outcome bytes or deterministic digests.
+    /// `frontend/verdict`, `frontend/exec`) plus the pools' capture-stage
+    /// histogram (`pool/capture`). Observability only: none of it feeds
+    /// outcome bytes or deterministic digests.
     #[must_use]
     pub fn observability(&self) -> &Arc<Registry> {
         &self.shared.obs
@@ -688,7 +692,16 @@ fn drive<W: Workload + Sync + ?Sized>(
         (st.version, st.table.clone())
     };
     std::thread::scope(|scope| {
-        let mut pool = ReplicaPool::scoped(scope, workload, pool_config, initial);
+        // All drivers share the front-end registry, so every pool's
+        // `pool/capture` samples aggregate into one fleet-visible
+        // histogram next to the frontend/* stage instruments.
+        let mut pool = ReplicaPool::scoped_with_obs(
+            scope,
+            workload,
+            pool_config,
+            initial,
+            Arc::clone(&shared.obs),
+        );
         let mut inflight: VecDeque<Inflight> = VecDeque::new();
         let served = catch_unwind(AssertUnwindSafe(|| {
             loop {
@@ -849,6 +862,9 @@ mod tests {
             assert_eq!(snap.histogram("frontend/queue_wait").unwrap().count(), 12);
             assert_eq!(snap.histogram("frontend/verdict").unwrap().count(), 12);
             assert_eq!(snap.histogram("frontend/exec").unwrap().count(), 12);
+            // The pools record into the same registry: one capture per
+            // replica per job, aggregated across both pools.
+            assert_eq!(snap.histogram("pool/capture").unwrap().count(), 12 * 3);
             frontend.shutdown();
         });
     }

@@ -60,6 +60,7 @@ use xt_diefast::DieFastConfig;
 use xt_faults::FaultSpec;
 use xt_image::HeapImage;
 use xt_isolate::iterative::{isolate_with, IsolateOptions};
+use xt_obs::{Histogram, Registry};
 use xt_patch::{PatchEpoch, PatchTable};
 use xt_workloads::{Workload, WorkloadInput};
 
@@ -299,11 +300,13 @@ pub struct ReplicaPool<'scope> {
     epoch: u64,
     next_job: u64,
     inflight: VecDeque<JobState>,
+    obs: Arc<Registry>,
 }
 
 impl<'scope> ReplicaPool<'scope> {
     /// Spawns `config.replicas` persistent workers over `workload`, with
-    /// `patches` as the initially loaded table.
+    /// `patches` as the initially loaded table. Capture-stage timings land
+    /// in a pool-private registry; see [`ReplicaPool::observability`].
     pub fn scoped<'env, W>(
         scope: &'scope Scope<'scope, 'env>,
         workload: &'env W,
@@ -313,6 +316,25 @@ impl<'scope> ReplicaPool<'scope> {
     where
         W: Workload + Sync + ?Sized,
     {
+        ReplicaPool::scoped_with_obs(scope, workload, config, patches, Registry::new())
+    }
+
+    /// [`ReplicaPool::scoped`] recording into a caller-supplied registry —
+    /// how the [`PoolFrontend`](crate::frontend::PoolFrontend) folds every
+    /// pool's `pool/capture` histogram into the one fleet-visible metrics
+    /// snapshot (registries dedup instruments by name, so all pools share
+    /// one aggregate histogram).
+    pub fn scoped_with_obs<'env, W>(
+        scope: &'scope Scope<'scope, 'env>,
+        workload: &'env W,
+        config: PoolConfig,
+        patches: PatchTable,
+        obs: Arc<Registry>,
+    ) -> ReplicaPool<'scope>
+    where
+        W: Workload + Sync + ?Sized,
+    {
+        let capture_hist = obs.histogram("pool/capture");
         let n = config.replicas.max(1);
         let (event_tx, events) = mpsc::channel();
         let mut txs = Vec::with_capacity(n);
@@ -327,6 +349,7 @@ impl<'scope> ReplicaPool<'scope> {
                 .straggler
                 .filter(|s| s.replica == worker)
                 .map(|s| s.delay);
+            let capture_hist = Arc::clone(&capture_hist);
             handles.push(scope.spawn(move || {
                 worker_loop(
                     workload,
@@ -337,6 +360,7 @@ impl<'scope> ReplicaPool<'scope> {
                     delay,
                     &rx,
                     &event_tx,
+                    &capture_hist,
                 );
             }));
             txs.push(tx);
@@ -350,7 +374,19 @@ impl<'scope> ReplicaPool<'scope> {
             epoch: 0,
             next_job: 0,
             inflight: VecDeque::new(),
+            obs,
         }
+    }
+
+    /// The pool's latency instruments — currently `pool/capture`, the
+    /// per-run heap-image capture stage (workers retain each run's image
+    /// as the base for incremental capture of the next, so this histogram
+    /// is where the dirty-page splicing shows up operationally).
+    /// Observability only: nothing here feeds outcome bytes or
+    /// deterministic digests.
+    #[must_use]
+    pub fn observability(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Number of replica workers.
@@ -783,6 +819,7 @@ fn worker_loop<W: Workload + Sync + ?Sized>(
     straggle: Option<Duration>,
     rx: &Receiver<WorkerMsg>,
     events: &Sender<Event>,
+    capture_hist: &Histogram,
 ) {
     let mut stack = ReusableStack::new();
     while let Ok(WorkerMsg::Exec {
@@ -825,7 +862,9 @@ fn worker_loop<W: Workload + Sync + ?Sized>(
         {
             return;
         }
+        let capture_start = Instant::now();
         let record = active.finish();
+        capture_hist.record_duration(capture_start.elapsed());
         if events
             .send(Event::Done {
                 job,
@@ -859,6 +898,9 @@ mod tests {
                 assert_eq!(out.outcome.replicas.len(), 3);
                 assert!(out.outcome.replicas.iter().all(|r| r.completed));
             }
+            // Every replica's finish() landed one capture-stage sample.
+            let snap = pool.observability().snapshot();
+            assert_eq!(snap.histogram("pool/capture").unwrap().count(), 4 * 3);
             pool.shutdown();
         });
     }

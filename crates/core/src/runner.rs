@@ -104,6 +104,12 @@ impl RunRecord {
 #[derive(Debug, Default)]
 pub struct ReusableStack {
     arena: Option<xt_arena::Arena>,
+    /// The previous run's heap image, kept as the base for incremental
+    /// capture. [`Arena::reset`](xt_arena::Arena::reset) clears all dirty
+    /// state and remapping marks every fresh page, so diffing against the
+    /// base stays byte-identical to a full capture even across inputs —
+    /// the reused-vs-fresh determinism tests pin this.
+    base_image: Option<HeapImage>,
 }
 
 impl ReusableStack {
@@ -163,7 +169,13 @@ impl ActiveRun<'_> {
         let result = self.result.expect("finish() requires a completed run()");
         let injected = self.stack.events().to_vec();
         let diefast = self.stack.into_inner().into_inner();
-        let image = HeapImage::capture(&diefast);
+        let image = match self.home.base_image.take() {
+            Some(base) => HeapImage::capture_incremental(&base, &diefast),
+            None => HeapImage::capture(&diefast),
+        };
+        // Cheap: slot data is `Arc`-shared, so the retained base costs one
+        // refcount per slot, not a byte copy.
+        self.home.base_image = Some(image.clone());
         let clock = diefast.inner().clock();
         let history = diefast.inner().history().cloned();
         let mut diefast = diefast;

@@ -14,6 +14,17 @@
 //! culprits come from *cold* allocation sites where needed, since
 //! cumulative mode's evidence strength scales inversely with the culprit
 //! site's allocation volume (the §7.3 Mozilla observation).
+//!
+//! **Rediscovering injection triggers.** If a workload or allocator
+//! change invalidates a hardcoded trigger ordinal (a cell stops
+//! manifesting, or manifests as a different fault), rerun the §7.2 scan
+//! for that cell with
+//! [`exterminator::runner::find_manifesting_fault`]: give it the cell's
+//! workload, input, and fault kind, and sweep candidate trigger ordinals
+//! (and overflow deltas) until it returns a spec whose run raises the
+//! expected signal — `crates/bench/src/bin/exp_injected_overflows.rs`
+//! drives the same helper as a harness and is the template to crib.
+//! Paste the ordinal it finds back into the matrix below.
 
 use std::collections::BTreeSet;
 
