@@ -52,7 +52,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{Scope, ScopedJoinHandle};
 use std::time::Instant;
 
@@ -173,7 +173,7 @@ impl TicketSlot {
     }
 
     fn post_verdict(&self, verdict: Option<EarlyVerdict>) {
-        let mut cell = self.cell.lock().expect("ticket lock poisoned");
+        let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
         cell.verdict = Some(verdict);
         if cell.waiting {
             self.ready.notify_all();
@@ -181,7 +181,7 @@ impl TicketSlot {
     }
 
     fn post_outcome(&self, outcome: PoolOutcome) {
-        let mut cell = self.cell.lock().expect("ticket lock poisoned");
+        let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
         cell.outcome = Some(outcome);
         if cell.waiting {
             self.ready.notify_all();
@@ -189,7 +189,7 @@ impl TicketSlot {
     }
 
     fn kill(&self) {
-        let mut cell = self.cell.lock().expect("ticket lock poisoned");
+        let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
         cell.dead = true;
         self.ready.notify_all();
     }
@@ -222,7 +222,11 @@ impl JobTicket {
     /// The finalized outcome, if it is already available.
     #[must_use]
     pub fn try_poll(&self) -> Option<PoolOutcome> {
-        let cell = self.slot.cell.lock().expect("ticket lock poisoned");
+        let cell = self
+            .slot
+            .cell
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         assert!(!cell.dead, "pool front-end driver died serving this job");
         cell.outcome.clone()
     }
@@ -231,7 +235,11 @@ impl JobTicket {
     /// returns the finalized outcome.
     #[must_use]
     pub fn wait(self) -> PoolOutcome {
-        let mut cell = self.slot.cell.lock().expect("ticket lock poisoned");
+        let mut cell = self
+            .slot
+            .cell
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             assert!(!cell.dead, "pool front-end driver died serving this job");
             if let Some(outcome) = cell.outcome.take() {
@@ -239,7 +247,11 @@ impl JobTicket {
                 return outcome;
             }
             cell.waiting = true;
-            cell = self.slot.ready.wait(cell).expect("ticket lock poisoned");
+            cell = self
+                .slot
+                .ready
+                .wait(cell)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -249,7 +261,11 @@ impl JobTicket {
     /// every replica disagreeing.
     #[must_use]
     pub fn wait_verdict(&self) -> Option<EarlyVerdict> {
-        let mut cell = self.slot.cell.lock().expect("ticket lock poisoned");
+        let mut cell = self
+            .slot
+            .cell
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             assert!(!cell.dead, "pool front-end driver died serving this job");
             if let Some(verdict) = &cell.verdict {
@@ -258,7 +274,11 @@ impl JobTicket {
                 return verdict;
             }
             cell.waiting = true;
-            cell = self.slot.ready.wait(cell).expect("ticket lock poisoned");
+            cell = self
+                .slot
+                .ready
+                .wait(cell)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -340,7 +360,7 @@ impl Shared {
     /// Blocking bounded push (the backpressure point).
     fn push(&self, target: usize, job: Job) {
         let q = &self.queues[target];
-        let mut st = q.state.lock().expect("queue lock poisoned");
+        let mut st = q.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.jobs.len() >= self.capacity && !st.dead && !st.closed {
             // Counted once per blocked push, not once per wakeup — a
             // notify_all that races eight producers for one slot is still
@@ -349,7 +369,7 @@ impl Shared {
         }
         while st.jobs.len() >= self.capacity && !st.dead && !st.closed {
             st.producers_waiting += 1;
-            st = q.not_full.wait(st).expect("queue lock poisoned");
+            st = q.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
             st.producers_waiting -= 1;
         }
         assert!(!st.dead, "pool front-end driver died; submission rejected");
@@ -366,7 +386,7 @@ impl Shared {
     /// therefore means the queue is closed and fully drained.
     fn refill(&self, index: usize, max: usize, block: bool) -> Vec<Job> {
         let q = &self.queues[index];
-        let mut st = q.state.lock().expect("queue lock poisoned");
+        let mut st = q.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if !st.jobs.is_empty() {
                 let take = st.jobs.len().min(max);
@@ -380,7 +400,7 @@ impl Shared {
                 return Vec::new();
             }
             st.consumer_waiting = true;
-            st = q.not_empty.wait(st).expect("queue lock poisoned");
+            st = q.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
             st.consumer_waiting = false;
         }
     }
@@ -389,7 +409,7 @@ impl Shared {
     /// tickets are killed and future submitters routed here fail fast.
     fn kill_queue(&self, index: usize) {
         let q = &self.queues[index];
-        let mut st = q.state.lock().expect("queue lock poisoned");
+        let mut st = q.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.dead = true;
         for job in st.jobs.drain(..) {
             job.slot.kill();
@@ -403,7 +423,7 @@ impl Shared {
     /// no-ops, and `merge` reports change for free — no clone-and-compare
     /// under this contended lock).
     fn fold_patches(&self, table: &PatchTable) {
-        let mut st = self.patches.lock().expect("patch lock poisoned");
+        let mut st = self.patches.lock().unwrap_or_else(PoisonError::into_inner);
         if st.table.merge(table) {
             st.version += 1;
             self.patch_version.store(st.version, Ordering::Release);
@@ -542,7 +562,7 @@ impl<'scope> PoolFrontend<'scope> {
         self.shared
             .patches
             .lock()
-            .expect("patch lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .epoch
     }
 
@@ -553,7 +573,7 @@ impl<'scope> PoolFrontend<'scope> {
         self.shared
             .patches
             .lock()
-            .expect("patch lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .table
             .clone()
     }
@@ -571,7 +591,11 @@ impl<'scope> PoolFrontend<'scope> {
     /// `n + 1` while the front-end still reports `n`. Returns `true` if
     /// the live table advanced.
     pub fn load_epoch(&self, epoch: &PatchEpoch) -> bool {
-        let mut st = self.shared.patches.lock().expect("patch lock poisoned");
+        let mut st = self
+            .shared
+            .patches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if epoch.number <= st.epoch {
             return false;
         }
@@ -637,7 +661,7 @@ impl<'scope> PoolFrontend<'scope> {
 
     fn close(&mut self) {
         for q in &self.shared.queues {
-            let mut st = q.state.lock().expect("queue lock poisoned");
+            let mut st = q.state.lock().unwrap_or_else(PoisonError::into_inner);
             st.closed = true;
             q.not_empty.notify_all();
             q.not_full.notify_all();
@@ -688,7 +712,10 @@ fn drive<W: Workload + Sync + ?Sized>(
     share_isolated: bool,
 ) {
     let (mut local_version, initial) = {
-        let st = shared.patches.lock().expect("patch lock poisoned");
+        let st = shared
+            .patches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         (st.version, st.table.clone())
     };
     std::thread::scope(|scope| {
@@ -816,7 +843,10 @@ fn sync_patches(shared: &Shared, pool: &mut ReplicaPool<'_>, local_version: &mut
     if shared.patch_version.load(Ordering::Acquire) == *local_version {
         return;
     }
-    let st = shared.patches.lock().expect("patch lock poisoned");
+    let st = shared
+        .patches
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
     *local_version = st.version;
     pool.load_patches(&st.table);
 }
@@ -825,6 +855,77 @@ fn sync_patches(shared: &Shared, pool: &mut ReplicaPool<'_>, local_version: &mut
 mod tests {
     use super::*;
     use xt_workloads::EspressoLike;
+
+    #[test]
+    fn ticket_slot_recovers_from_poisoned_lock() {
+        use crate::pool::VoteTiming;
+        use crate::voter::VoteResult;
+        use crate::ReplicatedOutcome;
+
+        let slot = Arc::new(TicketSlot::new());
+        let poisoner = Arc::clone(&slot);
+        let _ = std::thread::spawn(move || {
+            let _cell = poisoner.cell.lock().unwrap();
+            panic!("poison the ticket lock");
+        })
+        .join();
+        assert!(slot.cell.lock().is_err(), "lock should be poisoned");
+        // Posts and polls must still work: the front-end recovers the
+        // cell state instead of cascading the panic to submitters.
+        slot.post_verdict(None);
+        slot.post_outcome(PoolOutcome {
+            job: 7,
+            outcome: ReplicatedOutcome {
+                vote: VoteResult {
+                    winner: Vec::new(),
+                    agreeing: Vec::new(),
+                    dissenting: Vec::new(),
+                },
+                patches: PatchTable::new(),
+                report: None,
+                replicas: Vec::new(),
+            },
+            timing: VoteTiming {
+                outstanding_at_verdict: 0,
+                verdict_latency: std::time::Duration::ZERO,
+                full_latency: std::time::Duration::ZERO,
+            },
+        });
+        let ticket = JobTicket {
+            job: 7,
+            slot: Arc::clone(&slot),
+        };
+        assert_eq!(ticket.try_poll().expect("outcome posted").job, 7);
+        assert_eq!(ticket.wait().job, 7);
+    }
+
+    #[test]
+    fn patch_state_recovers_from_poisoned_lock() {
+        let workload = EspressoLike::new();
+        std::thread::scope(|scope| {
+            let frontend = PoolFrontend::scoped(
+                scope,
+                &workload,
+                FrontendConfig {
+                    pools: 1,
+                    ..FrontendConfig::default()
+                },
+                PatchTable::new(),
+            );
+            let shared = Arc::clone(&frontend.shared);
+            let _ = std::thread::spawn(move || {
+                let _st = shared.patches.lock().unwrap();
+                panic!("poison the patch lock");
+            })
+            .join();
+            assert!(frontend.shared.patches.lock().is_err());
+            // Epoch reads, table snapshots, and epoch loads all recover.
+            assert_eq!(frontend.epoch(), 0);
+            let _ = frontend.patches();
+            assert!(!frontend.load_epoch(&PatchEpoch::default()));
+            frontend.shutdown();
+        });
+    }
 
     #[test]
     fn frontend_serves_many_submitters() {

@@ -629,6 +629,7 @@ impl<'scope> ReplicaPool<'scope> {
                         .verdict()
                         .expect("verdict just formed")
                         .outstanding;
+                    // xt-analyze: allow(time-source) -- verdict latency observation; feeds VoteTiming only, never an outcome byte
                     state.verdict_at = Some((Instant::now(), outstanding));
                 }
                 state.outputs[worker] = Some(output);
@@ -657,6 +658,7 @@ impl<'scope> ReplicaPool<'scope> {
     /// summaries, isolation over the images on any failure or divergence,
     /// and (optionally) auto-reload of the newly isolated patches.
     fn finalize(&mut self, mut state: JobState) -> PoolOutcome {
+        // xt-analyze: allow(time-source) -- full-completion latency observation; feeds VoteTiming only, never an outcome byte
         let full_at = Instant::now();
         let records: Vec<Box<RunRecord>> = state
             .records

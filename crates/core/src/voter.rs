@@ -254,6 +254,7 @@ impl StreamingVoter {
             counts.entry(d).or_insert((0, i)).0 += 1;
         }
         let (&winner, _) = counts
+            // xt-analyze: allow(hash-iter) -- max_by comparator is a total order over (count, first-index), so the winner is unique regardless of iteration order
             .iter()
             .max_by(|(_, (ca, ia)), (_, (cb, ib))| ca.cmp(cb).then(ib.cmp(ia)))
             .expect("non-empty replica set");

@@ -1,0 +1,841 @@
+//! Lock-discipline analysis: the static lock-order graph and the
+//! poison-recovery lint.
+//!
+//! Acquisitions are recognized syntactically — `recv.lock()`,
+//! `recv.read()`, `recv.write()` with **empty** argument lists (io
+//! `read`/`write` always take a buffer, so the empty parens
+//! discriminate). The receiver chain is resolved to a lock name: the
+//! last plain field access before any method call, so
+//! `self.shards.get(i).expect(..)` names `shards` and
+//! `self.slot.cell.lock()` names `cell`. A receiver that is just a
+//! function parameter stays symbolic ([`LockId::Param`]) and is
+//! substituted with the caller's argument at each call site — that is
+//! how guard-returning helpers like `lock_recovering(&self.publish_lock)`
+//! keep per-lock identity instead of collapsing into one node.
+//!
+//! Edges `A → B` are recorded when a guard for `A` is provably held
+//! (bound by `let` with only `unwrap`/`expect`/`unwrap_or_else` chained
+//! after the acquisition, not yet dropped or scope-closed) at a point
+//! that acquires `B` — directly or through a workspace call whose
+//! transitive acquire set is non-empty. Cycles among the concrete nodes
+//! are reported as `lock-order` findings, one per participating edge.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::model::SourceFile;
+use crate::report::{Finding, Rule};
+use crate::surface::CALL_STOPLIST;
+
+/// A lock identity during analysis.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockId {
+    /// A named lock field, qualified by crate.
+    Concrete { krate: String, name: String },
+    /// "Whatever lock the caller passes as parameter `i`."
+    Param(usize),
+}
+
+/// One directed lock-order edge with its source site.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    pub path: String,
+    pub line: u32,
+    pub offset: u32,
+}
+
+/// Result of the lock pass: raw order edges (cycle detection happens
+/// after pragma filtering) and poison-lint findings.
+#[derive(Debug, Default)]
+pub struct LockAnalysis {
+    pub edges: Vec<Edge>,
+    pub poison: Vec<Finding>,
+}
+
+const ACQ_METHODS: [&str; 3] = ["lock", "read", "write"];
+const RECOVERY_CHAIN: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+fn is_acq_at(toks: &[Tok], i: usize) -> bool {
+    i > 0
+        && toks[i].kind == TokKind::Ident
+        && ACQ_METHODS.contains(&toks[i].text.as_str())
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+}
+
+/// Skips backward over one balanced `(...)`/`[...]` group ending at
+/// `close`; returns the index of the opening token.
+fn balanced_back(toks: &[Tok], close: usize) -> usize {
+    let (open_c, close_c) = match toks[close].text.as_str() {
+        ")" => ('(', ')'),
+        "]" => ('[', ']'),
+        _ => return close,
+    };
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        if toks[i].is_punct(close_c) {
+            depth += 1;
+        } else if toks[i].is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// Start index of the postfix receiver chain whose final `.` is at
+/// `dot` (e.g. for `self.shards.get(i).expect(..).lock()`, the index of
+/// `self`).
+fn receiver_start(toks: &[Tok], dot: usize, floor: usize) -> usize {
+    let mut j = dot;
+    loop {
+        if j <= floor {
+            return j;
+        }
+        let k = j - 1;
+        let elem_start = if toks[k].is_punct(')') || toks[k].is_punct(']') {
+            let mut b = balanced_back(toks, k);
+            // A call (`expect("idx")`) or index: the ident before the
+            // group belongs to the same chain element.
+            if b > floor && toks[b - 1].kind == TokKind::Ident {
+                b -= 1;
+            }
+            b
+        } else if toks[k].kind == TokKind::Ident || toks[k].kind == TokKind::Num {
+            k
+        } else {
+            return j;
+        };
+        j = elem_start;
+        if j > floor && toks[j - 1].is_punct('.') {
+            j -= 1;
+            continue;
+        }
+        return j;
+    }
+}
+
+/// Resolves an expression (receiver chain or call argument) to a lock
+/// identity: last plain field before any method call; a lone parameter
+/// name stays symbolic; a lone local alias resolves through the alias
+/// map.
+fn lock_id_of(
+    toks: &[Tok],
+    range: std::ops::Range<usize>,
+    krate: &str,
+    params: &[String],
+    aliases: &BTreeMap<String, String>,
+) -> Option<LockId> {
+    let mut fields: Vec<&str> = Vec::new();
+    let mut idents = 0usize;
+    let mut i = range.start;
+    while i < range.end {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            idents += 1;
+            let next_open = toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('(') && i + 1 < range.end);
+            if !next_open && t.text != "self" && t.text != "mut" {
+                fields.push(&t.text);
+            }
+        } else if t.is_punct('(') || t.is_punct('[') {
+            // Skip the group: its contents are indices/arguments, not
+            // part of the field path.
+            let mut depth = 0usize;
+            while i < range.end {
+                if toks[i].is_punct('(') || toks[i].is_punct('[') {
+                    depth += 1;
+                } else if toks[i].is_punct(')') || toks[i].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    let last = fields.last()?;
+    if idents == 1 {
+        if let Some(pi) = params.iter().position(|p| p == last) {
+            return Some(LockId::Param(pi));
+        }
+    }
+    let name = aliases
+        .get(*last)
+        .cloned()
+        .unwrap_or_else(|| last.to_string());
+    Some(LockId::Concrete {
+        krate: krate.to_string(),
+        name,
+    })
+}
+
+/// One workspace call site inside a function body.
+struct CallSite {
+    callee: String,
+    /// Lock candidates for each argument, in order.
+    args: Vec<Option<LockId>>,
+    /// `recv.callee(..)` (method style) vs `callee(..)`.
+    method_style: bool,
+    tok: usize,
+}
+
+/// Direct acquisitions and workspace calls of one function.
+struct FnScan {
+    acqs: Vec<(LockId, usize)>,
+    calls: Vec<CallSite>,
+}
+
+fn scan_fn(file: &SourceFile, fidx: usize, fn_table: &BTreeSet<&str>) -> FnScan {
+    let f = &file.functions[fidx];
+    let toks = &file.toks;
+    let aliases = collect_aliases(file, fidx);
+    let mut out = FnScan {
+        acqs: Vec::new(),
+        calls: Vec::new(),
+    };
+    let mut i = f.body.start;
+    while i < f.body.end {
+        if is_acq_at(toks, i) {
+            let start = receiver_start(toks, i - 1, f.body.start);
+            if let Some(id) = lock_id_of(toks, start..i - 1, &file.crate_name, &f.params, &aliases)
+            {
+                out.acqs.push((id, i));
+            }
+            i += 3;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && !(i > f.body.start && toks[i - 1].is_ident("fn"))
+            && !CALL_STOPLIST.contains(&t.text.as_str())
+            && fn_table.contains(t.text.as_str())
+        {
+            let method_style = i > f.body.start && toks[i - 1].is_punct('.');
+            let close = matching_close(toks, i + 1, f.body.end);
+            let args = split_args(toks, i + 2, close)
+                .into_iter()
+                .map(|r| lock_id_of(toks, r, &file.crate_name, &f.params, &aliases))
+                .collect();
+            out.calls.push(CallSite {
+                callee: t.text.clone(),
+                args,
+                method_style,
+                tok: i,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_close(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if toks[i].is_punct('(') || toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(')') || toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Top-level comma-separated argument ranges in `(start..close)`.
+fn split_args(toks: &[Tok], start: usize, close: usize) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut s = start;
+    let mut i = start;
+    while i < close {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(',') && depth == 0 {
+            out.push(s..i);
+            s = i + 1;
+        }
+        i += 1;
+    }
+    if s < close {
+        out.push(s..close);
+    }
+    out
+}
+
+/// Local aliases: `for x in <expr>` and simple `let x = <expr>;` where
+/// the expression resolves to a field name — so shard loops
+/// (`for shard in &self.seen`) keep naming the `seen` lock.
+fn collect_aliases(file: &SourceFile, fidx: usize) -> BTreeMap<String, String> {
+    let f = &file.functions[fidx];
+    let toks = &file.toks;
+    let empty = BTreeMap::new();
+    let mut aliases = BTreeMap::new();
+    let mut i = f.body.start;
+    while i < f.body.end {
+        let t = &toks[i];
+        let (bind_at, expr_start, terminator) = if t.is_ident("for") {
+            // `for <ident> in <expr> {`
+            let Some(bind) = toks.get(i + 1).filter(|b| b.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            if !toks.get(i + 2).is_some_and(|n| n.is_ident("in")) {
+                i += 1;
+                continue;
+            }
+            let _ = bind;
+            (i + 1, i + 3, '{')
+        } else if t.is_ident("let")
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+            && !toks.get(i + 3).is_some_and(|n| n.is_punct('='))
+        {
+            (i + 1, i + 3, ';')
+        } else {
+            i += 1;
+            continue;
+        };
+        let mut j = expr_start;
+        let mut depth = 0usize;
+        while j < f.body.end {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct(terminator) {
+                break;
+            }
+            j += 1;
+        }
+        // Only alias when the expression has no acquisition of its own
+        // (those are guards, handled separately).
+        let has_acq = (expr_start..j).any(|k| is_acq_at(toks, k));
+        if !has_acq {
+            if let Some(LockId::Concrete { name, .. }) =
+                lock_id_of(toks, expr_start..j, &file.crate_name, &[], &empty)
+            {
+                aliases.insert(toks[bind_at].text.clone(), name);
+            }
+        }
+        i = bind_at + 1;
+    }
+    aliases
+}
+
+/// Substitutes a callee's acquire set into the caller's context.
+fn substitute(
+    callee_set: &BTreeSet<LockId>,
+    callee_has_self: bool,
+    call: &CallSite,
+) -> BTreeSet<LockId> {
+    let mut out = BTreeSet::new();
+    for id in callee_set {
+        match id {
+            LockId::Concrete { .. } => {
+                out.insert(id.clone());
+            }
+            LockId::Param(i) => {
+                let shift = usize::from(callee_has_self && call.method_style);
+                if let Some(Some(arg)) = i.checked_sub(shift).and_then(|ai| call.args.get(ai)) {
+                    out.insert(arg.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the whole lock pass over all files.
+pub fn analyze(files: &[SourceFile]) -> LockAnalysis {
+    // Function name table (non-test) for call resolution.
+    let mut fn_table: BTreeSet<&str> = BTreeSet::new();
+    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.functions.iter().enumerate() {
+            if !f.is_test {
+                fn_table.insert(f.name.as_str());
+                by_name.entry(f.name.as_str()).or_default().push((fi, gi));
+            }
+        }
+    }
+
+    // Per-function scans and direct acquire sets.
+    let mut scans: BTreeMap<(usize, usize), FnScan> = BTreeMap::new();
+    let mut acquire: BTreeMap<(usize, usize), BTreeSet<LockId>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.functions.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let scan = scan_fn(file, gi, &fn_table);
+            let set: BTreeSet<LockId> = scan.acqs.iter().map(|(id, _)| id.clone()).collect();
+            scans.insert((fi, gi), scan);
+            acquire.insert((fi, gi), set);
+        }
+    }
+
+    // Fixpoint: close acquire sets over workspace calls.
+    for _ in 0..16 {
+        let mut changed = false;
+        let keys: Vec<(usize, usize)> = scans.keys().copied().collect();
+        for key in keys {
+            let mut add = BTreeSet::new();
+            for call in &scans[&key].calls {
+                for &(cfi, cgi) in by_name.get(call.callee.as_str()).into_iter().flatten() {
+                    let callee = &files[cfi].functions[cgi];
+                    let callee_has_self = callee.params.first().is_some_and(|p| p == "self");
+                    if let Some(set) = acquire.get(&(cfi, cgi)) {
+                        add.extend(substitute(set, callee_has_self, call));
+                    }
+                }
+            }
+            let set = acquire.get_mut(&key).expect("scanned above");
+            for id in add {
+                changed |= set.insert(id);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = LockAnalysis::default();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.functions.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            emit_edges(
+                files,
+                fi,
+                gi,
+                &scans[&(fi, gi)],
+                &acquire,
+                &by_name,
+                &mut out.edges,
+            );
+            poison_lint(file, f.body.clone(), &mut out.poison);
+        }
+        // Non-test scope outside functions has no statements to lint.
+        let _ = fi;
+    }
+    out.edges.sort();
+    out.edges.dedup();
+    out.poison
+        .sort_by(|a, b| (&a.path, a.line, a.offset).cmp(&(&b.path, b.line, b.offset)));
+    out.poison.dedup();
+    out
+}
+
+fn concrete(id: &LockId) -> Option<String> {
+    match id {
+        LockId::Concrete { krate, name } => Some(format!("{krate}::{name}")),
+        LockId::Param(_) => None,
+    }
+}
+
+/// Walks one function body tracking held guards and emitting order
+/// edges at each later acquisition point.
+#[allow(clippy::too_many_arguments)]
+fn emit_edges(
+    files: &[SourceFile],
+    fi: usize,
+    gi: usize,
+    scan: &FnScan,
+    acquire: &BTreeMap<(usize, usize), BTreeSet<LockId>>,
+    by_name: &BTreeMap<&str, Vec<(usize, usize)>>,
+    edges: &mut Vec<Edge>,
+) {
+    let file = &files[fi];
+    let f = &file.functions[gi];
+    let toks = &file.toks;
+
+    // Acquisition points in token order: direct acqs and calls with
+    // non-empty (substituted) acquire sets. A point is `guardable` when
+    // binding it with `let` can actually hold a lock — a direct
+    // acquisition, or a call to a fn whose signature returns a
+    // `*Guard` type (e.g. `lock_recovering`); a call that merely locks
+    // internally releases before returning.
+    let mut points: Vec<(usize, Vec<LockId>, bool)> = Vec::new();
+    for (id, tok) in &scan.acqs {
+        points.push((*tok, vec![id.clone()], true));
+    }
+    for call in &scan.calls {
+        let mut ids = BTreeSet::new();
+        let mut returns_guard = false;
+        for &(cfi, cgi) in by_name.get(call.callee.as_str()).into_iter().flatten() {
+            let callee = &files[cfi].functions[cgi];
+            let callee_has_self = callee.params.first().is_some_and(|p| p == "self");
+            if let Some(set) = acquire.get(&(cfi, cgi)) {
+                ids.extend(substitute(set, callee_has_self, call));
+            }
+            returns_guard |= files[cfi].toks[callee.sig.clone()]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.contains("Guard"));
+        }
+        if !ids.is_empty() {
+            points.push((call.tok, ids.into_iter().collect(), returns_guard));
+        }
+    }
+    points.sort_by_key(|(tok, ..)| *tok);
+
+    // Linear walk: depth tracking, guard stack, drop() handling.
+    let mut guards: Vec<(String, Vec<String>, usize)> = Vec::new(); // (name, locks, depth)
+    let mut depth = 0usize;
+    let mut pi = 0usize;
+    let mut i = f.body.start;
+    while i < f.body.end {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.2 <= depth);
+        } else if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(name) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                guards.retain(|g| g.0 != name.text);
+            }
+        }
+        while pi < points.len() && points[pi].0 == i {
+            let (ptok, ids, guardable) = &points[pi];
+            let concrete_ids: Vec<String> = ids.iter().filter_map(concrete).collect();
+            for (_, held, _) in &guards {
+                for from in held {
+                    for to in &concrete_ids {
+                        if from != to {
+                            edges.push(Edge {
+                                from: from.clone(),
+                                to: to.clone(),
+                                path: file.path.clone(),
+                                line: toks[*ptok].line,
+                                offset: toks[*ptok].offset,
+                            });
+                        }
+                    }
+                }
+            }
+            if *guardable {
+                if let Some(bind) = guard_binding(toks, f.body.start, *ptok, f.body.end) {
+                    guards.push((bind, concrete_ids.clone(), depth));
+                }
+            }
+            pi += 1;
+        }
+        i += 1;
+    }
+}
+
+/// If the acquisition/call at `at` is bound into a guard —
+/// `let <name> = ...<acq>()[.unwrap()|.expect(..)|.unwrap_or_else(..)]*;`
+/// — returns the guard name.
+fn guard_binding(toks: &[Tok], floor: usize, at: usize, end: usize) -> Option<String> {
+    // Backward: the statement must start with `let`, with no `;`/braces
+    // in between.
+    let mut s = at;
+    let mut name = None;
+    while s > floor {
+        let t = &toks[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    if toks.get(s).is_some_and(|t| t.is_ident("let")) {
+        let mut j = s + 1;
+        while j < at {
+            let t = &toks[j];
+            if t.is_punct('=') {
+                break;
+            }
+            if t.kind == TokKind::Ident && t.text != "mut" {
+                name = Some(t.text.clone());
+            }
+            j += 1;
+        }
+    }
+    let name = name?;
+    // Forward: skip to the close paren of the acquisition/call, then
+    // allow only recovery-chain links before `;`.
+    let open = (at..end).find(|&k| toks[k].is_punct('('))?;
+    let mut i = matching_close(toks, open, end) + 1;
+    loop {
+        let t = toks.get(i)?;
+        if t.is_punct(';') {
+            return Some(name);
+        }
+        if t.is_punct('?') {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| RECOVERY_CHAIN.contains(&n.text.as_str()))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            i = matching_close(toks, i + 2, end) + 1;
+            continue;
+        }
+        return None;
+    }
+}
+
+/// The poison lint: `.lock()/.read()/.write()` (empty parens) or
+/// condvar `.wait(..)/.wait_timeout(..)` whose `Result` is consumed by
+/// bare `.unwrap()`/`.expect(` instead of `PoisonError::into_inner`
+/// recovery.
+fn poison_lint(file: &SourceFile, body: std::ops::Range<usize>, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    let mut i = body.start;
+    while i < body.end {
+        let after = if is_acq_at(toks, i) {
+            Some((i + 3, toks[i].text.clone()))
+        } else if i > body.start
+            && toks[i - 1].is_punct('.')
+            && (toks[i].is_ident("wait") || toks[i].is_ident("wait_timeout"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let close = matching_close(toks, i + 1, body.end);
+            Some((close + 1, toks[i].text.clone()))
+        } else {
+            None
+        };
+        if let Some((j, method)) = after {
+            if toks.get(j).is_some_and(|t| t.is_punct('.'))
+                && toks
+                    .get(j + 1)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+                && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+            {
+                let site = &toks[j + 1];
+                out.push(Finding {
+                    path: file.path.clone(),
+                    line: site.line,
+                    offset: site.offset,
+                    rule: Rule::LockPoison,
+                    message: format!(
+                        "`.{method}(..).{}` without poison recovery — use \
+                         `.unwrap_or_else(PoisonError::into_inner)`",
+                        site.text
+                    ),
+                });
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Cycle detection over concrete edges (call after pragma filtering).
+/// Every edge that participates in a strongly connected component (or a
+/// self-loop) becomes a `lock-order` finding at the edge's site.
+pub fn cycle_findings(edges: &[Edge]) -> Vec<Finding> {
+    // Mutual-reachability SCCs; the graphs here are tiny.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        adj.entry(&e.to).or_default();
+    }
+    let reach = |start: &str| -> BTreeSet<&str> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for &m in adj.get(n).into_iter().flatten() {
+                if seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        seen
+    };
+    let mut findings = Vec::new();
+    for e in edges {
+        // The edge is cyclic iff its target can reach its source (a
+        // self-loop trivially qualifies).
+        let cyclic = e.from == e.to || reach(&e.to).contains(e.from.as_str());
+        if cyclic {
+            findings.push(Finding {
+                path: e.path.clone(),
+                line: e.line,
+                offset: e.offset,
+                rule: Rule::LockOrder,
+                message: format!(
+                    "lock-order cycle: acquiring `{}` while holding `{}`",
+                    e.to, e.from
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_file;
+
+    fn run(srcs: &[(&str, &str)]) -> LockAnalysis {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| parse_file(p, s)).collect();
+        analyze(&files)
+    }
+
+    #[test]
+    fn poison_unwrap_flagged_recovery_not() {
+        let a = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn bad(&self) { let g = self.state.lock().unwrap(); }
+            fn worse(&self) { let g = self.state.lock().expect("poisoned"); }
+            fn good(&self) { let g = self.state.lock().unwrap_or_else(PoisonError::into_inner); }
+            "#,
+        )]);
+        assert_eq!(a.poison.len(), 2);
+        assert!(a.poison[0].message.contains("into_inner"));
+    }
+
+    #[test]
+    fn condvar_wait_unwrap_flagged() {
+        let a = run(&[(
+            "crates/d/src/lib.rs",
+            "fn w(&self) { let g = self.cv.wait(g).unwrap(); }",
+        )]);
+        assert_eq!(a.poison.len(), 1);
+        assert!(a.poison[0].message.contains("wait"));
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_poison_lint() {
+        let a = run(&[(
+            "crates/d/src/lib.rs",
+            "#[cfg(test)] mod tests { fn t(&self) { let g = self.m.lock().unwrap(); } }",
+        )]);
+        assert!(a.poison.is_empty());
+    }
+
+    #[test]
+    fn order_edge_and_cycle() {
+        let a = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn ab(&self) {
+                let g = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+                let h = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            fn ba(&self) {
+                let g = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+                let h = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            "#,
+        )]);
+        assert_eq!(a.edges.len(), 2);
+        let cyc = cycle_findings(&a.edges);
+        assert_eq!(cyc.len(), 2, "both edges participate in the cycle");
+        assert!(cyc[0].message.contains("lock-order cycle"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let a = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn ab(&self) {
+                let g = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+                let h = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            fn ab2(&self) {
+                let g = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+                let h = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            "#,
+        )]);
+        assert!(cycle_findings(&a.edges).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_guard() {
+        let a = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn f(&self) {
+                let g = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+                drop(g);
+                let h = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            fn r(&self) {
+                let g = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+                let h = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            "#,
+        )]);
+        // f() contributes no alpha→beta edge, so r()'s beta→alpha edge
+        // alone is acyclic.
+        assert!(cycle_findings(&a.edges).is_empty());
+    }
+
+    #[test]
+    fn guard_returning_helper_substitutes_parameter() {
+        let a = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn lock_recovering(&self, m: &Mutex<u64>) -> MutexGuard<'_, u64> {
+                m.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+            fn ab(&self) {
+                let g = self.lock_recovering(&self.alpha);
+                let h = self.lock_recovering(&self.beta);
+            }
+            fn ba(&self) {
+                let g = self.lock_recovering(&self.beta);
+                let h = self.lock_recovering(&self.alpha);
+            }
+            "#,
+        )]);
+        let cyc = cycle_findings(&a.edges);
+        assert_eq!(cyc.len(), 2, "edges: {:?}", a.edges);
+        assert!(cyc[0].message.contains("d::alpha") || cyc[0].message.contains("d::beta"));
+    }
+
+    #[test]
+    fn field_path_names_last_field_and_skips_method_args() {
+        let a = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn f(&self) {
+                let g = self.slot.cell.lock().unwrap_or_else(PoisonError::into_inner);
+                let h = self.shards.get(i).expect("idx").lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            "#,
+        )]);
+        assert_eq!(a.edges.len(), 1);
+        assert_eq!(a.edges[0].from, "d::cell");
+        assert_eq!(a.edges[0].to, "d::shards");
+    }
+}

@@ -1,0 +1,81 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p xt-analyze --release -- --deny [--root PATH] [--report PATH]
+//! ```
+//!
+//! Prints the findings report (including the pragma-justification
+//! inventory) to stdout and, with `--report`, writes the same bytes to a
+//! file for CI artifact upload. With `--deny`, exits 1 when any
+//! unsuppressed finding remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => return usage("--report needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Find the workspace root: the given root, or the nearest ancestor
+    // containing `crates/` (so the binary works from a crate directory).
+    let mut ws = root.clone();
+    while !ws.join("crates").is_dir() {
+        if !ws.pop() {
+            eprintln!("xt-analyze: no `crates/` directory found under or above {root:?}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let analysis = match xt_analyze::analyze_workspace(&ws) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xt-analyze: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = analysis.render();
+    print!("{rendered}");
+    if let Some(p) = report_path {
+        if let Err(e) = std::fs::write(&p, &rendered) {
+            eprintln!("xt-analyze: cannot write report to {p:?}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if deny && !analysis.is_clean() {
+        eprintln!(
+            "xt-analyze: {} unsuppressed finding(s) — failing (--deny)",
+            analysis.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("xt-analyze: {err}");
+    }
+    eprintln!("usage: xt-analyze [--deny] [--root PATH] [--report PATH]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

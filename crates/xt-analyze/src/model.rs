@@ -1,0 +1,635 @@
+//! Structural model of one source file: functions (with body token
+//! ranges and test-ness), struct fields (with type text), `use` imports,
+//! and `xt-analyze` suppression pragmas.
+//!
+//! The scanner is a linear pattern-match over the token stream from
+//! [`lexer`](crate::lexer) — it understands just enough item structure
+//! (modules, `fn` headers, `struct` fields, `use` trees, attributes) to
+//! scope the rules, and records everything else as opaque body tokens.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::report::Rule;
+
+/// A parsed `// xt-analyze: allow(<rules>) -- <justification>` pragma.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    pub line: u32,
+    pub offset: u32,
+    pub rules: Vec<Rule>,
+    pub justification: String,
+}
+
+/// A comment that names `xt-analyze:` but does not parse as a pragma.
+#[derive(Clone, Debug)]
+pub struct PragmaError {
+    pub line: u32,
+    pub offset: u32,
+    pub reason: String,
+}
+
+/// One named struct field and the raw text of its declared type.
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: String,
+    pub ty: String,
+}
+
+/// One `fn` item (free, inherent, trait, or nested inside another body).
+#[derive(Clone, Debug)]
+pub struct Function {
+    pub name: String,
+    /// Enclosing module path within the file (`""` at the root).
+    pub module: String,
+    /// Parameter names, `self` included, in declaration order.
+    pub params: Vec<String>,
+    /// Token index range of the body, braces excluded. Empty for
+    /// bodyless trait declarations.
+    pub body: std::ops::Range<usize>,
+    /// Token index range from the `fn` keyword to the body brace —
+    /// the signature, scanned by the observation-only rule so imported
+    /// types in parameter/return position count too.
+    pub sig: std::ops::Range<usize>,
+    pub line: u32,
+    pub offset: u32,
+    /// Inside `#[cfg(test)]`/`#[test]` scope: rules skip it.
+    pub is_test: bool,
+}
+
+/// Everything the rule passes need to know about one file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Crate the file belongs to (`crates/<name>/...` → `<name>`).
+    pub crate_name: String,
+    pub toks: Vec<Tok>,
+    pub functions: Vec<Function>,
+    /// Identifiers this file imports from `xt_obs` (aliases resolved to
+    /// the local name).
+    pub obs_imports: BTreeSet<String>,
+    pub fields: Vec<Field>,
+    pub pragmas: Vec<Pragma>,
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+/// Parses one file. Never fails: unparseable stretches are skipped, the
+/// rules simply see less structure.
+pub fn parse_file(path: &str, src: &str) -> SourceFile {
+    let (toks, comments) = lex(src);
+    let crate_name = crate_of(path);
+    let mut file = SourceFile {
+        path: path.to_string(),
+        crate_name,
+        toks,
+        functions: Vec::new(),
+        obs_imports: BTreeSet::new(),
+        fields: Vec::new(),
+        pragmas: Vec::new(),
+        pragma_errors: Vec::new(),
+    };
+    parse_pragmas(&comments, &mut file);
+    let end = file.toks.len();
+    let mut scanner = Scanner { file: &mut file };
+    scanner.items(0, end, "", false);
+    file
+}
+
+/// `crates/<name>/src/...` → `<name>`; anything else keeps its first
+/// path segment so fixtures can fabricate crate names.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        (Some(first), _) => first.to_string(),
+        _ => String::new(),
+    }
+}
+
+struct Scanner<'a> {
+    file: &'a mut SourceFile,
+}
+
+impl Scanner<'_> {
+    /// Scans `[i, end)` for items; `module` is the enclosing module path
+    /// and `in_test` whether a `#[cfg(test)]` scope encloses it.
+    fn items(&mut self, mut i: usize, end: usize, module: &str, in_test: bool) {
+        let mut attr_test = false;
+        while i < end {
+            let t = &self.file.toks[i];
+            if t.is_punct('#') {
+                let (is_test, ni) = self.attribute(i, end);
+                attr_test |= is_test;
+                i = ni;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "mod" => {
+                    let test_here = in_test || attr_test;
+                    attr_test = false;
+                    if let Some((name, open)) = self.ident_then_brace(i + 1, end) {
+                        let close = self.match_brace(open, end);
+                        let sub = if module.is_empty() {
+                            name
+                        } else {
+                            format!("{module}::{name}")
+                        };
+                        self.items(open + 1, close, &sub, test_here);
+                        i = close + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "fn" => {
+                    let test_here = in_test || attr_test;
+                    attr_test = false;
+                    i = self.function(i, end, module, test_here);
+                }
+                "struct" => {
+                    attr_test = false;
+                    i = self.structure(i, end);
+                }
+                "use" => {
+                    attr_test = false;
+                    i = self.use_tree(i, end);
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes `#[...]` (or `#![...]`) at `i`; reports whether it
+    /// mentions `test` (covers `#[test]` and `#[cfg(test)]`).
+    fn attribute(&self, mut i: usize, end: usize) -> (bool, usize) {
+        i += 1; // '#'
+        if i < end && self.file.toks[i].is_punct('!') {
+            i += 1;
+        }
+        if i >= end || !self.file.toks[i].is_punct('[') {
+            return (false, i);
+        }
+        let mut depth = 0usize;
+        let mut is_test = false;
+        while i < end {
+            let t = &self.file.toks[i];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return (is_test, i + 1);
+                }
+            } else if t.is_ident("test") {
+                is_test = true;
+            }
+            i += 1;
+        }
+        (is_test, i)
+    }
+
+    /// After `mod`, expects `name {`; returns `(name, index of '{')`.
+    fn ident_then_brace(&self, i: usize, end: usize) -> Option<(String, usize)> {
+        let name = self.file.toks.get(i).filter(|t| t.kind == TokKind::Ident)?;
+        if i + 1 < end && self.file.toks[i + 1].is_punct('{') {
+            Some((name.text.clone(), i + 1))
+        } else {
+            None
+        }
+    }
+
+    /// Index of the `}` matching the `{` at `open` (or `end`).
+    fn match_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            let t = &self.file.toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Parses a `fn` item starting at the `fn` keyword; records it and
+    /// returns the index to continue from (just past the header — the
+    /// body is re-scanned so nested items are recorded too).
+    fn function(&mut self, fn_idx: usize, end: usize, module: &str, is_test: bool) -> usize {
+        let mut i = fn_idx + 1;
+        let Some(name_tok) = self.file.toks.get(i).filter(|t| t.kind == TokKind::Ident) else {
+            // `fn $name` in a macro definition, or a bare `fn` pointer
+            // type: nothing to record.
+            return fn_idx + 1;
+        };
+        let name = name_tok.text.clone();
+        let (line, offset) = (name_tok.line, name_tok.offset);
+        i += 1;
+        // Generic parameters.
+        if i < end && self.file.toks[i].is_punct('<') {
+            let mut depth = 0usize;
+            while i < end {
+                let t = &self.file.toks[i];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        // Parameter list.
+        let mut params = Vec::new();
+        if i < end && self.file.toks[i].is_punct('(') {
+            let mut depth = 0usize;
+            while i < end {
+                let t = &self.file.toks[i];
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                } else if depth == 1 && t.is_ident("self") {
+                    params.push("self".to_string());
+                } else if depth == 1
+                    && t.kind == TokKind::Ident
+                    && self.file.toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && !self.file.toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    params.push(t.text.clone());
+                }
+                i += 1;
+            }
+        }
+        // Return type / where clause up to the body (or `;`).
+        let mut depth = 0usize;
+        let mut body = 0..0;
+        let mut body_close = i;
+        while i < end {
+            let t = &self.file.toks[i];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct(';') {
+                body_close = i;
+                break;
+            } else if depth == 0 && t.is_punct('{') {
+                let close = self.match_brace(i, end);
+                body = (i + 1)..close;
+                body_close = close;
+                break;
+            }
+            i += 1;
+        }
+        let has_body = body.end > body.start;
+        self.file.functions.push(Function {
+            name,
+            module: module.to_string(),
+            params,
+            body: body.clone(),
+            sig: fn_idx..if has_body { body.start } else { body_close },
+            line,
+            offset,
+            is_test,
+        });
+        // Continue scanning *inside* the body so nested fns (digest
+        // helpers are commonly written that way) get their own records;
+        // the stray closing brace is skipped harmlessly.
+        if has_body {
+            body.start
+        } else {
+            body_close.max(fn_idx) + 1
+        }
+    }
+
+    /// Parses `struct Name { field: Type, ... }` and records fields.
+    fn structure(&mut self, struct_idx: usize, end: usize) -> usize {
+        let mut i = struct_idx + 1;
+        if self
+            .file
+            .toks
+            .get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .is_none()
+        {
+            return i;
+        }
+        i += 1;
+        // Generics.
+        if i < end && self.file.toks[i].is_punct('<') {
+            let mut depth = 0usize;
+            while i < end {
+                let t = &self.file.toks[i];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        // Unit / tuple struct: nothing to record.
+        if i >= end || !self.file.toks[i].is_punct('{') {
+            return i;
+        }
+        let close = self.match_brace(i, end);
+        let mut j = i + 1;
+        while j < close {
+            let t = &self.file.toks[j];
+            if t.is_punct('#') {
+                let (_, nj) = self.attribute(j, close);
+                j = nj;
+                continue;
+            }
+            if t.is_ident("pub") {
+                j += 1;
+                if j < close && self.file.toks[j].is_punct('(') {
+                    let mut depth = 0usize;
+                    while j < close {
+                        let t = &self.file.toks[j];
+                        if t.is_punct('(') {
+                            depth += 1;
+                        } else if t.is_punct(')') {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                continue;
+            }
+            if t.kind == TokKind::Ident
+                && self.file.toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            {
+                let name = t.text.clone();
+                let mut ty = String::new();
+                let mut k = j + 2;
+                let mut depth = 0i32;
+                while k < close {
+                    let t = &self.file.toks[k];
+                    if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if t.is_punct(',') && depth <= 0 {
+                        break;
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&t.text);
+                    k += 1;
+                }
+                self.file.fields.push(Field { name, ty });
+                j = k + 1;
+            } else {
+                j += 1;
+            }
+        }
+        close + 1
+    }
+
+    /// Parses a `use` item, collecting identifiers imported from
+    /// `xt_obs`. Returns the index just past the terminating `;`.
+    fn use_tree(&mut self, use_idx: usize, end: usize) -> usize {
+        let mut stop = use_idx + 1;
+        while stop < end && !self.file.toks[stop].is_punct(';') {
+            stop += 1;
+        }
+        let toks = &self.file.toks[use_idx + 1..stop];
+        let mut leaves = Vec::new();
+        collect_use_leaves(toks, &mut leaves);
+        if toks.first().is_some_and(|t| t.is_ident("xt_obs")) {
+            for leaf in leaves {
+                self.file.obs_imports.insert(leaf);
+            }
+        }
+        stop + 1
+    }
+}
+
+/// Leaf names (alias-resolved) of a `use` tree body, `use` and `;`
+/// stripped. `a::b::{C, D as E}` → `["C", "E"]`.
+fn collect_use_leaves(toks: &[Tok], out: &mut Vec<String>) {
+    // Split on top-level commas, then take each piece's trailing
+    // identifier (after `as` if present), recursing into `{...}` groups.
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut pieces = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(',') && depth == 0 {
+            pieces.push(&toks[start..i]);
+            start = i + 1;
+        }
+    }
+    pieces.push(&toks[start..]);
+    for piece in pieces {
+        if piece.is_empty() {
+            continue;
+        }
+        // `... :: { group }` — recurse into the braces.
+        if let Some(open) = piece.iter().position(|t| t.is_punct('{')) {
+            let close = piece.len()
+                - 1
+                - piece
+                    .iter()
+                    .rev()
+                    .position(|t| t.is_punct('}'))
+                    .unwrap_or(0);
+            if close > open {
+                collect_use_leaves(&piece[open + 1..close], out);
+            }
+            continue;
+        }
+        // `path as Alias` → Alias; otherwise the last identifier.
+        let mut leaf = None;
+        let mut iter = piece.iter().peekable();
+        while let Some(t) = iter.next() {
+            if t.is_ident("as") {
+                if let Some(alias) = iter.next() {
+                    leaf = Some(alias.text.clone());
+                }
+                break;
+            }
+            if t.kind == TokKind::Ident {
+                leaf = Some(t.text.clone());
+            }
+        }
+        if let Some(leaf) = leaf {
+            if leaf != "self" && leaf != "*" {
+                out.push(leaf);
+            }
+        }
+    }
+}
+
+/// The pragma marker inside a line comment.
+const PRAGMA_MARK: &str = "xt-analyze:";
+
+fn parse_pragmas(comments: &[Comment], file: &mut SourceFile) {
+    for c in comments {
+        // Doc comments talk *about* pragmas; only plain `//` comments
+        // carry them.
+        if c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = c.text.find(PRAGMA_MARK) else {
+            continue;
+        };
+        let rest = c.text[pos + PRAGMA_MARK.len()..].trim();
+        match parse_pragma_body(rest) {
+            Ok((rules, justification)) => file.pragmas.push(Pragma {
+                line: c.line,
+                offset: c.offset,
+                rules,
+                justification,
+            }),
+            Err(reason) => file.pragma_errors.push(PragmaError {
+                line: c.line,
+                offset: c.offset,
+                reason,
+            }),
+        }
+    }
+}
+
+/// `allow(rule[, rule]) -- justification` → (rules, justification).
+fn parse_pragma_body(rest: &str) -> Result<(Vec<Rule>, String), String> {
+    let rest = rest
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(<rule>) -- <justification>`".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(` rule list".to_string())?;
+    let mut rules = Vec::new();
+    for name in rest[..close].split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        match Rule::from_name(name) {
+            Some(rule) if rule.suppressible() => rules.push(rule),
+            Some(rule) => {
+                return Err(format!("rule `{}` cannot be suppressed", rule.name()));
+            }
+            None => return Err(format!("unknown rule `{name}`")),
+        }
+    }
+    if rules.is_empty() {
+        return Err("empty rule list in `allow(...)`".to_string());
+    }
+    let tail = rest[close + 1..].trim_start();
+    let justification = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err("justification required: `allow(<rule>) -- <why this is sound>`".to_string());
+    }
+    Ok((rules, justification.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_modules_and_testness() {
+        let src = r#"
+            pub fn outer(x: u64, map: &str) -> u64 { x }
+            mod inner {
+                fn helper(&self) {}
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn a_test() {}
+            }
+        "#;
+        let f = parse_file("crates/demo/src/lib.rs", src);
+        let names: Vec<(&str, &str, bool)> = f
+            .functions
+            .iter()
+            .map(|x| (x.name.as_str(), x.module.as_str(), x.is_test))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("outer", "", false),
+                ("helper", "inner", false),
+                ("a_test", "tests", true),
+            ]
+        );
+        assert_eq!(f.functions[0].params, ["x", "map"]);
+        assert_eq!(f.crate_name, "demo");
+    }
+
+    #[test]
+    fn nested_fns_are_recorded() {
+        let src = "fn digest() -> u128 { fn fold(h: u128) -> u128 { h } fold(0) }";
+        let f = parse_file("crates/demo/src/lib.rs", src);
+        let names: Vec<&str> = f.functions.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, ["digest", "fold"]);
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let src = "struct S { pub seen: Vec<Mutex<HashMap<u64, W>>>, hist: Arc<Histogram> }";
+        let f = parse_file("crates/demo/src/lib.rs", src);
+        assert_eq!(f.fields.len(), 2);
+        assert_eq!(f.fields[0].name, "seen");
+        assert!(f.fields[0].ty.contains("HashMap"));
+        assert_eq!(f.fields[1].name, "hist");
+    }
+
+    #[test]
+    fn obs_imports_with_aliases_and_groups() {
+        let src = "use xt_obs::{Histogram, Registry as Reg};\nuse std::collections::HashMap;";
+        let f = parse_file("crates/demo/src/lib.rs", src);
+        assert!(f.obs_imports.contains("Histogram"));
+        assert!(f.obs_imports.contains("Reg"));
+        assert!(!f.obs_imports.contains("HashMap"));
+    }
+
+    #[test]
+    fn pragmas_parse_and_reject_missing_justification() {
+        let src = "\n// xt-analyze: allow(hash-iter) -- sorted before encoding\nfn x() {}\n// xt-analyze: allow(hash-iter)\n";
+        let f = parse_file("crates/demo/src/lib.rs", src);
+        assert_eq!(f.pragmas.len(), 1);
+        assert_eq!(f.pragmas[0].line, 2);
+        assert_eq!(f.pragmas[0].justification, "sorted before encoding");
+        assert_eq!(f.pragma_errors.len(), 1);
+        assert!(f.pragma_errors[0].reason.contains("justification"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Findings, suppression accounting, and the rendered report.
+
+use std::fmt;
+
+/// The rule families the analyzer enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` iteration inside a deterministic-surface
+    /// function.
+    HashIter,
+    /// `Instant::now`/`SystemTime`/`thread::current().id()` inside a
+    /// deterministic-surface function.
+    TimeSource,
+    /// A cycle in the static lock-order graph.
+    LockOrder,
+    /// `.lock().unwrap()`/`.expect(` in non-test service code without
+    /// `PoisonError::into_inner` recovery.
+    LockPoison,
+    /// An identifier imported from `xt-obs` inside a
+    /// deterministic-surface function.
+    ObsInDet,
+    /// A malformed `xt-analyze:` pragma (not suppressible).
+    BadPragma,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 6] = [
+        Rule::HashIter,
+        Rule::TimeSource,
+        Rule::LockOrder,
+        Rule::LockPoison,
+        Rule::ObsInDet,
+        Rule::BadPragma,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::TimeSource => "time-source",
+            Rule::LockOrder => "lock-order",
+            Rule::LockPoison => "lock-poison",
+            Rule::ObsInDet => "obs-in-det",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// `bad-pragma` is the one rule a pragma cannot silence.
+    pub fn suppressible(self) -> bool {
+        self != Rule::BadPragma
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic. Ordering is the pinned report order:
+/// (path, line, rule, offset).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub offset: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl Finding {
+    fn sort_key(&self) -> (&str, u32, Rule, u32) {
+        (&self.path, self.line, self.rule, self.offset)
+    }
+}
+
+/// A pragma that participated in the run, with whether it actually
+/// suppressed anything (unused pragmas are reported so stale
+/// suppressions get cleaned up).
+#[derive(Clone, Debug)]
+pub struct PragmaUse {
+    pub path: String,
+    pub line: u32,
+    pub rules: Vec<Rule>,
+    pub justification: String,
+    pub used: bool,
+}
+
+/// The full result of an analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Unsuppressed findings, sorted by (path, line, rule, offset).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a pragma, same ordering.
+    pub suppressed: Vec<Finding>,
+    /// Every pragma seen, with its justification and use count.
+    pub pragmas: Vec<PragmaUse>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Sorts all finding lists into the pinned deterministic order.
+    pub fn finalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        self.findings.dedup();
+        self.suppressed
+            .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        self.suppressed.dedup();
+        self.pragmas
+            .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The human/CI report: findings first, then the pragma-justification
+    /// inventory, then a summary line. Byte-stable run-to-run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("xt-analyze report\n=================\n\n");
+        if self.findings.is_empty() {
+            out.push_str("no unsuppressed findings\n");
+        } else {
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "{}:{} [{}] (byte {}) {}\n",
+                    f.path, f.line, f.rule, f.offset, f.message
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\npragma inventory ({} total)\n---------------------------\n",
+            self.pragmas.len()
+        ));
+        for p in &self.pragmas {
+            let rules: Vec<&str> = p.rules.iter().map(|r| r.name()).collect();
+            out.push_str(&format!(
+                "{}:{} allow({}) {} -- {}\n",
+                p.path,
+                p.line,
+                rules.join(","),
+                if p.used { "[used]" } else { "[UNUSED]" },
+                p.justification
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} file(s) scanned, {} finding(s), {} suppressed, {} pragma(s)\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed.len(),
+            self.pragmas.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("nope"), None);
+        assert!(!Rule::BadPragma.suppressible());
+    }
+
+    #[test]
+    fn finalize_orders_by_path_line_rule_offset() {
+        let f = |path: &str, line: u32, rule: Rule, offset: u32| Finding {
+            path: path.to_string(),
+            line,
+            offset,
+            rule,
+            message: String::new(),
+        };
+        let mut a = Analysis {
+            findings: vec![
+                f("b.rs", 1, Rule::HashIter, 0),
+                f("a.rs", 9, Rule::TimeSource, 5),
+                f("a.rs", 9, Rule::HashIter, 9),
+                f("a.rs", 2, Rule::ObsInDet, 1),
+            ],
+            ..Analysis::default()
+        };
+        a.finalize();
+        let got: Vec<(&str, u32, Rule)> = a
+            .findings
+            .iter()
+            .map(|f| (f.path.as_str(), f.line, f.rule))
+            .collect();
+        assert_eq!(
+            got,
+            [
+                ("a.rs", 2, Rule::ObsInDet),
+                ("a.rs", 9, Rule::HashIter),
+                ("a.rs", 9, Rule::TimeSource),
+                ("b.rs", 1, Rule::HashIter),
+            ]
+        );
+    }
+
+    #[test]
+    fn render_is_stable_and_lists_pragmas() {
+        let mut a = Analysis::default();
+        a.pragmas.push(PragmaUse {
+            path: "x.rs".to_string(),
+            line: 3,
+            rules: vec![Rule::HashIter],
+            justification: "sorted before encoding".to_string(),
+            used: true,
+        });
+        a.files_scanned = 1;
+        a.finalize();
+        let r1 = a.render();
+        let r2 = a.render();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("no unsuppressed findings"));
+        assert!(r1.contains("allow(hash-iter) [used] -- sorted before encoding"));
+    }
+}

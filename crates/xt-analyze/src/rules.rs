@@ -1,0 +1,640 @@
+//! The determinism rule family: hash iteration, wall-clock reads, and
+//! observation identifiers inside deterministic-surface functions.
+//!
+//! Hash typing is name-based: struct fields (workspace-wide) and `let`
+//! bindings whose declared/constructed type names `HashMap`/`HashSet`
+//! classify their names as **hash** (iterating the name iterates a hash
+//! container) or **wrapped** (the hash container sits inside another
+//! container, e.g. `Vec<Mutex<HashMap<..>>>`, so iterating the name
+//! itself is deterministic but its *elements* are hash containers —
+//! loop variables over a wrapped name become hash-classified).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::model::{Field, SourceFile};
+use crate::report::{Finding, Rule};
+use crate::surface::{FnKey, Surface};
+
+const ITER_METHODS: [&str; 6] = ["iter", "iter_mut", "keys", "values", "into_iter", "drain"];
+
+/// Type wrappers that are transparent for hash classification.
+const TRANSPARENT: [&str; 10] = [
+    "Arc", "Rc", "Box", "Mutex", "RwLock", "Option", "Cell", "RefCell", "mut", "dyn",
+];
+
+/// How a name relates to hash containers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum HashClass {
+    /// The name *is* a hash container (possibly behind Arc/Mutex/...).
+    Hash,
+    /// The name is a non-hash container whose elements are hash
+    /// containers.
+    Wrapped,
+}
+
+/// Classifies a field type text (tokens joined by spaces).
+fn classify_ty(ty: &str) -> Option<HashClass> {
+    if !ty.contains("HashMap") && !ty.contains("HashSet") {
+        return None;
+    }
+    for word in ty.split_whitespace() {
+        if word == "HashMap" || word == "HashSet" {
+            return Some(HashClass::Hash);
+        }
+        if word.chars().next().is_some_and(|c| c.is_alphabetic())
+            && !TRANSPARENT.contains(&word)
+            && word != "&"
+        {
+            // First substantive type name is not a hash container and
+            // not transparent: the hash sits inside it.
+            return Some(HashClass::Wrapped);
+        }
+    }
+    None
+}
+
+/// Workspace-wide hash-classified field names.
+pub struct HashNames {
+    hash: BTreeSet<String>,
+    wrapped: BTreeSet<String>,
+}
+
+pub fn collect_hash_fields(files: &[SourceFile]) -> HashNames {
+    let mut hash = BTreeSet::new();
+    let mut wrapped = BTreeSet::new();
+    for file in files {
+        for Field { name, ty } in &file.fields {
+            match classify_ty(ty) {
+                Some(HashClass::Hash) => {
+                    hash.insert(name.clone());
+                }
+                Some(HashClass::Wrapped) => {
+                    wrapped.insert(name.clone());
+                }
+                None => {}
+            }
+        }
+    }
+    HashNames { hash, wrapped }
+}
+
+/// Runs hash-iter and time-source over every deterministic-surface
+/// function.
+pub fn determinism_rules(
+    files: &[SourceFile],
+    surface: &Surface,
+    hash_fields: &HashNames,
+    out: &mut Vec<Finding>,
+) {
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.functions.iter().enumerate() {
+            let key: FnKey = (fi, gi);
+            if f.is_test || !surface.contains(key) {
+                continue;
+            }
+            hash_iter_fn(file, f.sig.clone(), f.body.clone(), hash_fields, out);
+            time_source_fn(file, f.body.clone(), out);
+        }
+    }
+}
+
+/// Per-function hash-iter scan: seeds local hash names from `let`
+/// statements and loop variables, then flags iteration methods whose
+/// receiver chain mentions a hash name and `for` loops directly over a
+/// hash name.
+fn hash_iter_fn(
+    file: &SourceFile,
+    sig: std::ops::Range<usize>,
+    body: std::ops::Range<usize>,
+    globals: &HashNames,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.toks;
+    let mut hash: BTreeSet<String> = globals.hash.clone();
+    let mut wrapped: BTreeSet<String> = globals.wrapped.clone();
+
+    // Pass 0: parameters. `m: &HashMap<..>` classifies `m` exactly like
+    // a field would — split the parameter list on top-level commas and
+    // classify each `name: ty` segment.
+    if let Some(open) = (sig.start..sig.end).find(|&k| toks[k].is_punct('(')) {
+        let classify_seg =
+            |a: usize, b: usize, hash: &mut BTreeSet<String>, wrapped: &mut BTreeSet<String>| {
+                let Some(colon) = (a..b).find(|&k| toks[k].is_punct(':')) else {
+                    return;
+                };
+                let Some(name) = (a..colon)
+                    .rev()
+                    .find(|&k| toks[k].kind == TokKind::Ident)
+                    .map(|k| toks[k].text.clone())
+                else {
+                    return;
+                };
+                let text: Vec<&str> = (colon + 1..b).map(|k| toks[k].text.as_str()).collect();
+                match classify_ty(&text.join(" ")) {
+                    Some(HashClass::Hash) => {
+                        hash.insert(name);
+                    }
+                    Some(HashClass::Wrapped) => {
+                        wrapped.insert(name);
+                    }
+                    None => {}
+                }
+            };
+        let mut depth = 1usize;
+        let mut angle = 0usize;
+        let mut seg_start = open + 1;
+        let mut j = open + 1;
+        while j < sig.end {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    classify_seg(seg_start, j, &mut hash, &mut wrapped);
+                    break;
+                }
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && angle > 0 && !toks[j - 1].is_punct('-') {
+                angle -= 1;
+            } else if t.is_punct(',') && depth == 1 && angle == 0 {
+                classify_seg(seg_start, j, &mut hash, &mut wrapped);
+                seg_start = j + 1;
+            }
+            j += 1;
+        }
+    }
+
+    // Pass 1: local bindings. `let x ... = ... HashMap/HashSet ... ;`
+    // classifies `x`; `for x in <expr naming a wrapped name>` makes `x`
+    // hash (the element of a wrapped container is the hash container).
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        if t.is_ident("let") {
+            // Binding pattern: idents up to the `:` type annotation or
+            // `=` at paren depth 0.
+            let mut names = Vec::new();
+            let mut j = i + 1;
+            let mut depth = 0usize;
+            while j < body.end {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && (t.is_punct(':') || t.is_punct('=') || t.is_punct(';')) {
+                    break;
+                } else if t.kind == TokKind::Ident
+                    && !TRANSPARENT.contains(&t.text.as_str())
+                    && t.text != "Some"
+                    && t.text != "Ok"
+                    && t.text != "Err"
+                {
+                    names.push(t.text.clone());
+                }
+                j += 1;
+            }
+            let stmt_end = statement_end(toks, j, body.end);
+            let mentions_hash_ty =
+                (j..stmt_end).any(|k| toks[k].is_ident("HashMap") || toks[k].is_ident("HashSet"));
+            if mentions_hash_ty {
+                // Type/RHS position decides hash vs wrapped.
+                let text: Vec<&str> = (j..stmt_end)
+                    .filter(|&k| toks[k].kind == TokKind::Ident)
+                    .map(|k| toks[k].text.as_str())
+                    .collect();
+                let class = classify_ty(&text.join(" ")).unwrap_or(HashClass::Hash);
+                for n in &names {
+                    match class {
+                        HashClass::Hash => {
+                            hash.insert(n.clone());
+                        }
+                        HashClass::Wrapped => {
+                            wrapped.insert(n.clone());
+                        }
+                    }
+                }
+            } else {
+                // No explicit hash type, but the RHS mentions a
+                // hash-classified name (e.g. the guard of a locked
+                // shard): the binding inherits the class.
+                let inherits = (j..stmt_end)
+                    .any(|k| toks[k].kind == TokKind::Ident && hash.contains(&toks[k].text));
+                if inherits {
+                    for n in &names {
+                        hash.insert(n.clone());
+                    }
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident("for") {
+            // Collect loop-pattern names up to `in`, then the iterated
+            // expression up to `{`.
+            let mut names = Vec::new();
+            let mut j = i + 1;
+            while j < body.end && !toks[j].is_ident("in") {
+                if toks[j].kind == TokKind::Ident {
+                    names.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            let expr_start = j + 1;
+            let mut k = expr_start;
+            let mut depth = 0usize;
+            while k < body.end {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && t.is_punct('{') {
+                    break;
+                }
+                k += 1;
+            }
+            let over_wrapped = (expr_start..k)
+                .any(|m| toks[m].kind == TokKind::Ident && wrapped.contains(&toks[m].text));
+            if over_wrapped {
+                for n in &names {
+                    hash.insert(n.clone());
+                }
+            }
+            i = expr_start;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Pass 2: flag iteration sites. A mention counts unless it is a
+    // self-qualified access to a *wrapped* field (`self.seen` where
+    // `seen: Vec<Mutex<HashMap<..>>>`): iterating the outer container is
+    // deterministic, and `self.` can only mean the field even when a
+    // local (e.g. a loop variable over the shards) shadows the name.
+    let counts = |k: usize| -> bool {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || !hash.contains(&t.text) {
+            return false;
+        }
+        let self_qualified = k >= 2 && toks[k - 1].is_punct('.') && toks[k - 2].is_ident("self");
+        !(self_qualified && wrapped.contains(&t.text))
+    };
+    let mut flagged_lines = BTreeSet::new();
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        // `.iter()` family whose receiver chain mentions a hash name.
+        if i > body.start
+            && t.kind == TokKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let start = chain_start(toks, i - 1, body.start);
+            let mentions = (start..i - 1).find(|&k| counts(k));
+            if let Some(k) = mentions {
+                if flagged_lines.insert(t.line) {
+                    out.push(Finding {
+                        path: file.path.clone(),
+                        line: t.line,
+                        offset: t.offset,
+                        rule: Rule::HashIter,
+                        message: format!(
+                            "hash-container iteration (`{}` via `.{}()`) in a \
+                             deterministic-surface function — iteration order is \
+                             nondeterministic",
+                            toks[k].text, t.text
+                        ),
+                    });
+                }
+            }
+        }
+        // `for x in <expr over a hash name>`.
+        if t.is_ident("for") {
+            let mut j = i + 1;
+            while j < body.end && !toks[j].is_ident("in") {
+                j += 1;
+            }
+            let expr_start = j + 1;
+            let mut k = expr_start;
+            let mut depth = 0usize;
+            while k < body.end {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && t.is_punct('{') {
+                    break;
+                }
+                k += 1;
+            }
+            let mention = (expr_start..k.min(body.end)).find(|&m| counts(m));
+            if let Some(m) = mention {
+                let site = &toks[m];
+                if flagged_lines.insert(site.line) {
+                    out.push(Finding {
+                        path: file.path.clone(),
+                        line: site.line,
+                        offset: site.offset,
+                        rule: Rule::HashIter,
+                        message: format!(
+                            "`for` loop over hash container `{}` in a \
+                             deterministic-surface function — iteration order is \
+                             nondeterministic",
+                            site.text
+                        ),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Start of the postfix chain whose final `.` is at `dot` — same shape
+/// as the lock receiver walk but tolerant of intermediate calls.
+fn chain_start(toks: &[Tok], dot: usize, floor: usize) -> usize {
+    let mut j = dot;
+    loop {
+        if j <= floor {
+            return j;
+        }
+        let k = j - 1;
+        let elem_start = if toks[k].is_punct(')') || toks[k].is_punct(']') {
+            let mut depth = 0usize;
+            let mut b = k;
+            loop {
+                if toks[b].is_punct(')') || toks[b].is_punct(']') {
+                    depth += 1;
+                } else if toks[b].is_punct('(') || toks[b].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if b == floor {
+                    break;
+                }
+                b -= 1;
+            }
+            // A call or index: the ident before the group belongs to the
+            // same chain element.
+            if b > floor && toks[b - 1].kind == TokKind::Ident {
+                b -= 1;
+            }
+            b
+        } else if toks[k].kind == TokKind::Ident || toks[k].kind == TokKind::Num {
+            k
+        } else {
+            return j;
+        };
+        j = elem_start;
+        if j > floor && toks[j - 1].is_punct('.') {
+            j -= 1;
+            continue;
+        }
+        return j;
+    }
+}
+
+fn statement_end(toks: &[Tok], from: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct(';') {
+            return i;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Wall-clock and thread-identity reads inside a surface function.
+fn time_source_fn(file: &SourceFile, body: std::ops::Range<usize>, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                offset: t.offset,
+                rule: Rule::TimeSource,
+                message: "`Instant::now()` in a deterministic-surface function — timing must \
+                          stay observation-only"
+                    .to_string(),
+            });
+        } else if t.is_ident("SystemTime") {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                offset: t.offset,
+                rule: Rule::TimeSource,
+                message: "`SystemTime` in a deterministic-surface function — wall-clock values \
+                          must not reach deterministic output"
+                    .to_string(),
+            });
+        } else if t.is_ident("current")
+            && i >= body.start + 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("thread")
+            && (i..body.end.min(i + 8)).any(|k| toks[k].is_ident("id"))
+        {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                offset: t.offset,
+                rule: Rule::TimeSource,
+                message: "`thread::current().id()` in a deterministic-surface function — \
+                          thread identity is scheduling-dependent"
+                    .to_string(),
+            });
+        }
+        i += 1;
+    }
+}
+
+/// The observation-only rule: no identifier imported from `xt-obs`, and
+/// no access to an obs-typed field, inside a deterministic-surface
+/// function (signature included). `xt-obs` itself is exempt.
+pub fn observation_rule(files: &[SourceFile], surface: &Surface, out: &mut Vec<Finding>) {
+    for (fi, file) in files.iter().enumerate() {
+        if file.crate_name == "xt-obs" {
+            continue;
+        }
+        // Field names declared in *this* file whose type names one of
+        // this file's xt-obs imports (e.g. `publish_hist: Histogram`).
+        // Scoped per file so a count field that happens to be called
+        // `obs` elsewhere doesn't collide.
+        let mut obs_fields: BTreeSet<&str> = BTreeSet::new();
+        for Field { name, ty } in &file.fields {
+            if ty.split_whitespace().any(|w| file.obs_imports.contains(w)) {
+                obs_fields.insert(name.as_str());
+            }
+        }
+        for (gi, f) in file.functions.iter().enumerate() {
+            if f.is_test || !surface.contains((fi, gi)) {
+                continue;
+            }
+            let mut flagged = BTreeSet::new();
+            let range = f.sig.start..f.body.end.max(f.sig.end);
+            for k in range {
+                let t = &file.toks[k];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let imported = file.obs_imports.contains(&t.text);
+                let field_access =
+                    k > 0 && file.toks[k - 1].is_punct('.') && obs_fields.contains(t.text.as_str());
+                if (imported || field_access) && flagged.insert((t.line, t.text.clone())) {
+                    out.push(Finding {
+                        path: file.path.clone(),
+                        line: t.line,
+                        offset: t.offset,
+                        rule: Rule::ObsInDet,
+                        message: format!(
+                            "`{}` ({}) in a deterministic-surface function — metrics are \
+                             observation-only and must not reach deterministic output",
+                            t.text,
+                            if imported {
+                                "imported from xt-obs"
+                            } else {
+                                "obs-typed field"
+                            }
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_file;
+    use crate::surface;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| parse_file(p, s)).collect();
+        let surf = surface::compute(&files);
+        let hash = collect_hash_fields(&files);
+        let mut out = Vec::new();
+        determinism_rules(&files, &surf, &hash, &mut out);
+        observation_rule(&files, &surf, &mut out);
+        out
+    }
+
+    #[test]
+    fn hash_iter_in_digest_flagged() {
+        let out = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn deterministic_digest(&self) -> u128 {
+                let mut counts: HashMap<u64, u64> = HashMap::new();
+                for (k, v) in counts.iter() { }
+                0
+            }
+            "#,
+        )]);
+        assert!(out.iter().any(|f| f.rule == Rule::HashIter), "{out:?}");
+    }
+
+    #[test]
+    fn hash_iter_outside_surface_is_fine() {
+        let out = run(&[(
+            "crates/d/src/lib.rs",
+            "fn routing(&self) { let m: HashMap<u64, u64> = HashMap::new(); m.iter(); }",
+        )]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vec_of_mutex_hashmap_field_iteration_is_fine_but_elements_flag() {
+        let out = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            struct S { seen: Vec<Mutex<HashMap<u64, W>>> }
+            fn export_snapshot(&self) {
+                for shard in self.seen.iter() {
+                    let m = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                    for (k, v) in m.iter() { }
+                }
+            }
+            "#,
+        )]);
+        // Exactly one finding: the inner map iteration, not the Vec walk.
+        let hash: Vec<&Finding> = out.iter().filter(|f| f.rule == Rule::HashIter).collect();
+        assert_eq!(hash.len(), 1, "{out:?}");
+        assert!(hash[0].message.contains('m') || hash[0].message.contains("shard"));
+    }
+
+    #[test]
+    fn btreemap_iteration_is_always_fine() {
+        let out = run(&[(
+            "crates/d/src/lib.rs",
+            "fn encode(&self) { let m: BTreeMap<u64, u64> = BTreeMap::new(); for x in m.iter() {} }",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn time_sources_in_surface_flagged() {
+        let out = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn publish(&self) {
+                let t = Instant::now();
+                let s = SystemTime::now();
+                let id = thread::current().id();
+            }
+            fn routing(&self) { let t = Instant::now(); }
+            "#,
+        )]);
+        let ts: Vec<&Finding> = out.iter().filter(|f| f.rule == Rule::TimeSource).collect();
+        assert_eq!(ts.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn obs_import_in_surface_flagged() {
+        let out = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            use xt_obs::Histogram;
+            struct S { publish_hist: Histogram, plain: u64 }
+            fn publish(&self) { self.publish_hist.record(1); let x = self.plain; }
+            fn routing(&self, h: &Histogram) { }
+            "#,
+        )]);
+        let obs: Vec<&Finding> = out.iter().filter(|f| f.rule == Rule::ObsInDet).collect();
+        assert_eq!(obs.len(), 1, "{out:?}");
+        assert!(obs[0].message.contains("publish_hist"));
+    }
+
+    #[test]
+    fn reachable_callee_inherits_surface() {
+        let out = run(&[(
+            "crates/d/src/lib.rs",
+            r#"
+            fn state_digest(&self) -> u128 { self.walk() }
+            fn walk(&self) -> u128 { let m: HashSet<u64> = HashSet::new(); for x in m.iter() {} 0 }
+            "#,
+        )]);
+        assert!(out.iter().any(|f| f.rule == Rule::HashIter), "{out:?}");
+    }
+}

@@ -1,0 +1,400 @@
+//! Fixture-driven integration tests: one known-bad and one known-good
+//! source per rule family, run through the full [`xt_analyze`] pipeline
+//! exactly as the CLI would, plus pragma-suppression behaviour and the
+//! self-check that the shipped workspace is clean under `--deny`.
+
+use xt_analyze::{analyze_sources, Rule};
+
+/// Runs the analyzer over in-memory fixtures and returns the rules of
+/// all unsuppressed findings (sorted, deduplicated by the pipeline).
+fn rules_of(sources: &[(&str, &str)]) -> Vec<Rule> {
+    let owned: Vec<(String, String)> = sources
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    analyze_sources(&owned)
+        .findings
+        .iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+// ---- hash-iter ---------------------------------------------------------
+
+#[test]
+fn bad_hash_iteration_in_digest_is_flagged() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::collections::HashMap;
+        pub fn fold_digest(m: &HashMap<u64, u64>) -> u64 {
+            let mut acc = 0u64;
+            for (k, v) in m.iter() {
+                acc = acc.wrapping_mul(31).wrapping_add(k ^ v);
+            }
+            acc
+        }
+        "#,
+    )]);
+    assert_eq!(rules, vec![Rule::HashIter]);
+}
+
+#[test]
+fn good_btree_iteration_in_digest_is_clean() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::collections::BTreeMap;
+        pub fn fold_digest(m: &BTreeMap<u64, u64>) -> u64 {
+            let mut acc = 0u64;
+            for (k, v) in m.iter() {
+                acc = acc.wrapping_mul(31).wrapping_add(k ^ v);
+            }
+            acc
+        }
+        "#,
+    )]);
+    assert!(rules.is_empty(), "unexpected findings: {rules:?}");
+}
+
+#[test]
+fn hash_iteration_off_the_surface_is_clean() {
+    // Same iteration, but the function is not digest/outcome vocabulary
+    // and nothing on the surface calls it.
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::collections::HashMap;
+        pub fn debug_dump(m: &HashMap<u64, u64>) -> usize {
+            let mut n = 0;
+            for _ in m.iter() { n += 1; }
+            n
+        }
+        "#,
+    )]);
+    assert!(rules.is_empty(), "unexpected findings: {rules:?}");
+}
+
+#[test]
+fn surface_closure_reaches_helpers() {
+    // The seed function calls a helper; the helper's hash iteration is
+    // flagged even though the helper's own name is innocent.
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::collections::HashSet;
+        pub fn outcome_bytes(s: &HashSet<u64>) -> Vec<u8> {
+            let mut out = Vec::new();
+            accumulate(s, &mut out);
+            out
+        }
+        fn accumulate(s: &HashSet<u64>, out: &mut Vec<u8>) {
+            for v in s.iter() {
+                out.extend(v.to_le_bytes());
+            }
+        }
+        "#,
+    )]);
+    assert_eq!(rules, vec![Rule::HashIter]);
+}
+
+// ---- time-source -------------------------------------------------------
+
+#[test]
+fn bad_clock_read_on_the_surface_is_flagged() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::time::Instant;
+        pub fn encode_header(out: &mut Vec<u8>) {
+            let t = Instant::now();
+            out.push(t.elapsed().subsec_nanos() as u8);
+        }
+        "#,
+    )]);
+    assert_eq!(rules, vec![Rule::TimeSource]);
+}
+
+#[test]
+fn good_clock_read_in_metrics_code_is_clean() {
+    // `metrics_*` names are observation-exempt by design.
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::time::Instant;
+        pub fn metrics_tick() -> u128 {
+            Instant::now().elapsed().as_nanos()
+        }
+        "#,
+    )]);
+    assert!(rules.is_empty(), "unexpected findings: {rules:?}");
+}
+
+#[test]
+fn thread_id_on_the_surface_is_flagged() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        pub fn snapshot_tag() -> String {
+            format!("{:?}", std::thread::current().id())
+        }
+        "#,
+    )]);
+    assert_eq!(rules, vec![Rule::TimeSource]);
+}
+
+// ---- lock-order --------------------------------------------------------
+
+#[test]
+fn bad_lock_order_cycle_is_flagged() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::sync::Mutex;
+        pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+        impl S {
+            pub fn forward(&self) -> u64 {
+                let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                *ga + *gb
+            }
+            pub fn backward(&self) -> u64 {
+                let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                *ga - *gb
+            }
+        }
+        "#,
+    )]);
+    assert_eq!(rules, vec![Rule::LockOrder, Rule::LockOrder]);
+}
+
+#[test]
+fn good_consistent_lock_order_is_clean() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::sync::Mutex;
+        pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+        impl S {
+            pub fn sum(&self) -> u64 {
+                let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                *ga + *gb
+            }
+            pub fn diff(&self) -> u64 {
+                let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                *ga - *gb
+            }
+        }
+        "#,
+    )]);
+    assert!(rules.is_empty(), "unexpected findings: {rules:?}");
+}
+
+#[test]
+fn cross_function_lock_order_cycle_is_flagged() {
+    // `forward` holds `a` while calling a helper that takes `b`;
+    // `backward` does the reverse directly. The cycle spans a call edge.
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::sync::Mutex;
+        pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+        impl S {
+            pub fn forward(&self) -> u64 {
+                let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                *ga + self.tail()
+            }
+            fn tail(&self) -> u64 {
+                *self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+            pub fn backward(&self) -> u64 {
+                let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                *ga - *gb
+            }
+        }
+        "#,
+    )]);
+    assert!(
+        rules.contains(&Rule::LockOrder),
+        "expected a lock-order finding, got: {rules:?}"
+    );
+}
+
+// ---- lock-poison -------------------------------------------------------
+
+#[test]
+fn bad_unrecovered_lock_unwrap_is_flagged() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::sync::Mutex;
+        pub fn bump(m: &Mutex<u64>) {
+            *m.lock().unwrap() += 1;
+        }
+        "#,
+    )]);
+    assert_eq!(rules, vec![Rule::LockPoison]);
+}
+
+#[test]
+fn good_poison_recovery_is_clean() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::sync::{Mutex, PoisonError};
+        pub fn bump(m: &Mutex<u64>) {
+            *m.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        }
+        "#,
+    )]);
+    assert!(rules.is_empty(), "unexpected findings: {rules:?}");
+}
+
+#[test]
+fn lock_unwrap_in_test_code_is_clean() {
+    // Tests may unwrap freely: a poisoned lock should fail the test.
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::sync::Mutex;
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn bump() {
+                let m = super::Mutex::new(0u64);
+                *m.lock().unwrap() += 1;
+            }
+        }
+        "#,
+    )]);
+    assert!(rules.is_empty(), "unexpected findings: {rules:?}");
+}
+
+// ---- obs-in-det --------------------------------------------------------
+
+#[test]
+fn bad_metrics_use_on_the_surface_is_flagged() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use xt_obs::Counter;
+        pub fn encode_frame(c: &Counter, out: &mut Vec<u8>) {
+            out.extend(Counter::default().get().to_le_bytes());
+        }
+        "#,
+    )]);
+    // Both the signature mention and the body mention are flagged.
+    assert!(
+        !rules.is_empty() && rules.iter().all(|&r| r == Rule::ObsInDet),
+        "expected obs-in-det findings, got: {rules:?}"
+    );
+}
+
+#[test]
+fn good_metrics_use_off_the_surface_is_clean() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use xt_obs::Counter;
+        pub fn record_arrival(c: &Counter) {
+            c.incr();
+        }
+        "#,
+    )]);
+    assert!(rules.is_empty(), "unexpected findings: {rules:?}");
+}
+
+// ---- pragmas -----------------------------------------------------------
+
+#[test]
+fn pragma_with_justification_suppresses_and_is_counted() {
+    let owned = vec![(
+        "crates/demo/src/lib.rs".to_string(),
+        r#"
+        use std::collections::HashMap;
+        pub fn fold_digest(m: &HashMap<u64, u64>) -> u64 {
+            let mut acc = 0u64;
+            // xt-analyze: allow(hash-iter) -- commutative xor-fold; order cannot matter
+            for (k, v) in m.iter() {
+                acc ^= k ^ v;
+            }
+            acc
+        }
+        "#
+        .to_string(),
+    )];
+    let analysis = analyze_sources(&owned);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressed.len(), 1);
+    assert_eq!(analysis.pragmas.len(), 1);
+    assert!(analysis.pragmas[0].used);
+    assert_eq!(
+        analysis.pragmas[0].justification,
+        "commutative xor-fold; order cannot matter"
+    );
+}
+
+#[test]
+fn pragma_without_justification_is_an_error() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::collections::HashMap;
+        pub fn fold_digest(m: &HashMap<u64, u64>) -> u64 {
+            let mut acc = 0u64;
+            // xt-analyze: allow(hash-iter)
+            for (k, v) in m.iter() {
+                acc ^= k ^ v;
+            }
+            acc
+        }
+        "#,
+    )]);
+    // The malformed pragma is itself a finding AND fails to suppress.
+    assert_eq!(rules, vec![Rule::BadPragma, Rule::HashIter]);
+}
+
+#[test]
+fn pragma_for_the_wrong_rule_does_not_suppress() {
+    let rules = rules_of(&[(
+        "crates/demo/src/lib.rs",
+        r#"
+        use std::collections::HashMap;
+        pub fn fold_digest(m: &HashMap<u64, u64>) -> u64 {
+            let mut acc = 0u64;
+            // xt-analyze: allow(time-source) -- wrong rule on purpose
+            for (k, v) in m.iter() {
+                acc ^= k ^ v;
+            }
+            acc
+        }
+        "#,
+    )]);
+    assert_eq!(rules, vec![Rule::HashIter]);
+}
+
+// ---- deterministic output ----------------------------------------------
+
+#[test]
+fn report_is_byte_stable_across_runs() {
+    let owned = vec![
+        (
+            "crates/b/src/lib.rs".to_string(),
+            "use std::time::Instant;\npub fn encode_b() { let _ = Instant::now(); }\n".to_string(),
+        ),
+        (
+            "crates/a/src/lib.rs".to_string(),
+            "use std::time::Instant;\npub fn encode_a() { let _ = Instant::now(); }\n".to_string(),
+        ),
+    ];
+    let first = analyze_sources(&owned).render();
+    let second = analyze_sources(&owned).render();
+    assert_eq!(first, second);
+    let a = first.find("crates/a/src/lib.rs").expect("a reported");
+    let b = first.find("crates/b/src/lib.rs").expect("b reported");
+    assert!(a < b, "findings must sort by path:\n{first}");
+}

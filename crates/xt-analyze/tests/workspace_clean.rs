@@ -1,0 +1,30 @@
+//! Self-check: the shipped workspace passes its own analyzer under
+//! `--deny`. Any regression — a new hash iteration on a digest path, a
+//! clock read feeding an outcome, a lock-order inversion, a pragma
+//! without justification — fails this test before it reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn shipped_workspace_is_clean_under_deny() {
+    // CARGO_MANIFEST_DIR = crates/xt-analyze → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let analysis = xt_analyze::analyze_workspace(root).expect("workspace scan");
+    assert!(
+        analysis.files_scanned > 50,
+        "suspiciously small scan ({} files) — wrong root?",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.is_clean(),
+        "unsuppressed findings in the shipped tree:\n{}",
+        analysis.render()
+    );
+    // Every pragma in the tree must pull its weight: an unused pragma is
+    // stale documentation and must be deleted, not shipped.
+    let unused: Vec<_> = analysis.pragmas.iter().filter(|p| !p.used).collect();
+    assert!(unused.is_empty(), "unused pragmas: {unused:?}");
+}

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Named-object durable storage. All methods take `&self`: one storage
 /// may be shared across threads, and implementations synchronize
@@ -145,7 +145,7 @@ impl MemStorage {
     pub fn object_len(&self, name: &str) -> usize {
         self.objects
             .lock()
-            .expect("storage map lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .map_or(0, Vec::len)
     }
@@ -156,7 +156,7 @@ impl Storage for MemStorage {
         Ok(self
             .objects
             .lock()
-            .expect("storage map lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned())
     }
@@ -164,7 +164,7 @@ impl Storage for MemStorage {
     fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
         self.objects
             .lock()
-            .expect("storage map lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(name.to_string())
             .or_default()
             .extend_from_slice(bytes);
@@ -174,13 +174,13 @@ impl Storage for MemStorage {
     fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
         self.objects
             .lock()
-            .expect("storage map lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_string(), bytes.to_vec());
         Ok(())
     }
 
     fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
-        let mut objects = self.objects.lock().expect("storage map lock poisoned");
+        let mut objects = self.objects.lock().unwrap_or_else(PoisonError::into_inner);
         let object = objects.entry(name.to_string()).or_default();
         let len = usize::try_from(len).unwrap_or(usize::MAX);
         if object.len() > len {
@@ -418,6 +418,25 @@ impl<S: Storage> Storage for FaultyStorage<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mem_storage_recovers_from_poisoned_lock() {
+        let storage = MemStorage::new();
+        let poisoner = storage.clone();
+        let _ = std::thread::spawn(move || {
+            let _objects = poisoner.objects.lock().unwrap();
+            panic!("poison the storage lock");
+        })
+        .join();
+        assert!(storage.objects.lock().is_err(), "lock should be poisoned");
+        // Every storage operation recovers instead of cascading the
+        // panic into WAL replay or snapshot capture.
+        storage.put("snapshot", b"state").unwrap();
+        storage.append("wal", b"rec").unwrap();
+        storage.truncate("wal", 2).unwrap();
+        assert_eq!(storage.read("wal").unwrap().unwrap(), b"re");
+        assert_eq!(storage.object_len("snapshot"), 5);
+    }
 
     fn exercise(storage: &impl Storage) {
         assert_eq!(storage.read("wal").unwrap(), None);

@@ -28,7 +28,7 @@
 //! 4. **Scoring** (§4.1): surviving culprits are scored
 //!    `1 − (1/256)^S` by total overflow-string length `S`.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use xt_alloc::ObjectId;
 use xt_arena::Addr;
@@ -157,6 +157,7 @@ fn classify_dangling(
         }
         // "Overwritten with identical values across multiple heap images":
         // every image agrees byte-for-byte on the overwritten region.
+        // xt-analyze: allow(hash-iter) -- ∀-reduction to a bool; iteration order cannot change the result
         let identical = union.iter().all(|&off| {
             let first = slots[0].data[off];
             slots.iter().all(|s| s.data[off] == first)
@@ -326,6 +327,7 @@ fn majority_value<'a>(words: &[&'a [u8]]) -> Option<&'a [u8]> {
     for w in words {
         *counts.entry(w).or_insert(0) += 1;
     }
+    // xt-analyze: allow(hash-iter) -- a tie at max implies no strict majority, so the filter below returns None regardless of which tied entry max_by_key saw first
     let (&value, &count) = counts.iter().max_by_key(|(_, &c)| c)?;
     (2 * count > words.len()).then_some(value)
 }
@@ -383,8 +385,10 @@ fn find_culprits(
         .map(|cs| cs.iter().map(|c| c.slot).collect())
         .collect();
 
-    let mut all_keys: HashSet<(ObjectId, u64)> = HashSet::new();
+    // Ordered so the merge loop below visits keys deterministically.
+    let mut all_keys: BTreeSet<(ObjectId, u64)> = BTreeSet::new();
     for m in &per_image {
+        // xt-analyze: allow(hash-iter) -- keys drain into an ordered set; per-map iteration order is erased
         all_keys.extend(m.keys().copied());
     }
 

@@ -373,6 +373,7 @@ fn decode_verdict(r: &mut Reader<'_>) -> Result<Option<WireVerdict>, WireError> 
 /// counts — the bucket array is fixed-size by protocol (the bucket
 /// scheme is a compile-time constant, so a length prefix could only
 /// disagree with it).
+// xt-analyze: allow(obs-in-det) -- this IS the metrics wire encoder: it serializes a snapshot for transport and feeds no outcome digest
 fn encode_registry(out: &mut Vec<u8>, snap: &RegistrySnapshot) {
     let sections = [
         snap.counters.len(),

@@ -33,7 +33,7 @@ use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -224,7 +224,7 @@ impl Budget {
     /// condvar sleep) so a shutdown that begins while the budget is
     /// exhausted is noticed without needing a slot to free first.
     fn acquire(&self, stop: &AtomicBool) -> bool {
-        let mut active = self.state.lock().expect("budget lock poisoned");
+        let mut active = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         while *active >= self.max {
             if stop.load(Ordering::Acquire) {
                 return false;
@@ -232,14 +232,14 @@ impl Budget {
             (active, _) = self
                 .freed
                 .wait_timeout(active, POLL_INTERVAL)
-                .expect("budget lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         *active += 1;
         true
     }
 
     fn release(&self) {
-        let mut active = self.state.lock().expect("budget lock poisoned");
+        let mut active = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         *active -= 1;
         self.freed.notify_one();
     }
@@ -481,7 +481,7 @@ fn serve<W: Workload + Sync>(
 /// will notice, so they are swallowed here. Every write — reply or push
 /// — counts toward `net/frames_out`.
 fn send(writer: &Mutex<TcpStream>, frames_out: &Counter, msg: &Msg) {
-    let mut stream = writer.lock().expect("connection writer lock poisoned");
+    let mut stream = writer.lock().unwrap_or_else(PoisonError::into_inner);
     let _ = msg.to_frame().write_to(&mut *stream);
     let _ = stream.flush();
     frames_out.incr();
@@ -668,4 +668,30 @@ fn handle_connection(
         // and exits.
         drop(tx);
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_recovers_from_poisoned_lock() {
+        let budget = Arc::new(Budget::new(2));
+        let poisoner = Arc::clone(&budget);
+        let _ = std::thread::spawn(move || {
+            let _active = poisoner.state.lock().unwrap();
+            panic!("poison the budget lock");
+        })
+        .join();
+        assert!(budget.state.lock().is_err(), "lock should be poisoned");
+        // Slot accounting recovers: a poisoned budget must not wedge the
+        // accept loop or leak connection slots.
+        let stop = AtomicBool::new(false);
+        assert!(budget.acquire(&stop));
+        assert!(budget.acquire(&stop));
+        budget.release();
+        assert!(budget.acquire(&stop));
+        budget.release();
+        budget.release();
+    }
 }
