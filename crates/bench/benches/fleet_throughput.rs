@@ -193,6 +193,24 @@ fn durability(c: &mut Criterion) {
             }
         });
     });
+    // Group commit over the same directory: 32-report batches, so one
+    // storage append (one sync) covers 32 WAL records instead of one.
+    // The gap to `ingest_wal_dir` is the group-commit win.
+    let decoded: Vec<RunReport> = slice
+        .iter()
+        .map(|bytes| RunReport::decode(bytes).expect("corpus reports are valid"))
+        .collect();
+    group.bench_function("ingest_wal_dir_batch32", |b| {
+        b.iter(|| {
+            let dir = base.join(fresh_dir.fetch_add(1, Ordering::Relaxed).to_string());
+            let storage = DirStorage::open(&dir).expect("open storage dir");
+            let fleet = DurableFleet::open(storage, durable_fleet_config(), NO_SNAPSHOT)
+                .expect("open dir-backed fleet");
+            for chunk in decoded.chunks(32) {
+                fleet.ingest_batch(chunk).expect("corpus reports are valid");
+            }
+        });
+    });
 
     // Recovery: what a restart costs, by what it has to replay.
     for (name, count, compact) in [
@@ -296,7 +314,12 @@ fn emit_json(c: &mut Criterion) {
     }
     // Durability series: ingest cost with the WAL off/on and recovery
     // latency by storage contents.
-    for name in ["ingest_wal_off", "ingest_wal_mem", "ingest_wal_dir"] {
+    for name in [
+        "ingest_wal_off",
+        "ingest_wal_mem",
+        "ingest_wal_dir",
+        "ingest_wal_dir_batch32",
+    ] {
         if let Some(ns_iter) = find(format!("durable/{name}")) {
             let per_report = ns_iter / DUR_CORPUS as f64;
             let rec = BenchRecord::from_ns(format!("durable/{name}"), per_report);
@@ -316,6 +339,18 @@ fn emit_json(c: &mut Criterion) {
         records.push(BenchRecord {
             name: "durable/wal_mem_overhead".into(),
             ns_per_op: overhead,
+            ops_per_sec: 0.0,
+        });
+    }
+    if let (Some(serial), Some(batched)) = (
+        find("durable/ingest_wal_dir".into()),
+        find("durable/ingest_wal_dir_batch32".into()),
+    ) {
+        let speedup = serial / batched;
+        println!("group commit (batch 32) vs per-record dir WAL: {speedup:.2}x");
+        records.push(BenchRecord {
+            name: "durable/group_commit_speedup".into(),
+            ns_per_op: speedup,
             ops_per_sec: 0.0,
         });
     }

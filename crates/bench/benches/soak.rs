@@ -1,0 +1,321 @@
+//! Connection soak: hold thousands of mostly-idle connections on one
+//! event-loop [`NetFrontend`] and measure epoch push propagation.
+//!
+//! ```text
+//! cargo bench -p bench --bench soak
+//! ```
+//!
+//! The thread-per-connection server this harness retired would need one
+//! OS thread (8 MiB of stack address space and a scheduler entry) per
+//! held connection; the readiness-driven loop holds them all on one
+//! poller thread plus a fixed worker pool. This bench *asserts* that
+//! shape rather than trusting it:
+//!
+//! 1. **Fixed-size thread pool.** The process thread count after
+//!    accepting every connection equals the count right after bind —
+//!    zero threads per connection, at 1k (quick) and 10k (full) alike.
+//! 2. **Bounded memory.** Resident-set growth divided by the connection
+//!    count stays under a per-connection budget (buffered reader/writer
+//!    pairs on the client side dominate; the server's per-connection
+//!    state is a token, empty buffers, and an epoll registration).
+//! 3. **Determinism at full occupancy.** With every connection held
+//!    open, concurrently submitted jobs still produce digests
+//!    byte-identical to the in-process serial replay in arrival order.
+//! 4. **Observability at full occupancy.** A live metrics pull answers
+//!    while every slot is occupied, and the `net/epoch_push` histogram
+//!    carries one propagation sample per pushed connection.
+//!
+//! The headline series — publish → *last* client observes, across the
+//! whole population via [`NetClient::wait_pushed_epoch`] — merges into
+//! `BENCH_net.json` next to the request/reply numbers (quick mode: the
+//! git-ignored `.quick.json` sibling). 1-CPU caveat (`env/cores`): on
+//! one core the propagation total is serialized behind the poller and
+//! the measuring loop itself; read it against the recorded core count.
+//!
+//! The full-mode population also bows to the process fd budget: both
+//! socket ends live in this one process (2 fds per connection), so the
+//! target is clamped to fit `RLIMIT_NOFILE` and the clamp is printed
+//! and recorded (`soak/target_connections` vs `soak/connections`).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bench::{bench_artifact_path, merge_bench_json, BenchRecord};
+use exterminator::frontend::FrontendConfig;
+use exterminator::pool::PoolConfig;
+use xt_fleet::{FleetConfig, RunReport};
+use xt_net::{NetClient, NetConfig, NetFrontend};
+use xt_patch::PatchTable;
+use xt_workloads::{SquidLike, WorkloadInput};
+
+/// Pool shape for the soak server and the serial reference. Determinism
+/// pins must exclude auto-patching (patch visibility is
+/// completion-order dependent; same exclusion as `xt-net/tests/net.rs`).
+fn pool_config() -> PoolConfig {
+    PoolConfig {
+        replicas: 3,
+        auto_patch: false,
+        ..PoolConfig::default()
+    }
+}
+
+fn net_config(max_connections: usize) -> NetConfig {
+    NetConfig {
+        frontend: FrontendConfig {
+            pools: 1,
+            pool: pool_config(),
+            queue_capacity: 3,
+            share_isolated: false,
+            ..FrontendConfig::default()
+        },
+        // publish_every 0: the harness publishes explicitly, so the
+        // propagation clock starts exactly at the publish call.
+        fleet: FleetConfig {
+            shards: 4,
+            publish_every: 0,
+            ..FleetConfig::default()
+        },
+        max_connections,
+        ..NetConfig::default()
+    }
+}
+
+/// Evidence aimed at one site — 16 of these flag it, so the explicit
+/// publish below mints a non-genesis epoch (same recipe as the net
+/// integration pins).
+fn site_report(seq: u32) -> RunReport {
+    RunReport {
+        client: 11,
+        seq,
+        failed: true,
+        clock: 50 + u64::from(seq),
+        n_sites: 100,
+        dangling_obs: vec![(0xD00D, 0.5, true)],
+        overflow_obs: Vec::new(),
+        pad_hints: Vec::new(),
+        defer_hints: vec![(0xD00D, 0xF, 30)],
+    }
+}
+
+/// A numeric field from `/proc/self/status` (`Threads`, `VmRSS` in KiB).
+fn proc_status(field: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with(field))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The soft open-file limit, from `/proc/self/limits`.
+fn fd_soft_limit() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// In-process serial reference digests for `inputs` in order.
+fn serial_digests(inputs: &[WorkloadInput]) -> Vec<u128> {
+    let workload = SquidLike::new();
+    std::thread::scope(|scope| {
+        let mut pool = exterminator::pool::ReplicaPool::scoped(
+            scope,
+            &workload,
+            pool_config(),
+            PatchTable::new(),
+        );
+        let outcomes = pool.run_batch(inputs, None);
+        pool.shutdown();
+        outcomes
+            .iter()
+            .map(exterminator::pool::PoolOutcome::deterministic_digest)
+            .collect()
+    })
+}
+
+/// Per-connection RSS growth budget: a held-open idle connection costs
+/// two buffered stream wrappers client-side plus a few hundred bytes of
+/// server state — 128 KiB is an order of magnitude of headroom, while a
+/// thread-per-connection server would blow it on stack pages alone.
+const RSS_PER_CONN_BUDGET: u64 = 128 * 1024;
+
+fn main() {
+    let quick = criterion::quick_mode();
+    let target: usize = if quick { 1_000 } else { 10_000 };
+    // Both socket ends are this process: 2 fds per connection, plus
+    // slack for the listener, the poller, and everything else open.
+    let budget = fd_soft_limit().map_or(target, |limit| (limit.saturating_sub(256) / 2) as usize);
+    let conns = target.min(budget);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# soak: {conns} connections (target {target}), {cores} cores\n");
+
+    let server = NetFrontend::bind(SquidLike::new(), "127.0.0.1:0", net_config(conns + 8))
+        .expect("bind localhost");
+    let addr = server.local_addr();
+    // One round trip proves the loop, workers, and watcher are all up;
+    // the thread count is the fixed-pool baseline from here on.
+    let probe = NetClient::connect(addr).expect("connect probe");
+    assert!(probe.pull_health().expect("health pull").healthy);
+    let threads_baseline = proc_status("Threads").expect("/proc/self/status");
+    let rss_baseline = proc_status("VmRSS").expect("/proc/self/status");
+
+    let connect_started = Instant::now();
+    let clients: Vec<NetClient> = (0..conns)
+        .map(|i| {
+            // A tight connect loop can outrun the accept loop on few
+            // cores and overflow the listen backlog — at which point
+            // the kernel drops SYNs and every stalled connect eats a
+            // ~1s retransmission timeout. Yielding once per backlog's
+            // worth keeps the poller draining instead.
+            if i % 64 == 63 {
+                std::thread::yield_now();
+            }
+            NetClient::connect(addr).unwrap_or_else(|e| panic!("connect #{i}: {e:?}"))
+        })
+        .collect();
+    let connect_ns_per_conn = connect_started.elapsed().as_nanos() as f64 / conns as f64;
+    println!(
+        "held {conns} connections in {:.2}s ({:.0} ns/conn)",
+        connect_started.elapsed().as_secs_f64(),
+        connect_ns_per_conn
+    );
+
+    // Pin 1: fixed-size thread pool — no thread came with any connection.
+    let threads_full = proc_status("Threads").expect("/proc/self/status");
+    assert_eq!(
+        threads_full, threads_baseline,
+        "holding {conns} connections changed the thread count"
+    );
+
+    // Pin 2: bounded memory. (Client-side stream buffers dominate; the
+    // budget still catches anything per-connection that grows.)
+    let rss_full = proc_status("VmRSS").expect("/proc/self/status");
+    let rss_per_conn = rss_full.saturating_sub(rss_baseline) * 1024 / conns as u64;
+    println!(
+        "rss: {} KiB -> {} KiB ({} bytes/conn), threads: {threads_full}",
+        rss_baseline, rss_full, rss_per_conn
+    );
+    assert!(
+        rss_per_conn < RSS_PER_CONN_BUDGET,
+        "{rss_per_conn} bytes/conn busts the {RSS_PER_CONN_BUDGET}-byte budget"
+    );
+
+    // Pin 3: determinism at full occupancy — concurrent submissions over
+    // 3 of the held connections, against the serial in-process replay.
+    let collected: Mutex<Vec<(u64, WorkloadInput, u128)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (c, client) in clients.iter().take(3).enumerate() {
+            let collected = &collected;
+            scope.spawn(move || {
+                for j in 0..4 {
+                    let input = WorkloadInput::with_seed((c * 4 + j) as u64);
+                    let ticket = client.submit(&input, None).expect("submit");
+                    let seq = ticket.job();
+                    let outcome = ticket.wait().expect("outcome");
+                    assert!(outcome.unanimous, "soak traffic diverged");
+                    collected
+                        .lock()
+                        .expect("collection lock")
+                        .push((seq, input, outcome.digest));
+                }
+            });
+        }
+    });
+    let mut collected = collected.into_inner().expect("collection lock");
+    collected.sort_by_key(|(seq, _, _)| *seq);
+    for (i, (seq, _, _)) in collected.iter().enumerate() {
+        assert_eq!(*seq, i as u64, "sequence numbers have gaps at occupancy");
+    }
+    let arrival: Vec<WorkloadInput> = collected.iter().map(|(_, i, _)| i.clone()).collect();
+    for ((seq, _, digest), expected) in collected.iter().zip(&serial_digests(&arrival)) {
+        assert_eq!(
+            digest, expected,
+            "job {seq} diverged from the serial reference at full occupancy"
+        );
+    }
+    println!(
+        "determinism pin: {} occupied-server outcomes byte-identical to the serial reference",
+        collected.len()
+    );
+
+    // The headline: publish → last client observes, across the whole
+    // population. Evidence first (no cadence), then the explicit publish
+    // starts the clock.
+    for seq in 0..16 {
+        probe.ingest_report(&site_report(seq)).expect("report ack");
+    }
+    let published = Instant::now();
+    let epoch = server.service().publish();
+    assert!(epoch.number >= 1, "evidence never minted an epoch");
+    for (i, client) in clients.iter().enumerate() {
+        client
+            .wait_pushed_epoch(0, Duration::from_secs(60))
+            .expect("wait for push")
+            .unwrap_or_else(|| panic!("connection #{i} never observed the pushed epoch"));
+    }
+    let propagation = published.elapsed();
+    let propagation_ns = propagation.as_nanos() as f64;
+    println!(
+        "epoch push: {conns} connections observed epoch {} in {:.1} ms ({:.0} ns/conn)",
+        epoch.number,
+        propagation.as_secs_f64() * 1e3,
+        propagation_ns / conns as f64
+    );
+
+    // Pin 4: a live metrics pull at full occupancy, carrying one
+    // propagation sample per pushed connection.
+    let snapshot = probe.pull_metrics().expect("metrics pull at occupancy");
+    let push_hist = snapshot
+        .histogram("net/epoch_push")
+        .expect("net/epoch_push");
+    assert!(
+        push_hist.count() >= conns as u64,
+        "epoch_push carried {} samples for {conns} connections",
+        push_hist.count()
+    );
+    assert_eq!(
+        snapshot.counter("net/pushes_dropped"),
+        Some(0),
+        "idle connections hit the write-queue hard cap"
+    );
+    let health = probe.pull_health().expect("health pull at occupancy");
+    assert!(health.connections as usize > conns, "population miscounted");
+
+    drop(clients);
+    drop(probe);
+    server.shutdown();
+
+    let records = vec![
+        BenchRecord {
+            name: "env/cores".into(),
+            ns_per_op: cores as f64,
+            ops_per_sec: 0.0,
+        },
+        BenchRecord {
+            name: "soak/connections".into(),
+            ns_per_op: conns as f64,
+            ops_per_sec: 0.0,
+        },
+        BenchRecord {
+            name: "soak/target_connections".into(),
+            ns_per_op: target as f64,
+            ops_per_sec: 0.0,
+        },
+        BenchRecord::from_ns("soak/connect_ns_per_conn", connect_ns_per_conn),
+        BenchRecord::from_ns("soak/epoch_propagation_total", propagation_ns),
+        BenchRecord::from_ns(
+            "soak/epoch_propagation_per_conn",
+            propagation_ns / conns as f64,
+        ),
+        BenchRecord {
+            name: "soak/rss_bytes_per_conn".into(),
+            ns_per_op: rss_per_conn as f64,
+            ops_per_sec: 0.0,
+        },
+        BenchRecord {
+            name: "soak/threads".into(),
+            ns_per_op: threads_full as f64,
+            ops_per_sec: 0.0,
+        },
+    ];
+    let path = bench_artifact_path("BENCH_net.json");
+    merge_bench_json(&path, "net", &records).expect("merge BENCH_net.json");
+    println!("merged soak series into {}", path.display());
+}

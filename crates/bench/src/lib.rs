@@ -151,6 +151,61 @@ pub fn write_bench_json(
     std::fs::write(path, out)
 }
 
+/// Parses a trajectory file previously written by [`write_bench_json`]
+/// back into its suite name and records. Returns `None` when the file
+/// is missing or not in the writer's exact line shape — a hand-edited
+/// file is not worth chasing; the caller starts fresh.
+#[must_use]
+pub fn read_bench_json(path: impl AsRef<std::path::Path>) -> Option<(String, Vec<BenchRecord>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let suite = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"suite\": \""))?
+        .strip_suffix("\",")?
+        .to_string();
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let (name, rest) = rest.split_once("\", \"ns_per_op\": ")?;
+        let (ns, rest) = rest.split_once(", \"ops_per_sec\": ")?;
+        let ops = rest.trim_end_matches(',').strip_suffix('}')?;
+        records.push(BenchRecord {
+            name: name.to_string(),
+            ns_per_op: ns.parse().ok()?,
+            ops_per_sec: ops.parse().ok()?,
+        });
+    }
+    Some((suite, records))
+}
+
+/// Merges `records` into the trajectory file at `path`: existing records
+/// not named by the update are preserved (and keep their order), updated
+/// names are replaced in place, and new names are appended. The existing
+/// suite name wins over `suite_if_new`, so two benches can share one
+/// trajectory file without clobbering each other's series.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn merge_bench_json(
+    path: impl AsRef<std::path::Path>,
+    suite_if_new: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let (suite, mut merged) =
+        read_bench_json(path).unwrap_or_else(|| (suite_if_new.to_string(), Vec::new()));
+    for record in records {
+        match merged.iter_mut().find(|r| r.name == record.name) {
+            Some(existing) => *existing = record.clone(),
+            None => merged.push(record.clone()),
+        }
+    }
+    write_bench_json(path, &suite, &merged)
+}
+
 /// The workspace root (two levels up from this crate's manifest), where
 /// `BENCH_*.json` trajectory files live.
 #[must_use]

@@ -29,6 +29,12 @@ pub const SURFACE_SEEDS: &[&str] = &[
     "snapshot",
     "outcome",
     "canonical",
+    // The event-loop server's incremental frame parser: the bytes a
+    // partially-buffered connection cuts into frames must be classified
+    // identically on every replica of the same stream, so the prefix
+    // parser sits on the deterministic surface with the whole-buffer
+    // decoders it mirrors.
+    "parse_prefix",
 ];
 
 /// Name substrings that mark an *observation* surface: these may match a

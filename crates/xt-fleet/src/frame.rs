@@ -391,6 +391,49 @@ impl Frame {
         Ok(Frame { kind, payload })
     }
 
+    /// Parses one frame from the *front* of a byte buffer, without
+    /// requiring the buffer to end at a frame boundary. The incremental
+    /// sibling of [`Frame::decode`] for non-blocking readers that
+    /// accumulate whatever `read` returned: `Ok(Some((frame, consumed)))`
+    /// when a whole frame is available (`consumed` bytes should be
+    /// drained from the buffer), `Ok(None)` when more bytes are needed.
+    ///
+    /// Malformation is detected as early as the available prefix allows
+    /// — a magic mismatch is reported even from a single wrong leading
+    /// byte, and an oversized length the moment the length field is
+    /// complete — so a hostile peer cannot stall the error behind a
+    /// never-arriving payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadMagic`] (unknown bytes padded with zeros when
+    /// fewer than four arrived) or [`WireError::Oversized`] at offset 5.
+    pub fn parse_prefix(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        let seen = buf.len().min(FRAME_MAGIC.len());
+        if buf[..seen] != FRAME_MAGIC[..seen] {
+            let mut magic = [0u8; 4];
+            magic[..seen].copy_from_slice(&buf[..seen]);
+            return Err(WireError::BadMagic(magic));
+        }
+        if buf.len() >= 9 {
+            let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
+            if len > MAX_FRAME_PAYLOAD {
+                return Err(WireError::Oversized { at: 5, count: len });
+            }
+            let total = Self::encoded_len(len as usize);
+            if buf.len() >= total {
+                return Ok(Some((
+                    Frame {
+                        kind: buf[4],
+                        payload: buf[9..total].to_vec(),
+                    },
+                    total,
+                )));
+            }
+        }
+        Ok(None)
+    }
+
     /// Writes the frame to a stream (one `write_all`, so concurrent
     /// writers serialized by a lock cannot interleave partial frames).
     ///
@@ -534,6 +577,52 @@ mod tests {
         bytes[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             Frame::decode(&bytes),
+            Err(WireError::Oversized { at: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_prefix_needs_more_then_yields_frame_and_consumed() {
+        let frame = sample();
+        let bytes = frame.encode();
+        for len in 0..bytes.len() {
+            assert_eq!(
+                Frame::parse_prefix(&bytes[..len]).unwrap(),
+                None,
+                "prefix of {len} bytes is incomplete"
+            );
+        }
+        // A whole frame plus the start of the next: exactly one frame
+        // out, and `consumed` points at the boundary.
+        let mut two = bytes.clone();
+        two.extend_from_slice(&bytes[..3]);
+        let (parsed, consumed) = Frame::parse_prefix(&two).unwrap().expect("complete");
+        assert_eq!(parsed, frame);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn parse_prefix_rejects_bad_magic_from_the_first_byte() {
+        assert!(matches!(
+            Frame::parse_prefix(b"Y"),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut bytes = sample().encode();
+        bytes[2] = 0x7F;
+        assert!(matches!(
+            Frame::parse_prefix(&bytes),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn parse_prefix_rejects_oversized_before_the_payload_arrives() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&FRAME_MAGIC);
+        header.push(1);
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::parse_prefix(&header),
             Err(WireError::Oversized { at: 5, .. })
         ));
     }

@@ -45,8 +45,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 use xt_alloc::{SiteHash, SitePair};
 use xt_isolate::cumulative::CumulativeConfig;
@@ -145,9 +145,12 @@ pub struct FleetMetrics {
     /// would previously have been fatal forever.
     pub lock_recoveries: u64,
     /// WAL records appended by the durability layer (0 for a plain
-    /// in-memory service — these four counters are populated by
+    /// in-memory service — these durability counters are populated by
     /// [`DurableFleet`](crate::wal::DurableFleet)).
     pub wal_appends: u64,
+    /// Group-commit storage appends, each covering ≥ 1 WAL records;
+    /// `wal_appends / wal_batches` is the realized batching factor.
+    pub wal_batches: u64,
     /// Compacted snapshots written by the durability layer.
     pub snapshots_written: u64,
     /// Times this state was rebuilt from storage after a crash (1 after a
@@ -188,6 +191,7 @@ impl FleetMetrics {
                 self.torn_tail_truncated,
             ),
             ("fleet/wal_appends".to_string(), self.wal_appends),
+            ("fleet/wal_batches".to_string(), self.wal_batches),
         ];
         RegistrySnapshot {
             counters,
@@ -206,6 +210,8 @@ impl FleetMetrics {
 pub struct DurabilityStats {
     /// WAL records appended.
     pub wal_appends: u64,
+    /// Group-commit storage appends (each covering ≥ 1 records).
+    pub wal_batches: u64,
     /// Compacted snapshots written.
     pub snapshots_written: u64,
     /// Times state was rebuilt from storage.
@@ -252,6 +258,12 @@ pub struct FleetService {
     /// publication (one lock, so readers always see a consistent pair).
     /// Readers clone the `Arc` and go.
     epoch: RwLock<(Arc<PatchEpoch>, u64)>,
+    /// Epoch-change signal for [`FleetService::wait_epoch_newer`]: the
+    /// number of the newest installed epoch, updated (and its condvar
+    /// notified) *after* the `epoch` write lock is released, so the
+    /// two locks are never nested in this direction.
+    epoch_signal: Mutex<u64>,
+    epoch_wake: Condvar,
 }
 
 impl FleetService {
@@ -289,6 +301,8 @@ impl FleetService {
             lock_recoveries: AtomicU64::new(0),
             publish_lock: Mutex::new(()),
             epoch: RwLock::new((Arc::new(PatchEpoch::genesis()), 0)),
+            epoch_signal: Mutex::new(0),
+            epoch_wake: Condvar::new(),
             registry,
             ingest_hist,
             fold_hist,
@@ -532,9 +546,38 @@ impl FleetService {
         let next = Arc::new(current.succeed(&isolated));
         let reports = self.reports.load(Ordering::Relaxed);
         *self.epoch_write() = (next.clone(), reports);
+        *self.lock_recovering(&self.epoch_signal) = next.number;
+        self.epoch_wake.notify_all();
         // xt-analyze: allow(obs-in-det) -- records how long publish took; the installed epoch is already decided
         self.publish_hist.record_duration(started.elapsed());
         next
+    }
+
+    /// Parks until an epoch *newer than* `have` is installed, or
+    /// `timeout` elapses. Returns the newest epoch on success (which may
+    /// be newer still than the one that woke the wait), `None` on
+    /// timeout. This is the push primitive: an epoch watcher blocks
+    /// here instead of polling [`FleetService::latest`] in a loop, and
+    /// wakes the instant [`FleetService::publish`] installs a successor.
+    pub fn wait_epoch_newer(&self, have: u64, timeout: Duration) -> Option<Arc<PatchEpoch>> {
+        let deadline = Instant::now() + timeout;
+        let mut newest = self.lock_recovering(&self.epoch_signal);
+        while *newest <= have {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .epoch_wake
+                .wait_timeout(newest, deadline - now)
+                .unwrap_or_else(|poisoned| {
+                    self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+                    poisoned.into_inner()
+                });
+            newest = guard;
+        }
+        drop(newest);
+        Some(self.latest())
     }
 
     /// Aggregate counters.
@@ -571,6 +614,7 @@ impl FleetService {
                 .sum(),
             lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
             wal_appends: durability.wal_appends,
+            wal_batches: durability.wal_batches,
             snapshots_written: durability.snapshots_written,
             recoveries: durability.recoveries,
             torn_tail_truncated: durability.torn_tail_truncated,
@@ -677,7 +721,9 @@ impl FleetService {
         }
         let epoch = PatchEpoch::from_text(&snap.epoch_text).map_err(RestoreError::BadEpoch)?;
         let service = FleetService::new(config);
+        let epoch_number = epoch.number;
         *service.epoch_write() = (Arc::new(epoch), snap.epoch_reports);
+        *service.lock_recovering(&service.epoch_signal) = epoch_number;
         service.reports.store(snap.reports, Ordering::Relaxed);
         service
             .failed_reports

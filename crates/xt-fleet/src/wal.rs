@@ -12,6 +12,14 @@
 //! * **WAL-first ingest** — every report is appended to an append-only
 //!   log *before* it is folded into the evidence shards. Records reuse
 //!   the `XTR1` report encoding under a checksummed record header.
+//! * **Group commit** — concurrent ingests (a network server's worker
+//!   pool, or an explicit [`DurableFleet::ingest_batch`]) stage their
+//!   records behind the write gate; one *flush leader* drains everything
+//!   staged and appends the whole batch as **one** storage append — one
+//!   sync covers N records — then folds each record in LSN order and
+//!   completes every staller's receipt. A lone caller degenerates to the
+//!   serial path exactly (batch of one, identical error contract), so
+//!   group commit is free when there is no concurrency to amortize.
 //! * **Compacted snapshots** — on a configurable cadence (and on
 //!   explicit request) the service's whole durable state — evidence bit
 //!   patterns, epoch, counters, per-client replay windows — is exported
@@ -56,7 +64,7 @@
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use xt_obs::Histogram;
@@ -229,6 +237,54 @@ struct WriteGate {
     fresh: u64,
     /// LSN the next WAL record will carry.
     next_lsn: u64,
+    /// Reports staged (LSN already assigned, in order) for the flush
+    /// leader's next group-commit append.
+    staged: Vec<StagedRecord>,
+    /// A flush leader is currently draining `staged`; stagers park on
+    /// their slots, whole-state operations park on quiescence.
+    flushing: bool,
+}
+
+/// One report staged for the next group-commit flush.
+struct StagedRecord {
+    lsn: u64,
+    report: RunReport,
+    slot: Arc<Slot>,
+}
+
+/// One staged record's completion slot: the flush leader fills it, the
+/// staging caller collects from it. Errors travel as strings because
+/// one storage failure must fan out to every caller in the batch.
+struct Slot {
+    state: Mutex<Option<Result<IngestReceipt, String>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<IngestReceipt, String>) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn collect(&self) -> Result<IngestReceipt, String> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
 }
 
 /// A [`FleetService`] whose state survives crashes: WAL-first ingest,
@@ -244,7 +300,14 @@ pub struct DurableFleet<S> {
     service: Arc<FleetService>,
     config: DurabilityConfig,
     gate: Mutex<WriteGate>,
+    /// Signalled by the flush leader when it retires with nothing
+    /// staged; whole-state operations (publish, explicit snapshot) wait
+    /// here so their WAL position never lands inside a report batch.
+    quiesced: Condvar,
     wal_appends: AtomicU64,
+    /// Group-commit appends (each covering ≥ 1 records). `wal_appends /
+    /// wal_batches` is the realized batching factor.
+    wal_batches: AtomicU64,
     snapshots_written: AtomicU64,
     recoveries: AtomicU64,
     torn_tail_truncated: AtomicU64,
@@ -335,8 +398,15 @@ impl<S: Storage> DurableFleet<S> {
             storage,
             service: Arc::new(service),
             config,
-            gate: Mutex::new(WriteGate { fresh, next_lsn }),
+            gate: Mutex::new(WriteGate {
+                fresh,
+                next_lsn,
+                staged: Vec::new(),
+                flushing: false,
+            }),
+            quiesced: Condvar::new(),
             wal_appends: AtomicU64::new(0),
+            wal_batches: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
             recoveries: AtomicU64::new(u64::from(recovered)),
             torn_tail_truncated: AtomicU64::new(torn),
@@ -400,29 +470,157 @@ impl<S: Storage> DurableFleet<S> {
     /// Durably ingests one decoded report: WAL append first, then the
     /// evidence fold, then (for fresh reports) the snapshot cadence.
     ///
+    /// Concurrent callers group-commit: their records share one storage
+    /// append (see the module docs). A lone caller is a batch of one.
+    ///
     /// # Errors
     ///
     /// [`DurabilityError::Storage`] as for [`DurableFleet::ingest`].
     pub fn ingest_report(&self, report: &RunReport) -> Result<IngestReceipt, DurabilityError> {
-        let mut gate = self.gate();
-        let lsn = gate.next_lsn;
-        let append_started = Instant::now();
-        self.storage.append(
-            WAL_OBJECT,
-            &encode_record(REC_REPORT, lsn, &report.encode()),
-        )?;
-        self.wal_append_hist
-            .record_duration(append_started.elapsed());
-        gate.next_lsn = lsn + 1;
-        self.wal_appends.fetch_add(1, Ordering::Relaxed);
-        let receipt = self.service.ingest_report(report);
-        if !receipt.duplicate {
-            gate.fresh += 1;
-            if self.config.snapshot_every > 0 && gate.fresh >= self.config.snapshot_every {
-                self.write_snapshot(&mut gate)?;
+        let mut receipts = self.commit_reports(std::slice::from_ref(report))?;
+        Ok(receipts.pop().expect("one report staged, one receipt"))
+    }
+
+    /// Durably ingests a batch of decoded reports under **one** WAL
+    /// append — one storage sync covers the whole batch. Receipts come
+    /// back in input order; an empty batch is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Storage`] as for [`DurableFleet::ingest`]; a
+    /// storage failure fails the whole batch (recovery replays whatever
+    /// prefix landed, and retrying the batch is dedup-idempotent).
+    pub fn ingest_batch(
+        &self,
+        reports: &[RunReport],
+    ) -> Result<Vec<IngestReceipt>, DurabilityError> {
+        if reports.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.commit_reports(reports)
+    }
+
+    /// Stages `reports` (assigning LSNs in order) and either leads the
+    /// flush or waits for the running leader to carry them.
+    fn commit_reports(&self, reports: &[RunReport]) -> Result<Vec<IngestReceipt>, DurabilityError> {
+        let mut slots = Vec::with_capacity(reports.len());
+        {
+            let mut gate = self.gate();
+            for report in reports {
+                let lsn = gate.next_lsn;
+                gate.next_lsn = lsn + 1;
+                let slot = Slot::new();
+                gate.staged.push(StagedRecord {
+                    lsn,
+                    report: report.clone(),
+                    slot: Arc::clone(&slot),
+                });
+                slots.push(slot);
+            }
+            if !gate.flushing {
+                gate.flushing = true;
+                self.run_flush(gate);
+            }
+            // else: the leader re-checks `staged` before retiring, so it
+            // is guaranteed to pick these records up.
+        }
+        let mut receipts = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot.collect() {
+                Ok(receipt) => receipts.push(receipt),
+                Err(msg) => return Err(DurabilityError::Storage(io::Error::other(msg))),
             }
         }
-        Ok(receipt)
+        Ok(receipts)
+    }
+
+    /// The flush leader: drains everything staged, appends the whole
+    /// batch as one storage append, folds each record in LSN order under
+    /// the gate (WAL order == fold order, the cadence invariant), and
+    /// completes every staller's slot. Loops until nothing new was
+    /// staged while it worked, then retires and signals quiescence.
+    fn run_flush<'a>(&'a self, mut gate: MutexGuard<'a, WriteGate>) {
+        loop {
+            let batch = std::mem::take(&mut gate.staged);
+            if batch.is_empty() {
+                gate.flushing = false;
+                drop(gate);
+                self.quiesced.notify_all();
+                return;
+            }
+            // Encode and append outside the gate so stagers can pile the
+            // next batch on while this one syncs.
+            drop(gate);
+            let mut bytes = Vec::new();
+            for record in &batch {
+                bytes.extend_from_slice(&encode_record(
+                    REC_REPORT,
+                    record.lsn,
+                    &record.report.encode(),
+                ));
+            }
+            let append_started = Instant::now();
+            let appended = self.storage.append(WAL_OBJECT, &bytes);
+            self.wal_append_hist
+                .record_duration(append_started.elapsed());
+            gate = self.gate();
+            match appended {
+                Ok(()) => {
+                    self.wal_appends
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    self.wal_batches.fetch_add(1, Ordering::Relaxed);
+                    let mut results = Vec::with_capacity(batch.len());
+                    for record in &batch {
+                        let receipt = self.service.ingest_report(&record.report);
+                        if !receipt.duplicate {
+                            gate.fresh += 1;
+                        }
+                        results.push(receipt);
+                    }
+                    let mut failure = None;
+                    if self.config.snapshot_every > 0 && gate.fresh >= self.config.snapshot_every {
+                        if let Err(e) = self.write_snapshot(&mut gate) {
+                            failure = Some(e.to_string());
+                        }
+                    }
+                    for (record, receipt) in batch.iter().zip(results) {
+                        match &failure {
+                            // The folds are WAL-covered and replay-dedup
+                            // idempotent, but the instance must be
+                            // treated as dead: the cadence-snapshot
+                            // failure reaches every caller in the batch
+                            // (for a batch of one this is exactly the
+                            // serial contract).
+                            Some(msg) => record.slot.fill(Err(msg.clone())),
+                            None => record.slot.fill(Ok(receipt)),
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Nothing folded: the WAL may hold a torn prefix of
+                    // this batch, which recovery truncates or replays —
+                    // either converges once callers retry.
+                    let msg = e.to_string();
+                    for record in &batch {
+                        record.slot.fill(Err(msg.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Holds the gate until no flush leader runs and nothing is staged.
+    fn wait_quiescent<'a>(
+        &'a self,
+        mut gate: MutexGuard<'a, WriteGate>,
+    ) -> MutexGuard<'a, WriteGate> {
+        while gate.flushing || !gate.staged.is_empty() {
+            gate = self
+                .quiesced
+                .wait(gate)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        gate
     }
 
     /// Durably publishes: the publish intent is WAL-logged, then applied,
@@ -433,7 +631,7 @@ impl<S: Storage> DurableFleet<S> {
     /// [`DurabilityError::Storage`] if the WAL append failed (the epoch
     /// was not advanced).
     pub fn publish(&self) -> Result<Arc<PatchEpoch>, DurabilityError> {
-        let mut gate = self.gate();
+        let mut gate = self.wait_quiescent(self.gate());
         let lsn = gate.next_lsn;
         // xt-analyze: allow(time-source) -- WAL append latency observation; never reaches the record bytes
         let append_started = Instant::now();
@@ -455,7 +653,7 @@ impl<S: Storage> DurableFleet<S> {
     /// landed between the snapshot put and the WAL reset, recovery
     /// LSN-fences the overlap (see the module docs).
     pub fn snapshot(&self) -> Result<(), DurabilityError> {
-        let mut gate = self.gate();
+        let mut gate = self.wait_quiescent(self.gate());
         self.write_snapshot(&mut gate)
     }
 
@@ -484,6 +682,7 @@ impl<S: Storage> DurableFleet<S> {
     pub fn metrics(&self) -> FleetMetrics {
         self.service.metrics_with(DurabilityStats {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_batches: self.wal_batches.load(Ordering::Relaxed),
             snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             torn_tail_truncated: self.torn_tail_truncated.load(Ordering::Relaxed),

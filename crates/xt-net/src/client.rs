@@ -17,6 +17,15 @@
 //! fetches the server's newest patch epoch — so a remote client can
 //! detect locally, report remotely, and adopt the fleet's corrections,
 //! all over one socket.
+//!
+//! Since the event-loop server, epochs also arrive *unsolicited*: the
+//! server fans a [`Msg::EpochPush`] frame down every live connection the
+//! moment a new epoch publishes. The connection absorbs pushes into a
+//! newest-wins cache of exactly one epoch (O(1) regardless of how many
+//! publish, or whether anyone ever looks), readable via
+//! [`NetClient::pushed_epoch`] and awaitable via
+//! [`NetClient::wait_pushed_epoch`] — so a steady-state client adopts
+//! fleet corrections without ever polling [`NetClient::pull_epoch`].
 
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, Write};
@@ -165,12 +174,35 @@ fn lock_conn(conn: &Mutex<ClientConn>) -> MutexGuard<'_, ClientConn> {
     conn.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Both halves of the connection viewing one socket — and one file
+/// descriptor. All reads and writes are serialized by the connection
+/// lock, so nothing is gained by `try_clone`-duplicating the
+/// descriptor, and a process holding thousands of idle connections
+/// (the soak harness) pays one fd per connection instead of two.
+struct Shared(Arc<TcpStream>);
+
+impl io::Read for Shared {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&*self.0).read(buf)
+    }
+}
+
+impl Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&*self.0).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&*self.0).flush()
+    }
+}
+
 /// Connection state: the socket plus push buffers. All client and ticket
 /// methods serialize on one lock, so exactly one thread reads the socket
 /// at a time and every pushed frame ends up in the right buffer.
 struct ClientConn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    writer: Shared,
+    reader: BufReader<Shared>,
     /// Verdicts pushed for jobs nobody has waited on yet.
     verdicts: HashMap<u64, Option<WireVerdict>>,
     /// Outcomes pushed for jobs nobody has waited on yet.
@@ -181,6 +213,10 @@ struct ClientConn {
     /// grow the buffers without bound. An entry lives until the job's
     /// outcome (its final frame) arrives.
     abandoned: HashSet<u64>,
+    /// Newest server-pushed epoch, already parsed. Newer pushes replace
+    /// older ones in place, so a client that never looks still holds at
+    /// most one epoch no matter how many the server publishes.
+    pushed: Option<PatchEpoch>,
 }
 
 impl ClientConn {
@@ -216,6 +252,19 @@ impl ClientConn {
                 }
                 None
             }
+            Msg::EpochPush { epoch } => {
+                // Advisory channel: a push that fails to parse is
+                // dropped silently (the pull path still works and
+                // surfaces such corruption as a hard error). Epoch
+                // numbers are monotone server-side, but absorb
+                // defensively: newest wins, ties and regressions lose.
+                if let Ok(epoch) = PatchEpoch::from_text(&epoch) {
+                    if self.pushed.as_ref().is_none_or(|p| epoch.number > p.number) {
+                        self.pushed = Some(epoch);
+                    }
+                }
+                None
+            }
             other => Some(other),
         }
     }
@@ -248,18 +297,19 @@ impl NetClient {
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
+        let stream = Arc::new(TcpStream::connect(addr)?);
         // Whole frames are written and flushed as units; Nagle would
         // only add delayed-ACK stalls to every request round trip.
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(Shared(Arc::clone(&stream)));
         Ok(NetClient {
             conn: Arc::new(Mutex::new(ClientConn {
-                writer,
+                writer: Shared(stream),
                 reader,
                 verdicts: HashMap::new(),
                 outcomes: HashMap::new(),
                 abandoned: HashSet::new(),
+                pushed: None,
             })),
         })
     }
@@ -294,11 +344,93 @@ impl NetClient {
     /// Frames and abandonment records currently parked in this
     /// connection's push buffers (diagnostic; a long-lived client that
     /// collects or drops every ticket should see this return to 0
-    /// between batches).
+    /// between batches). The pushed-epoch cache is *not* counted: it is
+    /// one slot by construction, not a buffer that can grow.
     #[must_use]
     pub fn buffered(&self) -> usize {
         let conn = self.lock();
         conn.verdicts.len() + conn.outcomes.len() + conn.abandoned.len()
+    }
+
+    /// The newest epoch the server has pushed down this connection, if
+    /// any. Purely a cache read — never touches the socket, so it only
+    /// observes pushes some *other* read (a request round trip, a
+    /// ticket wait, or [`NetClient::wait_pushed_epoch`]) already pulled
+    /// off the wire.
+    #[must_use]
+    pub fn pushed_epoch(&self) -> Option<PatchEpoch> {
+        self.lock().pushed.clone()
+    }
+
+    /// Blocks until the server pushes an epoch numbered above
+    /// `newer_than` (returning it), or `timeout` elapses (returning
+    /// `None`). This is the push-path replacement for polling
+    /// [`NetClient::pull_epoch`] in a loop: the client parks on the
+    /// socket and the server's broadcast wakes it.
+    ///
+    /// Holds the connection lock for the whole wait — clones of this
+    /// client sharing the connection will block behind it, so dedicate
+    /// a connection to epoch watching if requests must overlap.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failure, or a request reply arriving with no
+    /// request outstanding.
+    pub fn wait_pushed_epoch(
+        &self,
+        newer_than: u64,
+        timeout: Duration,
+    ) -> Result<Option<PatchEpoch>, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut conn = self.lock();
+        let out = Self::wait_pushed_locked(&mut conn, newer_than, deadline);
+        // Always restore blocking mode, error or not: request/reply
+        // methods on this connection assume reads never time out.
+        let _ = conn.reader.get_ref().0.set_read_timeout(None);
+        out
+    }
+
+    fn wait_pushed_locked(
+        conn: &mut ClientConn,
+        newer_than: u64,
+        deadline: std::time::Instant,
+    ) -> Result<Option<PatchEpoch>, NetError> {
+        loop {
+            if let Some(epoch) = conn.pushed.as_ref() {
+                if epoch.number > newer_than {
+                    return Ok(Some(epoch.clone()));
+                }
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Ok(None);
+            };
+            conn.reader.get_ref().0.set_read_timeout(Some(left))?;
+            match conn.read_msg() {
+                Ok(msg) => {
+                    if let Some(reply) = conn.buffer_or_return(msg) {
+                        return Err(NetError::Protocol(format!(
+                            "unsolicited request reply while waiting for a push: {reply:?}"
+                        )));
+                    }
+                }
+                // The timeout elapsing mid-wait surfaces as WouldBlock
+                // or TimedOut depending on platform; both just mean "no
+                // frame yet" — loop to the deadline check.
+                Err(NetError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, ClientConn> {

@@ -21,11 +21,36 @@
 //!    [`JobTicket`](exterminator::frontend::JobTicket)-shaped
 //!    [`NetTicket`] (`wait_verdict` / `wait`).
 //! 3. **The fleet path** — `XTR1` run reports ingest into the server's
-//!    co-located [`FleetService`](xt_fleet::FleetService) and epochs are
-//!    pulled back, multiplexed over the same connection; a newly
-//!    published epoch also fans straight into the server's own pools
+//!    co-located [`FleetService`](xt_fleet::FleetService); a newly
+//!    published epoch fans straight into the server's own pools
 //!    ([`bridge::ingest_and_sync`](xt_fleet::bridge::ingest_and_sync)),
-//!    so remote evidence heals the server.
+//!    so remote evidence heals the server, **and is pushed down every
+//!    live connection** as an `EpochPush` frame the moment it
+//!    publishes. [`NetClient`] absorbs pushes into a one-slot
+//!    newest-wins cache ([`NetClient::pushed_epoch`] /
+//!    [`NetClient::wait_pushed_epoch`]) — a patched fleet converges
+//!    without a single client poll. Explicit `EpochPull` stays for
+//!    late joiners and reconnects.
+//!
+//! # The event loop
+//!
+//! The server is a readiness-driven event loop, not thread-per-
+//! connection — one server must hold thousands of mostly-idle clients
+//! with bounded threads and memory. A single poller thread owns every
+//! connection through [`xt_poll::Poller`] (epoll via a thin FFI shim on
+//! Linux, portable `poll(2)` fallback elsewhere — the same
+//! offline-stand-in pattern as `proptest`/`criterion`). Sockets are
+//! non-blocking; reads accumulate into a per-connection buffer and
+//! [`Frame::parse_prefix`](xt_fleet::frame::Frame::parse_prefix) cuts
+//! complete frames out of it, so a frame arriving one byte at a time
+//! costs buffered patience, not a blocked thread. Complete requests are
+//! handed to a fixed worker pool; replies and pushes are *posted* to
+//! bounded per-connection write queues that the poller drains when the
+//! socket reports writable. Per connection the cost is one fd plus
+//! those buffers (the 10k soak in `crates/bench/benches/soak.rs`
+//! measures ~4.6 KB and zero threads per connection, and epoch
+//! propagation to ~9.9k connections in ~134 ms on one CPU); per server
+//! it is O(workers) threads, fixed at bind time.
 //!
 //! Everything on the wire rides the shared length-prefixed frame layer
 //! ([`xt_fleet::frame`]) and validates **with byte offsets**: these
@@ -36,10 +61,12 @@
 //! message family. Length prefixes are capped before allocation, so a
 //! hostile frame cannot buy gigabytes with four bytes.
 //!
-//! Backpressure follows the PR 4 queue discipline end to end: the
-//! accept loop blocks on a bounded connection budget, submissions block
-//! on the front-end's bounded queues, and nothing grows without bound —
-//! a burst degrades to waiting, never to OOM.
+//! Backpressure follows the PR 4 queue discipline end to end: accepts
+//! stop past the connection budget, submissions block on the
+//! front-end's bounded queues, write queues are bounded per connection
+//! (a slow reader drops pushes for itself — counted in
+//! `net/pushes_dropped` — rather than growing the server), and nothing
+//! grows without bound: a burst degrades to waiting, never to OOM.
 //!
 //! # Observability
 //!

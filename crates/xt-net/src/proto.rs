@@ -79,6 +79,9 @@ pub mod kind {
     pub const METRICS_PULL: u8 = 12;
     /// Server → client: the merged registry snapshot.
     pub const METRICS: u8 = 13;
+    /// Server → client (pushed, unsolicited): a newly published epoch,
+    /// fanned down every live connection the moment it publishes.
+    pub const EPOCH_PUSH: u8 = 14;
 }
 
 /// One job submission: the input plus an optional injected fault (the
@@ -296,6 +299,13 @@ pub enum Msg {
     /// The snapshot: every layer's counters, gauges, and per-stage
     /// latency histograms, merged server-side and name-sorted.
     Metrics(RegistrySnapshot),
+    /// Server → client, unsolicited: a `PatchEpoch` just published.
+    /// Unlike [`Msg::Epoch`] the text is always present — the server
+    /// only pushes when there is something new to push.
+    EpochPush {
+        /// `PatchEpoch::to_text` output.
+        epoch: String,
+    },
 }
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -540,6 +550,10 @@ impl Msg {
                 encode_registry(&mut out, snap);
                 kind::METRICS
             }
+            Msg::EpochPush { epoch } => {
+                put_bytes(&mut out, epoch.as_bytes());
+                kind::EPOCH_PUSH
+            }
         };
         Frame::new(kind, out)
     }
@@ -657,6 +671,9 @@ impl Msg {
             }),
             kind::METRICS_PULL => Msg::MetricsPull,
             kind::METRICS => Msg::Metrics(decode_registry(&mut r)?),
+            kind::EPOCH_PUSH => Msg::EpochPush {
+                epoch: read_string(&mut r)?,
+            },
             kind => return Err(WireError::BadKind { at: 4, kind }),
         };
         r.finish()?;
@@ -751,6 +768,9 @@ mod tests {
                 durable: true,
                 connections: 3,
             }),
+            Msg::EpochPush {
+                epoch: "# exterminator patch epoch v1\n".into(),
+            },
             Msg::MetricsPull,
             Msg::Metrics(RegistrySnapshot::default()),
             Msg::Metrics(RegistrySnapshot {

@@ -1,44 +1,71 @@
-//! The network front door: a TCP server wrapping a [`PoolFrontend`].
+//! The network front door: a readiness-driven TCP server wrapping a
+//! [`PoolFrontend`].
 //!
 //! One [`NetFrontend`] owns one [`PoolFrontend`] (K replica pools behind
 //! bounded queues) plus one [`FleetService`], and serves both over
-//! framed TCP connections:
+//! framed TCP connections. Since the event-loop rewrite the server is
+//! **not** thread-per-connection: one poller thread owns every socket
+//! and multiplexes them through [`xt_poll::Poller`] (epoll on Linux, a
+//! portable level-triggered fallback elsewhere), so tens of thousands
+//! of mostly-idle connections cost file descriptors and per-connection
+//! state — not threads.
 //!
-//! * **Thread per connection, bounded accept budget.** At most
-//!   `max_connections` handlers run at once; when the budget is
-//!   exhausted the accept loop *blocks* until a connection finishes —
-//!   the same discipline as the front-end's bounded queues: burst
-//!   traffic degrades to waiting, never to unbounded memory. Queued TCP
-//!   connections sit in the kernel backlog meanwhile.
+//! * **Per-connection state machines.** Every socket is non-blocking.
+//!   Incoming bytes accumulate in a per-connection read buffer and are
+//!   cut into frames by [`Frame::parse_prefix`] (the incremental
+//!   sibling of the blocking codec); outgoing frames queue in a
+//!   per-connection write queue that drains on writability. Partial
+//!   reads and partial writes are ordinary states, not errors.
+//! * **Bounded everything (backpressure discipline preserved).** The
+//!   accept path stops pulling from the kernel backlog at
+//!   `max_connections` (the listener is deregistered until a slot
+//!   frees — the event-loop analogue of the old blocking accept
+//!   budget). Per connection, at most [`MAX_CONN_INFLIGHT`] worker
+//!   jobs run concurrently and at most [`WRITE_QUEUE_SOFT`] reply
+//!   bytes may be queued before the server simply *stops reading* that
+//!   connection — TCP backpressure does the rest, exactly the
+//!   burst-degrades-to-waiting discipline of the front-end's bounded
+//!   queues. Epoch pushes to a client more than [`WRITE_QUEUE_HARD`]
+//!   behind are dropped (counted in `net/pushes_dropped`); such a
+//!   client still converges via [`Msg::EpochPull`].
+//! * **A worker pool, so the poller never blocks.** Frame parsing and
+//!   cheap pulls (epoch/health/metrics) are answered on the poller
+//!   thread; [`Msg::Submit`] and [`Msg::Report`] — which block on
+//!   bounded pool queues, replica execution, and WAL appends — are
+//!   dispatched to a fixed pool of `workers` threads. A worker carries
+//!   a submission end-to-end (accept → streamed verdict → finalized
+//!   outcome), so each job's frames stay in order; completions return
+//!   to the poller through a notify queue.
 //! * **Determinism survives the wire.** Every submission goes through
 //!   [`PoolFrontend::submit`], which assigns the global sequence number
 //!   that seeds the replicas — so *which connection* carried an input,
-//!   and how connection reads interleaved, decides only arrival order
+//!   and how readiness events interleaved, decides only arrival order
 //!   (nondeterminism a local concurrent submitter has too), never an
 //!   outcome byte. `xt-net/tests/net.rs` pins remote outcomes
 //!   byte-identical to in-process serial runs.
-//! * **Streaming results.** Each connection runs a reader thread (frame
-//!   dispatch) and a responder thread that pushes every job's
-//!   [`Msg::Verdict`] the moment the streaming voter declares — while
-//!   stragglers are still executing — and its [`Msg::Outcome`] after
-//!   finalization. Frames within one connection are job-FIFO.
-//! * **The fleet loop, over the socket.** [`Msg::Report`] frames flow
-//!   through [`bridge::ingest_and_sync`]: evidence from remote clients
-//!   feeds the same sharded service the in-process loop uses, and any
-//!   newly published epoch immediately fans back into the server's own
-//!   pools — remote failures heal the server, exactly the §6.4
-//!   collaboration, with only compact reports crossing the network.
+//! * **Server-pushed epochs.** An epoch watcher thread parks in
+//!   [`FleetService::wait_epoch_newer`]; the moment a `PatchEpoch`
+//!   publishes it loads the epoch into the server's own pools and fans
+//!   a [`Msg::EpochPush`] frame down every live connection (per-push
+//!   propagation latency lands in the `net/epoch_push` histogram).
+//!   Remote reports still flow through the fleet service
+//!   ([`Msg::Report`] → ingest → receipt), but the old
+//!   per-report `latest()` poll in the bridge path is retired: the
+//!   worker re-syncs the front-end only when a receipt proves the
+//!   epoch number advanced, and clients get the new epoch pushed
+//!   instead of polling for it.
 
-use std::io::{self, BufReader, Write};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use exterminator::frontend::{FrontendConfig, PoolFrontend};
-use exterminator::pool::EarlyVerdict;
 use xt_fleet::frame::Frame;
 use xt_fleet::{
     bridge, DurabilityConfig, DurabilityError, DurableFleet, FleetConfig, FleetMetrics,
@@ -46,15 +73,36 @@ use xt_fleet::{
 };
 use xt_obs::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
 use xt_patch::PatchTable;
+use xt_poll::{Interest, Poller};
 use xt_workloads::Workload;
 
-use crate::proto::{Msg, WireHealth, WireOutcome, WireReceipt, WireVerdict};
+use crate::proto::{Msg, SubmitJob, WireHealth, WireOutcome, WireReceipt, WireVerdict};
 
-/// How often blocked server loops (idle connection reads, a full accept
-/// budget) wake to recheck the shutdown flag. Shutdown latency is
-/// bounded by this; steady-state cost is one spurious wakeup per idle
-/// connection per interval.
+/// Upper bound on the poller's sleep: shutdown latency and the epoch
+/// watcher's stop-flag recheck cadence are bounded by this.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// The poll token reserved for the listener; connections get tokens
+/// from a monotone counter starting at 1 (never reused, so a late
+/// worker completion can never reach a *different* connection).
+const LISTENER_TOKEN: usize = 0;
+
+/// Worker jobs in flight per connection before the poller stops
+/// reading it (the event-loop analogue of the old one-reader-thread
+/// natural limit; a pipelining client beyond this waits in TCP).
+const MAX_CONN_INFLIGHT: usize = 64;
+
+/// Queued write bytes per connection above which the poller stops
+/// reading that connection (replies outstanding ≈ requests admitted).
+const WRITE_QUEUE_SOFT: usize = 1 << 20;
+
+/// Queued write bytes per connection above which unsolicited pushes
+/// (epoch broadcasts) are dropped rather than queued. Replies are
+/// never dropped — the soft cap stops producing them first.
+const WRITE_QUEUE_HARD: usize = 4 << 20;
+
+/// Bytes per non-blocking read pass.
+const READ_CHUNK: usize = 16 * 1024;
 
 /// Durable-mode configuration for a [`NetFrontend`]: where the fleet's
 /// evidence WAL and snapshots live, and how often they compact.
@@ -85,9 +133,15 @@ pub struct NetConfig {
     pub frontend: FrontendConfig,
     /// The co-located fleet service reports are ingested into.
     pub fleet: FleetConfig,
-    /// Accept budget: connections served concurrently. Beyond it the
-    /// accept loop blocks (backpressure), it does not spawn.
+    /// Connection budget: sockets served concurrently. Beyond it the
+    /// listener is parked (backpressure into the kernel backlog), it
+    /// does not spawn or grow anything.
     pub max_connections: usize,
+    /// Blocking-work threads: submissions and report ingests run here
+    /// so the poller thread never blocks on pool queues, replica
+    /// execution, or WAL appends. Fixed size — the thread count does
+    /// not scale with connections.
+    pub workers: usize,
     /// Initial patch table the pools start from.
     pub patches: PatchTable,
     /// When set, the fleet service is wrapped in a
@@ -103,6 +157,7 @@ impl Default for NetConfig {
             frontend: FrontendConfig::default(),
             fleet: FleetConfig::default(),
             max_connections: 32,
+            workers: 4,
             patches: PatchTable::new(),
             durability: None,
         }
@@ -170,21 +225,35 @@ struct Counters {
 }
 
 /// The wire layer's own observability: frame traffic, server-side
-/// request round-trip latency, live connections, and the server's
-/// start instant (for health-probe uptime). Purely operational — like
-/// every other instrument, none of it feeds deterministic digests.
+/// request round-trip latency, live connections, write-queue depth,
+/// epoch-push propagation, and the server's start instant (for
+/// health-probe uptime). Purely operational — like every other
+/// instrument, none of it feeds deterministic digests.
 struct NetObs {
     registry: Arc<Registry>,
     /// Server-side request→reply latency (`net/wire_rtt`), recorded
-    /// per dispatched request frame.
+    /// per dispatched request frame (at reply hand-off).
     wire_rtt: Arc<Histogram>,
+    /// Epoch publication → push frame handed to a connection's socket
+    /// layer (`net/epoch_push`), recorded once per live connection per
+    /// published epoch.
+    epoch_push: Arc<Histogram>,
     /// Frames decoded off connections (`net/frames_in`).
     frames_in: Arc<Counter>,
-    /// Frames written to connections (`net/frames_out`), replies and
-    /// pushes alike.
+    /// Frames queued toward connections (`net/frames_out`), replies
+    /// and pushes alike.
     frames_out: Arc<Counter>,
-    /// Live connection handlers (`net/connections`).
+    /// Epoch pushes dropped at a connection over its hard write cap
+    /// (`net/pushes_dropped`).
+    pushes_dropped: Arc<Counter>,
+    /// Live connections (`net/connections`).
     connections: Arc<Gauge>,
+    /// Bytes sitting in per-connection write queues, summed
+    /// (`net/write_queue_bytes`).
+    write_queue: Arc<Gauge>,
+    /// Worker jobs dispatched and not yet completed
+    /// (`net/inflight_jobs`).
+    inflight: Arc<Gauge>,
     started: Instant,
 }
 
@@ -193,72 +262,123 @@ impl NetObs {
         let registry = Registry::new();
         NetObs {
             wire_rtt: registry.histogram("net/wire_rtt"),
+            epoch_push: registry.histogram("net/epoch_push"),
             frames_in: registry.counter("net/frames_in"),
             frames_out: registry.counter("net/frames_out"),
+            pushes_dropped: registry.counter("net/pushes_dropped"),
             connections: registry.gauge("net/connections"),
+            write_queue: registry.gauge("net/write_queue_bytes"),
+            inflight: registry.gauge("net/inflight_jobs"),
             started: Instant::now(),
             registry,
         }
     }
 }
 
-/// The connection budget: a counting semaphore whose empty state blocks
-/// the accept loop.
-struct Budget {
-    state: Mutex<usize>,
-    freed: Condvar,
-    max: usize,
+/// Blocking work dispatched off the poller thread.
+enum Work {
+    Submit {
+        conn: usize,
+        job: Box<SubmitJob>,
+        at: Instant,
+    },
+    Report {
+        conn: usize,
+        bytes: Vec<u8>,
+        at: Instant,
+    },
 }
 
-impl Budget {
-    fn new(max: usize) -> Self {
-        Budget {
-            state: Mutex::new(0),
-            freed: Condvar::new(),
-            max: max.max(1),
+/// What flows back from workers (and the epoch watcher) to the poller.
+enum Notice {
+    /// Encoded frames for one connection. `done` marks the completion
+    /// of one dispatched [`Work`] item (releases its inflight slot).
+    Frames {
+        conn: usize,
+        frames: Vec<Vec<u8>>,
+        done: bool,
+    },
+    /// One encoded frame for *every* live connection (epoch push).
+    Broadcast { bytes: Vec<u8>, published: Instant },
+}
+
+/// The worker↔poller mailbox plus the poller handle that wakes it.
+struct Mailbox {
+    notices: Mutex<Vec<Notice>>,
+    poller: Arc<Poller>,
+}
+
+impl Mailbox {
+    fn locked(&self) -> MutexGuard<'_, Vec<Notice>> {
+        // Poison recovery: a panicking worker mid-push leaves at worst
+        // a missing notice (its work item is lost with it); the vec
+        // itself is push-only and structurally sound.
+        self.notices.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn post(&self, notice: Notice) {
+        self.locked().push(notice);
+        let _ = self.poller.notify();
+    }
+
+    fn post_frames(&self, conn: usize, frames: Vec<Vec<u8>>, done: bool) {
+        self.post(Notice::Frames { conn, frames, done });
+    }
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Accumulated unparsed inbound bytes (at most one partial frame
+    /// plus one read chunk, since complete frames are cut out eagerly).
+    read_buf: Vec<u8>,
+    /// Encoded frames awaiting the socket; the front frame may be
+    /// partially written (`write_pos` bytes already gone).
+    queue: VecDeque<Vec<u8>>,
+    write_pos: usize,
+    queued_bytes: usize,
+    /// Worker jobs dispatched for this connection, not yet completed.
+    inflight: usize,
+    /// The interest set currently registered with the poller.
+    interest: Interest,
+    /// Flush the queue, then close (protocol-error goodbyes).
+    closing: bool,
+    /// Close now; reaped at the end of the poll iteration.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            queue: VecDeque::new(),
+            write_pos: 0,
+            queued_bytes: 0,
+            inflight: 0,
+            interest: Interest::READABLE,
+            closing: false,
+            dead: false,
         }
     }
 
-    /// Blocks until a connection slot is free or shutdown begins.
-    /// Returns `false` on shutdown. The wait is timed (not a bare
-    /// condvar sleep) so a shutdown that begins while the budget is
-    /// exhausted is noticed without needing a slot to free first.
-    fn acquire(&self, stop: &AtomicBool) -> bool {
-        let mut active = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        while *active >= self.max {
-            if stop.load(Ordering::Acquire) {
-                return false;
-            }
-            (active, _) = self
-                .freed
-                .wait_timeout(active, POLL_INTERVAL)
-                .unwrap_or_else(PoisonError::into_inner);
+    /// The interest this connection's state wants: readable unless it
+    /// is saying goodbye or over an inflight/write cap (read-gating is
+    /// the backpressure), writable only while the queue is non-empty.
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.closing
+                && self.inflight < MAX_CONN_INFLIGHT
+                && self.queued_bytes < WRITE_QUEUE_SOFT,
+            writable: !self.queue.is_empty(),
         }
-        *active += 1;
-        true
-    }
-
-    fn release(&self) {
-        let mut active = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        *active -= 1;
-        self.freed.notify_one();
     }
 }
 
-/// Releases the budget slot when a connection handler exits, however it
-/// exits.
-struct SlotGuard<'a>(&'a Budget);
-
-impl Drop for SlotGuard<'_> {
-    fn drop(&mut self) {
-        self.0.release();
-    }
-}
-
-/// The running server. Binding spawns a server thread that owns the
-/// listener, the pool front-end, and every connection handler; dropping
-/// the handle (or calling [`NetFrontend::shutdown`]) stops accepting,
-/// drains open connections, and joins everything.
+/// The running server. Binding spawns a poller thread that owns the
+/// listener, every connection, and the worker pool; dropping the handle
+/// (or calling [`NetFrontend::shutdown`]) stops the loop, closes every
+/// socket, and joins everything.
 pub struct NetFrontend {
     addr: SocketAddr,
     service: Arc<FleetService>,
@@ -266,6 +386,7 @@ pub struct NetFrontend {
     counters: Arc<Counters>,
     obs: Arc<NetObs>,
     stop: Arc<AtomicBool>,
+    poller: Arc<Poller>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -275,16 +396,19 @@ impl NetFrontend {
     ///
     /// # Errors
     ///
-    /// Propagates listener binding failures; in durable mode, also
-    /// storage or recovery failures (a corrupt snapshot, an incompatible
-    /// grid) — a durable server refuses to start blind rather than
-    /// silently forgetting the fleet's evidence.
+    /// Propagates listener binding or poller creation failures; in
+    /// durable mode, also storage or recovery failures (a corrupt
+    /// snapshot, an incompatible grid) — a durable server refuses to
+    /// start blind rather than silently forgetting the fleet's
+    /// evidence.
     pub fn bind<W>(workload: W, addr: impl ToSocketAddrs, config: NetConfig) -> io::Result<Self>
     where
         W: Workload + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Arc::new(Poller::new()?);
         let backend = Arc::new(match config.durability.clone() {
             Some(d) => FleetBackend::Durable(
                 DurableFleet::open(d.storage, config.fleet, d.config).map_err(io::Error::other)?,
@@ -300,9 +424,10 @@ impl NetFrontend {
             let counters = Arc::clone(&counters);
             let obs = Arc::clone(&obs);
             let stop = Arc::clone(&stop);
+            let poller = Arc::clone(&poller);
             std::thread::spawn(move || {
                 serve(
-                    &workload, &listener, &config, &backend, &counters, &obs, &stop,
+                    &workload, &listener, &config, &backend, &counters, &obs, &stop, poller,
                 );
             })
         };
@@ -313,6 +438,7 @@ impl NetFrontend {
             counters,
             obs,
             stop,
+            poller,
             handle: Some(handle),
         })
     }
@@ -338,10 +464,11 @@ impl NetFrontend {
     }
 
     /// The wire layer's metrics registry (`net/wire_rtt`,
-    /// `net/frames_in`, `net/frames_out`, `net/connections`). The
-    /// *merged* cross-layer snapshot — this plus the front-end's
-    /// per-job histograms and the fleet's — is what
-    /// [`Msg::MetricsPull`] returns over the wire; see
+    /// `net/epoch_push`, `net/frames_in`, `net/frames_out`,
+    /// `net/connections`, `net/write_queue_bytes`, `net/inflight_jobs`,
+    /// `net/pushes_dropped`). The *merged* cross-layer snapshot — this
+    /// plus the front-end's per-job histograms and the fleet's — is
+    /// what [`Msg::MetricsPull`] returns over the wire; see
     /// [`NetFrontend::metrics_snapshot`] for the server-side subset.
     #[must_use]
     pub fn observability(&self) -> &Arc<Registry> {
@@ -371,14 +498,15 @@ impl NetFrontend {
         }
     }
 
-    /// Stops accepting, waits for open connections to drain and the
-    /// pools to shut down, and joins the server thread. Equivalent to
-    /// dropping the handle; this form marks the teardown explicitly.
+    /// Stops the event loop, closes every connection, waits for
+    /// in-flight jobs and the pools to shut down, and joins the server
+    /// thread. Equivalent to dropping the handle; this form marks the
+    /// teardown explicitly.
     ///
     /// # Panics
     ///
     /// Re-raises a server-side panic (e.g. a replica worker crash
-    /// propagated through a connection handler).
+    /// propagated through the worker pool).
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -388,8 +516,10 @@ impl NetFrontend {
             return;
         };
         self.stop.store(true, Ordering::Release);
-        // Wake an accept() blocked with no clients: a throwaway
-        // connection that immediately closes.
+        // Wake the poller directly; the throwaway connect is a second
+        // belt-and-braces wake that also covers a poller wedged before
+        // its first wait.
+        let _ = self.poller.notify();
         let _ = TcpStream::connect(self.addr);
         if let Err(payload) = handle.join() {
             if !std::thread::panicking() {
@@ -405,9 +535,10 @@ impl Drop for NetFrontend {
     }
 }
 
-/// The server thread body: owns the front-end for its whole life, serves
-/// connections in an inner scope (so handlers may borrow the front-end),
-/// and tears the pools down once the last connection drains.
+/// The server thread body: owns the front-end for its whole life, runs
+/// the poll loop with a worker pool and epoch watcher beside it, and
+/// tears the pools down once the loop exits.
+#[allow(clippy::too_many_arguments)]
 fn serve<W: Workload + Sync>(
     workload: &W,
     listener: &TcpListener,
@@ -416,8 +547,15 @@ fn serve<W: Workload + Sync>(
     counters: &Counters,
     obs: &NetObs,
     stop: &AtomicBool,
+    poller: Arc<Poller>,
 ) {
-    let budget = Budget::new(config.max_connections);
+    let mailbox = Mailbox {
+        notices: Mutex::new(Vec::new()),
+        poller,
+    };
+    // The highest epoch number already loaded into the front-end's
+    // pools; lets the report path skip the old per-report epoch poll.
+    let synced_epoch = AtomicU64::new(0);
     std::thread::scope(|outer| {
         let frontend = PoolFrontend::scoped(
             outer,
@@ -425,45 +563,30 @@ fn serve<W: Workload + Sync>(
             config.frontend.clone(),
             config.patches.clone(),
         );
-        std::thread::scope(|conns| {
-            loop {
-                if !budget.acquire(stop) {
-                    break;
-                }
-                let stream = match listener.accept() {
-                    Ok((stream, _)) => stream,
-                    Err(_) => {
-                        budget.release();
-                        if stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        continue;
-                    }
-                };
-                if stop.load(Ordering::Acquire) {
-                    budget.release();
-                    break;
-                }
-                // Frames are small request/reply and push units; leaving
-                // Nagle on serializes every round trip behind delayed
-                // ACKs (~100x on localhost). Flushes are whole frames,
-                // so there is nothing for the kernel to usefully batch.
-                let _ = stream.set_nodelay(true);
-                // A read timeout so idle connections periodically
-                // surface at a frame boundary and notice shutdown —
-                // otherwise one parked client would block the handler
-                // (and so the server's teardown) forever.
-                let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-                counters.connections.fetch_add(1, Ordering::Relaxed);
-                let frontend = &frontend;
-                let budget = &budget;
-                conns.spawn(move || {
-                    let _slot = SlotGuard(budget);
-                    obs.connections.add(1);
-                    handle_connection(frontend, backend, counters, obs, stop, stream);
-                    obs.connections.add(-1);
+        let (work_tx, work_rx) = mpsc::channel::<Work>();
+        let work_rx = Mutex::new(work_rx);
+        std::thread::scope(|inner| {
+            for _ in 0..config.workers.max(1) {
+                inner.spawn(|| {
+                    worker_loop(
+                        &work_rx,
+                        &frontend,
+                        backend,
+                        counters,
+                        obs,
+                        &mailbox,
+                        &synced_epoch,
+                    );
                 });
             }
+            inner.spawn(|| {
+                epoch_watcher(backend.service(), &frontend, &mailbox, stop, &synced_epoch);
+            });
+            // Runs on this thread; consumes `work_tx`, so the workers'
+            // channel closes (and they drain and exit) when it returns.
+            poll_loop(
+                listener, config, backend, counters, obs, stop, &mailbox, &frontend, work_tx,
+            );
         });
         frontend.shutdown();
     });
@@ -475,223 +598,596 @@ fn serve<W: Workload + Sync>(
     }
 }
 
-/// Writes one frame under the connection's write lock (whole frames only,
-/// so pushed verdicts/outcomes and request replies never interleave
-/// bytes). Write errors mean the client is gone; the caller's read side
-/// will notice, so they are swallowed here. Every write — reply or push
-/// — counts toward `net/frames_out`.
-fn send(writer: &Mutex<TcpStream>, frames_out: &Counter, msg: &Msg) {
-    let mut stream = writer.lock().unwrap_or_else(PoisonError::into_inner);
-    let _ = msg.to_frame().write_to(&mut *stream);
-    let _ = stream.flush();
-    frames_out.incr();
-}
-
-/// One connection: the current thread reads and dispatches frames; a
-/// responder thread pushes each submitted job's verdict and outcome in
-/// submission order.
-fn handle_connection(
+/// A worker: pulls blocking work items and runs each end-to-end,
+/// posting reply frames back to the poller as they become available.
+fn worker_loop(
+    work_rx: &Mutex<mpsc::Receiver<Work>>,
     frontend: &PoolFrontend<'_>,
     backend: &FleetBackend,
     counters: &Counters,
     obs: &NetObs,
-    stop: &AtomicBool,
-    stream: TcpStream,
+    mailbox: &Mailbox,
+    synced_epoch: &AtomicU64,
 ) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let writer = Mutex::new(stream);
-    let (tx, rx) = mpsc::channel::<(u64, exterminator::frontend::JobTicket)>();
-    std::thread::scope(|scope| {
-        scope.spawn(|| {
-            // Responder: per-job FIFO. The verdict is pushed the moment
-            // the streaming voter declares (the front-end posts it to
-            // the ticket while stragglers run); the outcome follows once
-            // the job finalizes.
-            for (job, ticket) in rx {
-                let verdict: Option<EarlyVerdict> = ticket.wait_verdict();
-                send(
-                    &writer,
-                    &obs.frames_out,
-                    &Msg::Verdict {
-                        job,
-                        verdict: verdict.as_ref().map(WireVerdict::from_early),
-                    },
+    loop {
+        // Hold the receiver lock only for the dequeue, not the work.
+        let work = {
+            let rx = work_rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(work) = work else {
+            return; // channel closed: the poll loop exited
+        };
+        match work {
+            Work::Submit { conn, job, at } => {
+                let ticket = frontend.submit(&job.input, job.fault);
+                counters.jobs.fetch_add(1, Ordering::Relaxed);
+                let seq = ticket.job();
+                // Record before posting: once the reply is visible to
+                // the poller the client may already be pulling metrics,
+                // and the sample must be in the histogram it reads.
+                obs.wire_rtt.record_duration(at.elapsed());
+                mailbox.post_frames(
+                    conn,
+                    vec![Msg::Accepted { job: seq }.to_frame().encode()],
+                    false,
                 );
-                let outcome = ticket.wait();
-                send(
-                    &writer,
-                    &obs.frames_out,
-                    &Msg::Outcome(WireOutcome::from_pool(&outcome)),
+                // Streamed verdict: pushed the moment the voter
+                // declares, while stragglers still run.
+                let verdict = ticket.wait_verdict();
+                mailbox.post_frames(
+                    conn,
+                    vec![Msg::Verdict {
+                        job: seq,
+                        verdict: verdict.as_ref().map(WireVerdict::from_early),
+                    }
+                    .to_frame()
+                    .encode()],
+                    false,
+                );
+                let result = ticket.wait();
+                mailbox.post_frames(
+                    conn,
+                    vec![Msg::Outcome(WireOutcome::from_pool(&result))
+                        .to_frame()
+                        .encode()],
+                    true,
                 );
             }
-        });
-        // The read loop ends on clean close, torn frame, transport
-        // error, or server shutdown. The stream's read timeout fires at
-        // frame boundaries (read_from absorbs it mid-frame), so an idle
-        // client parks this handler for at most one poll interval
-        // before the stop flag is rechecked.
-        loop {
-            let frame = match Frame::read_from(&mut reader) {
-                Ok(Some(frame)) => frame,
-                Ok(None) => break,
-                Err(xt_fleet::FrameError::Io(e))
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    continue;
-                }
-                Err(_) => break,
-            };
-            obs.frames_in.incr();
-            // Server-side round trip: frame decoded → reply written.
-            let dispatched = Instant::now();
-            match Msg::from_frame(&frame) {
-                Ok(Msg::Submit(job)) => {
-                    let ticket = frontend.submit(&job.input, job.fault);
-                    counters.jobs.fetch_add(1, Ordering::Relaxed);
-                    let seq = ticket.job();
-                    send(&writer, &obs.frames_out, &Msg::Accepted { job: seq });
-                    obs.wire_rtt.record_duration(dispatched.elapsed());
-                    if tx.send((seq, ticket)).is_err() {
-                        break;
-                    }
-                }
-                Ok(Msg::Report(bytes)) => {
-                    // The durable backend WAL-logs before folding; either
-                    // way a fresh epoch fans straight back into the
-                    // server's own pools (the `bridge` loop).
-                    let result = backend.ingest(&bytes).inspect(|_| {
-                        bridge::sync_frontend(backend.service(), frontend);
-                    });
-                    match result {
-                        Ok(receipt) => {
-                            counters.reports.fetch_add(1, Ordering::Relaxed);
-                            send(
-                                &writer,
-                                &obs.frames_out,
-                                &Msg::ReportAck(WireReceipt {
-                                    duplicate: receipt.duplicate,
-                                    shards_touched: receipt.shards_touched as u32,
-                                    observations: receipt.observations as u32,
-                                    epoch: receipt.epoch,
-                                }),
-                            );
+            Work::Report { conn, bytes, at } => {
+                // The durable backend WAL-logs before folding.
+                let reply = match backend.ingest(&bytes) {
+                    Ok(receipt) => {
+                        counters.reports.fetch_add(1, Ordering::Relaxed);
+                        // Heal the server's own pools — but only when
+                        // the receipt proves the epoch advanced past
+                        // what the front-end already runs. The old
+                        // unconditional per-report `latest()` poll is
+                        // retired; the epoch watcher covers pushes.
+                        if receipt.epoch > synced_epoch.load(Ordering::Acquire) {
+                            bridge::sync_frontend(backend.service(), frontend);
+                            synced_epoch.fetch_max(receipt.epoch, Ordering::AcqRel);
                         }
-                        Err(e) => {
-                            // Rate-limited reports land here too: the
-                            // admission refusal crosses back as an
-                            // `Error` frame without dropping the
-                            // connection, so a throttled client can back
-                            // off and retry.
-                            counters.rejected.fetch_add(1, Ordering::Relaxed);
-                            send(
-                                &writer,
-                                &obs.frames_out,
-                                &Msg::Error {
-                                    message: e.to_string(),
-                                },
-                            );
-                        }
+                        Msg::ReportAck(WireReceipt {
+                            duplicate: receipt.duplicate,
+                            shards_touched: receipt.shards_touched as u32,
+                            observations: receipt.observations as u32,
+                            epoch: receipt.epoch,
+                        })
                     }
-                    obs.wire_rtt.record_duration(dispatched.elapsed());
-                }
-                Ok(Msg::EpochPull { have }) => {
-                    let latest = backend.service().latest();
-                    let epoch = (latest.number > have).then(|| latest.to_text());
-                    send(&writer, &obs.frames_out, &Msg::Epoch { epoch });
-                    obs.wire_rtt.record_duration(dispatched.elapsed());
-                }
-                Ok(Msg::HealthPull) => {
-                    let m = backend.metrics();
-                    send(
-                        &writer,
-                        &obs.frames_out,
-                        &Msg::Health(WireHealth {
-                            healthy: true,
-                            epoch: m.epoch,
-                            uptime_ms: obs.started.elapsed().as_millis() as u64,
-                            recoveries: m.recoveries,
-                            durable: matches!(backend, FleetBackend::Durable(_)),
-                            connections: obs.connections.get().max(0) as u64,
-                        }),
-                    );
-                    obs.wire_rtt.record_duration(dispatched.elapsed());
-                }
-                Ok(Msg::MetricsPull) => {
-                    // Every layer's registry, merged. Names are
-                    // pre-namespaced (`frontend/`, `fleet/`, `net/`), so
-                    // a plain merge never collides.
-                    let mut snap = frontend.observability().snapshot();
-                    snap.merge(backend.service().observability().snapshot());
-                    snap.merge(backend.metrics().counters_snapshot());
-                    snap.merge(obs.registry.snapshot());
-                    send(&writer, &obs.frames_out, &Msg::Metrics(snap));
-                    obs.wire_rtt.record_duration(dispatched.elapsed());
-                }
-                Ok(other) => {
-                    // A server-to-client message arriving at the server
-                    // is a protocol violation; name it and drop the
-                    // connection.
-                    counters.rejected.fetch_add(1, Ordering::Relaxed);
-                    send(
-                        &writer,
-                        &obs.frames_out,
-                        &Msg::Error {
-                            message: format!("unexpected client message: {other:?}"),
-                        },
-                    );
-                    break;
-                }
-                Err(e) => {
-                    counters.rejected.fetch_add(1, Ordering::Relaxed);
-                    send(
-                        &writer,
-                        &obs.frames_out,
-                        &Msg::Error {
+                    Err(e) => {
+                        // Rate-limited reports land here too: the
+                        // admission refusal crosses back as an `Error`
+                        // frame without dropping the connection, so a
+                        // throttled client can back off and retry.
+                        counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        Msg::Error {
                             message: e.to_string(),
-                        },
-                    );
-                    break;
+                        }
+                    }
+                };
+                // Same record-before-post discipline as the submit arm.
+                obs.wire_rtt.record_duration(at.elapsed());
+                mailbox.post_frames(conn, vec![reply.to_frame().encode()], true);
+            }
+        }
+    }
+}
+
+/// The epoch watcher: parks on the service's epoch signal and, per
+/// fresh epoch, syncs the server's own pools and broadcasts the push
+/// frame. The park is bounded by [`POLL_INTERVAL`] so the stop flag is
+/// honored promptly.
+fn epoch_watcher(
+    service: &FleetService,
+    frontend: &PoolFrontend<'_>,
+    mailbox: &Mailbox,
+    stop: &AtomicBool,
+    synced_epoch: &AtomicU64,
+) {
+    // A durable server may recover mid-history: treat the recovered
+    // epoch as already-known (it is loaded into the pools at bind via
+    // the config's patch table only if the caller did so; sync here to
+    // be safe) and only broadcast genuinely new publications.
+    let mut have = service.latest().number;
+    if have > 0 {
+        bridge::sync_frontend(service, frontend);
+        synced_epoch.fetch_max(have, Ordering::AcqRel);
+    }
+    while !stop.load(Ordering::Acquire) {
+        let Some(epoch) = service.wait_epoch_newer(have, POLL_INTERVAL) else {
+            continue;
+        };
+        have = epoch.number;
+        frontend.load_epoch(&epoch);
+        synced_epoch.fetch_max(have, Ordering::AcqRel);
+        let bytes = Msg::EpochPush {
+            epoch: epoch.to_text(),
+        }
+        .to_frame()
+        .encode();
+        mailbox.post(Notice::Broadcast {
+            bytes,
+            published: Instant::now(),
+        });
+    }
+}
+
+/// Everything a poll-loop helper needs a view of.
+struct Ctx<'a, 'scope> {
+    backend: &'a FleetBackend,
+    counters: &'a Counters,
+    obs: &'a NetObs,
+    frontend: &'a PoolFrontend<'scope>,
+    work_tx: &'a mpsc::Sender<Work>,
+}
+
+/// The poller thread's main loop: readiness in, frames parsed and
+/// dispatched, completions and broadcasts out.
+#[allow(clippy::too_many_arguments)]
+fn poll_loop(
+    listener: &TcpListener,
+    config: &NetConfig,
+    backend: &FleetBackend,
+    counters: &Counters,
+    obs: &NetObs,
+    stop: &AtomicBool,
+    mailbox: &Mailbox,
+    frontend: &PoolFrontend<'_>,
+    work_tx: mpsc::Sender<Work>,
+) {
+    let poller = &*mailbox.poller;
+    if poller
+        .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)
+        .is_err()
+    {
+        return;
+    }
+    let max_connections = config.max_connections.max(1);
+    let ctx = Ctx {
+        backend,
+        counters,
+        obs,
+        frontend,
+        work_tx: &work_tx,
+    };
+    let mut conns: BTreeMap<usize, Conn> = BTreeMap::new();
+    let mut next_token = LISTENER_TOKEN + 1;
+    let mut listener_armed = true;
+    let mut events = Vec::new();
+    // Tokens an event or notice reached this cycle: the only
+    // connections whose death or interest can have changed, so the
+    // end-of-cycle bookkeeping walks this list, not the population —
+    // with 10k mostly-idle connections the difference decides how fast
+    // the busy few (and the accept ramp) are served.
+    let mut touched: Vec<usize> = Vec::new();
+    loop {
+        let _ = poller.wait(&mut events, Some(POLL_INTERVAL));
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+
+        // Worker completions and epoch broadcasts first: they free
+        // inflight slots, which can re-open read gates below.
+        let notices = std::mem::take(&mut *mailbox.locked());
+        for notice in notices {
+            match notice {
+                Notice::Frames { conn, frames, done } => {
+                    if done {
+                        obs.inflight.add(-1);
+                    }
+                    if let Some(c) = conns.get_mut(&conn) {
+                        if done {
+                            c.inflight = c.inflight.saturating_sub(1);
+                        }
+                        for bytes in frames {
+                            enqueue(c, bytes, obs);
+                        }
+                        drain_writes(c, obs);
+                        touched.push(conn);
+                    }
+                }
+                Notice::Broadcast { bytes, published } => {
+                    for (&token, c) in conns.iter_mut() {
+                        if c.closing || c.dead {
+                            continue;
+                        }
+                        if c.queued_bytes + bytes.len() > WRITE_QUEUE_HARD {
+                            obs.pushes_dropped.incr();
+                            continue;
+                        }
+                        enqueue(c, bytes.clone(), obs);
+                        drain_writes(c, obs);
+                        obs.epoch_push.record_duration(published.elapsed());
+                        touched.push(token);
+                    }
                 }
             }
         }
-        // Reader done: close the channel so the responder drains the
-        // remaining tickets (their outcomes still complete server-side)
-        // and exits.
-        drop(tx);
-    });
+
+        // Readiness events.
+        for &ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                accept_ready(
+                    listener,
+                    poller,
+                    &mut conns,
+                    &mut next_token,
+                    max_connections,
+                    &mut listener_armed,
+                    counters,
+                    obs,
+                    stop,
+                );
+            } else if let Some(c) = conns.get_mut(&ev.token) {
+                if ev.writable {
+                    drain_writes(c, obs);
+                }
+                if ev.readable && !c.dead {
+                    read_ready(c, ev.token, &ctx);
+                }
+                if ev.error && c.queue.is_empty() {
+                    c.dead = true;
+                }
+                touched.push(ev.token);
+            }
+        }
+
+        // Reap the dead, update interests, re-arm the listener — over
+        // the touched set only. Every path that marks a connection dead
+        // or shifts its interest (reads, writes, worker completions,
+        // broadcasts) runs above and records the token, so nothing
+        // outside `touched` can need attention.
+        touched.sort_unstable();
+        touched.dedup();
+        for token in touched.drain(..) {
+            if conns.get(&token).is_some_and(|c| c.dead) {
+                let c = conns.remove(&token).expect("present above");
+                let _ = poller.deregister(c.stream.as_raw_fd());
+                obs.connections.add(-1);
+                obs.write_queue.add(-(c.queued_bytes as i64));
+                // The socket closes on drop; inflight work for this
+                // token finishes server-side and its notices fall on
+                // the floor.
+                continue;
+            }
+            if let Some(c) = conns.get_mut(&token) {
+                let desired = c.desired_interest();
+                if desired != c.interest
+                    && poller
+                        .reregister(c.stream.as_raw_fd(), token, desired)
+                        .is_ok()
+                {
+                    c.interest = desired;
+                }
+            }
+        }
+        if !listener_armed && conns.len() < max_connections {
+            listener_armed = poller
+                .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)
+                .is_ok();
+        }
+    }
+    // Teardown: every socket closes (clients observe a disconnect);
+    // in-flight jobs complete against the still-running pools.
+    for (_, c) in conns {
+        let _ = poller.deregister(c.stream.as_raw_fd());
+        obs.connections.add(-1);
+        obs.write_queue.add(-(c.queued_bytes as i64));
+    }
+    let _ = poller.deregister(listener.as_raw_fd());
+}
+
+/// Accepts until the kernel backlog is drained or the connection budget
+/// is reached (then the listener is parked — backpressure, not drops).
+#[allow(clippy::too_many_arguments)]
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut BTreeMap<usize, Conn>,
+    next_token: &mut usize,
+    max_connections: usize,
+    listener_armed: &mut bool,
+    counters: &Counters,
+    obs: &NetObs,
+    stop: &AtomicBool,
+) {
+    loop {
+        if conns.len() >= max_connections {
+            if *listener_armed && poller.deregister(listener.as_raw_fd()).is_ok() {
+                *listener_armed = false;
+            }
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        // The shutdown path's wake connect must not count or register.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        // Frames are small request/reply and push units; leaving Nagle
+        // on serializes every round trip behind delayed ACKs (~100x on
+        // localhost). Writes are whole frames, so there is nothing for
+        // the kernel to usefully batch.
+        let _ = stream.set_nodelay(true);
+        let token = *next_token;
+        *next_token += 1;
+        if poller
+            .register(stream.as_raw_fd(), token, Interest::READABLE)
+            .is_err()
+        {
+            continue;
+        }
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+        obs.connections.add(1);
+        conns.insert(token, Conn::new(stream));
+    }
+}
+
+/// Drains the socket into the read buffer and cuts/dispatches complete
+/// frames. EOF after a frame boundary (or mid-partial-frame) is a quiet
+/// close; bytes that fail frame framing close quietly too (matching
+/// the blocking server: framing garbage is not a counted rejection).
+fn read_ready(c: &mut Conn, token: usize, ctx: &Ctx<'_, '_>) {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match c.stream.read(&mut chunk) {
+            Ok(0) => {
+                c.dead = true;
+                return;
+            }
+            Ok(n) => {
+                c.read_buf.extend_from_slice(&chunk[..n]);
+                parse_ready(c, token, ctx);
+                if c.dead || c.closing {
+                    return;
+                }
+                // Gate: over an inflight or write cap, leave the rest
+                // in the kernel buffer (interest update parks reads).
+                if c.inflight >= MAX_CONN_INFLIGHT || c.queued_bytes >= WRITE_QUEUE_SOFT {
+                    return;
+                }
+                if n < chunk.len() {
+                    return; // drained (level-triggered: more re-fires)
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Cuts every complete frame out of the read buffer and dispatches it.
+fn parse_ready(c: &mut Conn, token: usize, ctx: &Ctx<'_, '_>) {
+    while !c.dead && !c.closing {
+        match Frame::parse_prefix(&c.read_buf) {
+            Ok(Some((frame, used))) => {
+                c.read_buf.drain(..used);
+                dispatch_frame(c, token, &frame, ctx);
+            }
+            Ok(None) => return,
+            Err(_) => {
+                // Framing garbage (bad magic, oversized claim): the
+                // stream is unsynchronizable — close quietly, exactly
+                // like the blocking reader's torn-frame path.
+                c.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// One decoded frame: cheap pulls answered inline, blocking work handed
+/// to the worker pool, protocol violations answered and flushed before
+/// the connection closes.
+fn dispatch_frame(c: &mut Conn, token: usize, frame: &Frame, ctx: &Ctx<'_, '_>) {
+    ctx.obs.frames_in.incr();
+    // Server-side round trip: frame decoded → reply handed off.
+    let at = Instant::now();
+    match Msg::from_frame(frame) {
+        Ok(Msg::Submit(job)) => {
+            c.inflight += 1;
+            ctx.obs.inflight.add(1);
+            let _ = ctx.work_tx.send(Work::Submit {
+                conn: token,
+                job: Box::new(job),
+                at,
+            });
+        }
+        Ok(Msg::Report(bytes)) => {
+            c.inflight += 1;
+            ctx.obs.inflight.add(1);
+            let _ = ctx.work_tx.send(Work::Report {
+                conn: token,
+                bytes,
+                at,
+            });
+        }
+        Ok(Msg::EpochPull { have }) => {
+            let latest = ctx.backend.service().latest();
+            let epoch = (latest.number > have).then(|| latest.to_text());
+            reply(c, &Msg::Epoch { epoch }, ctx.obs);
+            ctx.obs.wire_rtt.record_duration(at.elapsed());
+        }
+        Ok(Msg::HealthPull) => {
+            let m = ctx.backend.metrics();
+            reply(
+                c,
+                &Msg::Health(WireHealth {
+                    healthy: true,
+                    epoch: m.epoch,
+                    uptime_ms: ctx.obs.started.elapsed().as_millis() as u64,
+                    recoveries: m.recoveries,
+                    durable: matches!(ctx.backend, FleetBackend::Durable(_)),
+                    connections: ctx.obs.connections.get().max(0) as u64,
+                }),
+                ctx.obs,
+            );
+            ctx.obs.wire_rtt.record_duration(at.elapsed());
+        }
+        Ok(Msg::MetricsPull) => {
+            // Every layer's registry, merged. Names are pre-namespaced
+            // (`frontend/`, `fleet/`, `net/`), so a plain merge never
+            // collides.
+            let mut snap = ctx.frontend.observability().snapshot();
+            snap.merge(ctx.backend.service().observability().snapshot());
+            snap.merge(ctx.backend.metrics().counters_snapshot());
+            snap.merge(ctx.obs.registry.snapshot());
+            reply(c, &Msg::Metrics(snap), ctx.obs);
+            ctx.obs.wire_rtt.record_duration(at.elapsed());
+        }
+        Ok(other) => {
+            // A server-to-client message arriving at the server is a
+            // protocol violation; name it, flush, and close.
+            ctx.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            reply(
+                c,
+                &Msg::Error {
+                    message: format!("unexpected client message: {other:?}"),
+                },
+                ctx.obs,
+            );
+            c.closing = true;
+        }
+        Err(e) => {
+            ctx.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            reply(
+                c,
+                &Msg::Error {
+                    message: e.to_string(),
+                },
+                ctx.obs,
+            );
+            c.closing = true;
+        }
+    }
+}
+
+/// Queues an inline reply and drains what the socket will take now.
+fn reply(c: &mut Conn, msg: &Msg, obs: &NetObs) {
+    enqueue(c, msg.to_frame().encode(), obs);
+    drain_writes(c, obs);
+}
+
+/// Appends one encoded frame to the connection's write queue.
+fn enqueue(c: &mut Conn, bytes: Vec<u8>, obs: &NetObs) {
+    obs.frames_out.incr();
+    obs.write_queue.add(bytes.len() as i64);
+    c.queued_bytes += bytes.len();
+    c.queue.push_back(bytes);
+}
+
+/// Writes queued frames until the socket would block or the queue is
+/// empty; a closing connection whose queue drains dies here.
+fn drain_writes(c: &mut Conn, obs: &NetObs) {
+    while let Some(front) = c.queue.front() {
+        match c.stream.write(&front[c.write_pos..]) {
+            Ok(n) => {
+                c.write_pos += n;
+                if c.write_pos == front.len() {
+                    let len = front.len();
+                    c.queue.pop_front();
+                    c.write_pos = 0;
+                    c.queued_bytes -= len;
+                    obs.write_queue.add(-(len as i64));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.dead = true;
+                break;
+            }
+        }
+    }
+    if c.closing && c.queue.is_empty() {
+        c.dead = true;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A poisoned mailbox lock (a worker panicking mid-post) must not
+    /// wedge the poller or the surviving workers: every lock site
+    /// recovers via `PoisonError::into_inner`.
     #[test]
-    fn budget_recovers_from_poisoned_lock() {
-        let budget = Arc::new(Budget::new(2));
-        let poisoner = Arc::clone(&budget);
+    fn mailbox_recovers_from_poisoned_lock() {
+        let mailbox = Arc::new(Mailbox {
+            notices: Mutex::new(Vec::new()),
+            poller: Arc::new(Poller::new_fallback()),
+        });
+        let poisoner = Arc::clone(&mailbox);
         let _ = std::thread::spawn(move || {
-            let _active = poisoner.state.lock().unwrap();
-            panic!("poison the budget lock");
+            let _guard = poisoner.notices.lock().unwrap();
+            panic!("poison the mailbox lock");
         })
         .join();
-        assert!(budget.state.lock().is_err(), "lock should be poisoned");
-        // Slot accounting recovers: a poisoned budget must not wedge the
-        // accept loop or leak connection slots.
-        let stop = AtomicBool::new(false);
-        assert!(budget.acquire(&stop));
-        assert!(budget.acquire(&stop));
-        budget.release();
-        assert!(budget.acquire(&stop));
-        budget.release();
-        budget.release();
+        assert!(mailbox.notices.lock().is_err(), "lock should be poisoned");
+        mailbox.post_frames(3, vec![vec![1, 2, 3]], true);
+        let drained = std::mem::take(&mut *mailbox.locked());
+        assert_eq!(drained.len(), 1);
+        assert!(matches!(
+            drained[0],
+            Notice::Frames {
+                conn: 3,
+                done: true,
+                ..
+            }
+        ));
+    }
+
+    /// The read gate closes (stops reading) under inflight or write
+    /// pressure and re-opens when both drain — the backpressure pin.
+    #[test]
+    fn interest_gates_reads_under_pressure() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut c = Conn::new(stream);
+        assert!(c.desired_interest().readable);
+        assert!(!c.desired_interest().writable);
+        c.inflight = MAX_CONN_INFLIGHT;
+        assert!(!c.desired_interest().readable, "inflight cap gates reads");
+        c.inflight = 0;
+        c.queued_bytes = WRITE_QUEUE_SOFT;
+        c.queue.push_back(vec![0]);
+        let want = c.desired_interest();
+        assert!(!want.readable, "write backlog gates reads");
+        assert!(want.writable, "queued frames want writability");
+        c.queued_bytes = 0;
+        c.queue.clear();
+        assert!(c.desired_interest().readable, "gates re-open when drained");
     }
 }

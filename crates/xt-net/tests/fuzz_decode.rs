@@ -118,6 +118,23 @@ fn observability_msg_strategy() -> impl Strategy<Value = Msg> {
     prop_oneof![health_strategy(), metrics_strategy()]
 }
 
+/// The server-pushed epoch frame: both the real shape (a valid epoch
+/// rendering, which is what `EpochPush` always carries in practice) and
+/// arbitrary text (the codec carries the payload opaquely; parsing it
+/// is the client's separate, advisory concern).
+fn epoch_push_strategy() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (any::<u64>(), 0u32..4096).prop_map(|(number, pad)| Msg::EpochPush {
+            epoch: format!(
+                "# epoch {number}\n# exterminator runtime patches v1\npad 512ddc49 {pad}\n"
+            ),
+        }),
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(|raw| Msg::EpochPush {
+            epoch: String::from_utf8_lossy(&raw).into_owned(),
+        }),
+    ]
+}
+
 /// Truncation points: exhaustive for small buffers, seeded sampling for
 /// large ones (a metrics frame with histograms runs to kilobytes).
 fn truncation_points(len: usize, seed: u64) -> Vec<usize> {
@@ -170,6 +187,84 @@ proptest! {
             corrupt[pos] ^= delta;
             if let Err(err) = decode_msg(&corrupt) {
                 assert_diagnosable(&err, corrupt.len())?;
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_push_round_trips(msg in epoch_push_strategy()) {
+        let bytes = msg.to_frame().encode();
+        prop_assert_eq!(decode_msg(&bytes).unwrap(), msg);
+    }
+
+    /// Every strict prefix of an `EpochPush` frame rejects with a
+    /// usable diagnostic — this is the frame an event-loop connection
+    /// holds *partially buffered* between readiness events, so the
+    /// incremental parser must classify prefixes exactly like the
+    /// whole-buffer decoder: a prefix is `Ok(None)` (need more), never
+    /// a panic, and the only errors are offset-bearing.
+    #[test]
+    fn truncated_epoch_push_rejects_with_offsets(
+        msg in epoch_push_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let bytes = msg.to_frame().encode();
+        for len in truncation_points(bytes.len(), seed) {
+            let err = decode_msg(&bytes[..len])
+                .expect_err("a strict prefix decoded as a whole message");
+            assert_diagnosable(&err, len)?;
+            // The incremental parser the server feeds partial reads
+            // through must agree: a strict prefix is "need more bytes",
+            // not an error and not a frame.
+            prop_assert!(matches!(Frame::parse_prefix(&bytes[..len]), Ok(None)));
+        }
+        // And the full buffer yields the frame plus its exact length.
+        let (frame, used) = Frame::parse_prefix(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(Msg::from_frame(&frame).unwrap(), msg);
+    }
+
+    /// Mutated `EpochPush` frames never panic either decoder; every
+    /// rejection stays diagnosable. (UTF-8 payload corruption surfaces
+    /// as `BadUtf8` with an offset; header corruption as magic/kind
+    /// errors.)
+    #[test]
+    fn mutated_epoch_push_never_panics(
+        msg in epoch_push_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let bytes = msg.to_frame().encode();
+        let mut state = seed;
+        for _ in 0..64 {
+            let mut corrupt = bytes.clone();
+            let pos = (splitmix(&mut state) as usize) % corrupt.len();
+            let delta = (splitmix(&mut state) % 255) as u8 + 1;
+            corrupt[pos] ^= delta;
+            if let Err(err) = decode_msg(&corrupt) {
+                assert_diagnosable(&err, corrupt.len())?;
+            }
+            // The incremental parser sees the same hostile bytes off the
+            // socket; it must never panic, and whatever frame it cuts
+            // must match the whole-buffer decoder's on the same bytes.
+            match Frame::parse_prefix(&corrupt) {
+                Ok(Some((frame, used))) => {
+                    prop_assert!(used <= corrupt.len());
+                    prop_assert_eq!(
+                        &frame,
+                        &Frame::decode(&corrupt[..used]).expect("decoders agree")
+                    );
+                    if used < corrupt.len() {
+                        // A shrunk length field cut a shorter frame; the
+                        // whole-buffer decoder rejects the trailing bytes.
+                        prop_assert!(Frame::decode(&corrupt).is_err());
+                    }
+                }
+                Ok(None) => {
+                    // A corrupted length field can claim more bytes than
+                    // present; the blocking decoder calls that truncated.
+                    prop_assert!(Frame::decode(&corrupt).is_err());
+                }
+                Err(err) => assert_diagnosable(&err, corrupt.len())?,
             }
         }
     }

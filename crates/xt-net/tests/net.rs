@@ -245,6 +245,24 @@ fn shutdown_returns_while_a_client_stays_connected() {
     drop(client);
 }
 
+/// Drains until the client's push buffers empty, bounded by a deadline;
+/// returns the final `buffered()` count. Jobs from one connection run
+/// on independent server workers, so an abandoned job's final frame may
+/// still be crossing the wire when a *later* job's outcome returns —
+/// each health round trip here reads (and discards) whatever landed
+/// ahead of its reply.
+fn drained_buffers(client: &NetClient) -> usize {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let parked = client.buffered();
+        if parked == 0 || std::time::Instant::now() >= deadline {
+            return parked;
+        }
+        client.pull_health().expect("health round trip");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 /// Buffer hygiene on a long-lived connection: dropped tickets' pushed
 /// frames are discarded on arrival, never parked forever, so abandoning
 /// outcomes cannot grow client memory without bound.
@@ -271,9 +289,150 @@ fn dropped_tickets_do_not_leak_push_buffers() {
         .expect("outcome");
     assert!(outcome.unanimous);
     assert_eq!(
-        client.buffered(),
+        drained_buffers(&client),
         0,
         "abandoned jobs left state parked in the client connection"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+/// Evidence aimed at a caller-chosen site: 16 of these (identical
+/// dangling observations plus a deferral hint) reliably flag the site,
+/// so each fresh site is worth exactly one new epoch at the next
+/// publish boundary.
+fn site_report(client: u64, seq: u32, site: u32) -> RunReport {
+    RunReport {
+        client,
+        seq,
+        failed: true,
+        clock: 50 + u64::from(seq),
+        n_sites: 100,
+        dangling_obs: vec![(site, 0.5, true)],
+        overflow_obs: Vec::new(),
+        pad_hints: Vec::new(),
+        defer_hints: vec![(site, 0xF, 30)],
+    }
+}
+
+/// The push-inversion pin (§6.4 without polling): a client connected
+/// *before* any epoch exists observes server-pushed epochs without ever
+/// calling `pull_epoch` — the server fans each published epoch down
+/// every live connection, and the client parks on its socket until one
+/// lands.
+#[test]
+fn connected_client_observes_pushed_epochs_without_polling() {
+    let mut config = net_config(1);
+    config.fleet = FleetConfig {
+        shards: 4,
+        publish_every: 8,
+        ..FleetConfig::default()
+    };
+    let server =
+        NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config).expect("bind localhost");
+    // Connected before the first publish; no epoch has been pushed yet.
+    let observer = NetClient::connect(server.local_addr()).expect("connect observer");
+    assert!(observer.pushed_epoch().is_none(), "phantom epoch in cache");
+
+    // A second connection supplies the evidence that mints epochs.
+    let producer = NetClient::connect(server.local_addr()).expect("connect producer");
+    for seq in 0..16 {
+        producer
+            .ingest_report(&site_report(3, seq, 0xD00D))
+            .expect("report ack");
+    }
+
+    // The observer never pulls: the epoch arrives because the server
+    // pushed it down this otherwise-idle connection.
+    let epoch = observer
+        .wait_pushed_epoch(0, Duration::from_secs(10))
+        .expect("wait for push")
+        .expect("no epoch pushed within 10s");
+    assert!(epoch.number >= 1, "pushed epoch 0");
+    assert_eq!(
+        observer.pushed_epoch().expect("cache filled").number,
+        epoch.number,
+        "cache read disagrees with the wait that filled it"
+    );
+
+    // Evidence for a *fresh* site mints a successor epoch, which reaches
+    // the same connection; the cache is newest-wins, so waiting above
+    // the first number yields the next.
+    for seq in 16..32 {
+        producer
+            .ingest_report(&site_report(3, seq, 0xBEEF))
+            .expect("report ack");
+    }
+    let newer = observer
+        .wait_pushed_epoch(epoch.number, Duration::from_secs(10))
+        .expect("wait for second push")
+        .expect("second epoch never pushed");
+    assert!(newer.number > epoch.number, "push went backwards");
+    assert_eq!(observer.buffered(), 0, "pushes parked frames in buffers");
+    drop(observer);
+    drop(producer);
+    server.shutdown();
+}
+
+/// Buffer hygiene under pushes: many published epochs plus abandoned
+/// tickets on one connection leave *nothing* parked — pushed epochs
+/// collapse into the one-slot newest-wins cache (never counted by
+/// `buffered`), and dropped tickets' frames are discarded on arrival.
+/// This extends the `buffered == 0` pin to the push-epoch path.
+#[test]
+fn epoch_pushes_and_dropped_tickets_leave_no_buffered_state() {
+    let mut config = net_config(1);
+    config.fleet = FleetConfig {
+        shards: 4,
+        publish_every: 8,
+        ..FleetConfig::default()
+    };
+    let server =
+        NetFrontend::bind(EspressoLike::new(), "127.0.0.1:0", config).expect("bind localhost");
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+
+    // Abandon jobs outright, then mint a stream of epochs on the same
+    // connection: evidence for each fresh site flags at a publish
+    // boundary, and every publish is pushed down this wire.
+    for seed in 0..4 {
+        drop(
+            client
+                .submit(&WorkloadInput::with_seed(seed), None)
+                .expect("submit"),
+        );
+    }
+    for (round, site) in [0xD00D, 0xBEEF].into_iter().enumerate() {
+        for step in 0..16 {
+            let receipt = client
+                .ingest_report(&site_report(5, (round * 16 + step) as u32, site))
+                .expect("report ack");
+            assert!(!receipt.duplicate);
+        }
+    }
+    let latest = server.service().latest().number;
+    assert!(latest >= 2, "publish cadence minted too few epochs");
+
+    // A collected job reads past (and discards) the abandoned jobs'
+    // frames and absorbs any interleaved pushes.
+    let outcome = client
+        .submit(&WorkloadInput::with_seed(99), None)
+        .expect("submit")
+        .wait()
+        .expect("outcome");
+    assert!(outcome.unanimous);
+
+    // Park until the *newest* epoch lands: every pushed epoch for this
+    // connection has then traversed the client and collapsed into the
+    // single cache slot.
+    let newest = client
+        .wait_pushed_epoch(latest - 1, Duration::from_secs(10))
+        .expect("wait for newest push")
+        .expect("newest epoch never arrived");
+    assert!(newest.number >= latest);
+    assert_eq!(
+        drained_buffers(&client),
+        0,
+        "pushed epochs or abandoned jobs left state parked in the client"
     );
     drop(client);
     server.shutdown();
